@@ -1,0 +1,172 @@
+// Benchmarks: one per reproduced table/figure (see DESIGN.md §2 and
+// EXPERIMENTS.md). Each benchmark executes the corresponding experiment
+// end-to-end in Quick mode, so ns/op is the cost of regenerating that
+// artifact; run `go test -bench . -benchmem` at the repo root.
+package p2prm_test
+
+import (
+	"testing"
+
+	"repro"
+	"repro/internal/experiments"
+	"repro/internal/graph"
+)
+
+var benchOpt = experiments.Options{Seed: 42, Quick: true}
+
+// BenchmarkE1Figure1Paths regenerates Figure 1: graph construction, path
+// enumeration and the Figure-3 allocation over it.
+func BenchmarkE1Figure1Paths(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.E1Figure1(benchOpt)
+		if len(res.Table.Rows) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// BenchmarkE2TaskAssignment regenerates the Figure 2 walkthrough: one
+// complete session (query, allocation, composition, streaming) on a
+// simulated domain.
+func BenchmarkE2TaskAssignment(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.E2TaskAssignment(benchOpt)
+		if len(res.Table.Rows) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// BenchmarkE3AllocatorComparison regenerates the allocator-comparison
+// table (paper-BFS vs first-fit vs greedy vs random under load).
+func BenchmarkE3AllocatorComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.E3AllocatorComparison(benchOpt)
+	}
+}
+
+// BenchmarkE4Scalability regenerates the overlay-size scaling table.
+func BenchmarkE4Scalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.E4Scalability(benchOpt)
+	}
+}
+
+// BenchmarkE5SchedulerComparison regenerates the LLS/EDF/FIFO/SJF/PRIO
+// miss-ratio table.
+func BenchmarkE5SchedulerComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.E5SchedulerComparison(benchOpt)
+	}
+}
+
+// BenchmarkE6Churn regenerates the churn-tolerance table (repairs,
+// failovers, session survival).
+func BenchmarkE6Churn(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.E6Churn(benchOpt)
+	}
+}
+
+// BenchmarkE7AdmissionRedirect regenerates the admission/redirection
+// comparison.
+func BenchmarkE7AdmissionRedirect(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.E7AdmissionRedirect(benchOpt)
+	}
+}
+
+// BenchmarkE8GossipBloom regenerates gossip convergence + Bloom accuracy.
+func BenchmarkE8GossipBloom(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.E8GossipBloom(benchOpt)
+	}
+}
+
+// BenchmarkE9Adaptation regenerates the load-spike adaptation table.
+func BenchmarkE9Adaptation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.E9Adaptation(benchOpt)
+	}
+}
+
+// BenchmarkE10UpdatePeriod regenerates the profiler-period trade-off.
+func BenchmarkE10UpdatePeriod(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.E10UpdatePeriod(benchOpt)
+	}
+}
+
+// BenchmarkA1ObjectiveAblation regenerates the allocation-objective
+// ablation.
+func BenchmarkA1ObjectiveAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.A1ObjectiveAblation(benchOpt)
+	}
+}
+
+// BenchmarkA2BackupSync regenerates the backup-sync ablation.
+func BenchmarkA2BackupSync(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.A2BackupSync(benchOpt)
+	}
+}
+
+// BenchmarkAllocationFigure3 micro-benchmarks one Figure-3 allocation on
+// the paper's graph — the hot path of every admission decision.
+func BenchmarkAllocationFigure3(b *testing.B) {
+	f := graph.Figure1Example(10_000)
+	pv := f.IdlePeers(10)
+	req := graph.Request{Init: f.VInit, Goal: f.VSol, ChunkSeconds: 1, DeadlineMicros: 60_000_000}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (graph.FairnessBFS{}).Allocate(f.G, req, pv); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatedSession measures simulating one complete 10-chunk
+// session end-to-end through the public API.
+func BenchmarkSimulatedSession(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sim := p2prm.NewSimulation(p2prm.DefaultConfig(), p2prm.SimOptions{Seed: uint64(i)})
+		founder := strongPeer()
+		founder.Objects = []p2prm.Object{{
+			Name:   "movie",
+			Format: p2prm.Format{Codec: p2prm.MPEG2, Width: 800, Height: 600, BitrateKbps: 512},
+			Bytes:  512 * 1000 / 8 * 10,
+		}}
+		id0 := sim.AddFounder(founder)
+		for j := 0; j < 5; j++ {
+			sim.AddPeer(strongPeer(), id0)
+		}
+		sim.RunFor(5 * p2prm.Second)
+		sim.Submit(sim.Now(), 3, p2prm.TaskSpec{
+			ObjectName:     "movie",
+			Constraint:     p2prm.Constraint{Codecs: []p2prm.Codec{p2prm.MPEG4}, MaxBitrateKbps: 64, MaxWidth: 640, MaxHeight: 480},
+			DeadlineMicros: 2_000_000,
+			DurationSec:    10,
+			ChunkSec:       1,
+		})
+		sim.RunFor(60 * p2prm.Second)
+		if len(sim.Events().Reports) != 1 {
+			b.Fatal("session did not complete")
+		}
+	}
+}
+
+// BenchmarkA3Preemption regenerates the preemptive-admission ablation.
+func BenchmarkA3Preemption(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.A3Preemption(benchOpt)
+	}
+}
+
+// BenchmarkE11Decentralization regenerates the topology ablation.
+func BenchmarkE11Decentralization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.E11Decentralization(benchOpt)
+	}
+}

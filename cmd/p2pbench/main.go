@@ -1,0 +1,119 @@
+// Command p2pbench sweeps a simulated overlay across a parameter grid and
+// emits CSV, for plotting or regression tracking beyond the fixed
+// experiment suite.
+//
+// Usage:
+//
+//	p2pbench [-peers 16,64,256] [-rates 0.5,1,2] [-churn 0,6]
+//	         [-domain 32] [-seed 42] [-horizon 120]
+//
+// Output columns:
+//
+//	peers,rate,churn_per_min,domains,submitted,admitted,rejected,
+//	redirected,repairs,failovers,sessions_done,chunk_miss,msgs_total
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func main() {
+	var (
+		peersFlag  = flag.String("peers", "16,64", "overlay sizes to sweep")
+		ratesFlag  = flag.String("rates", "0.5,1.5", "task arrival rates (tasks/s)")
+		churnFlag  = flag.String("churn", "0", "churn rates (events/min)")
+		domainCap  = flag.Int("domain", 32, "max peers per domain")
+		seed       = flag.Uint64("seed", 42, "run seed")
+		horizonSec = flag.Int("horizon", 120, "loaded-phase length (sim seconds)")
+	)
+	flag.Parse()
+
+	peers, err := parseInts(*peersFlag)
+	die(err)
+	rates, err := parseFloats(*ratesFlag)
+	die(err)
+	churns, err := parseFloats(*churnFlag)
+	die(err)
+
+	fmt.Println("peers,rate,churn_per_min,domains,submitted,admitted,rejected,redirected,repairs,failovers,sessions_done,chunk_miss,msgs_total")
+	for _, n := range peers {
+		for _, rate := range rates {
+			for _, churn := range churns {
+				row := runCell(*seed, n, rate, churn, *domainCap, sim.Time(*horizonSec)*sim.Second)
+				fmt.Println(row)
+			}
+		}
+	}
+}
+
+func runCell(seed uint64, n int, rate, churnPerMin float64, domainCap int, horizon sim.Time) string {
+	cfg := core.DefaultConfig()
+	cfg.MaxDomainPeers = domainCap
+	r := rng.New(seed ^ uint64(n)<<20 ^ uint64(rate*1000) ^ uint64(churnPerMin*7))
+	infos := cluster.PeerSpecs(r, n, cfg.Qualify, 0.4)
+	cat := cluster.StandardCatalog()
+	cat.Populate(r, infos, 3, n, 3, 15)
+	netCfg := netsim.Config{Latency: netsim.UniformLatency(10 * sim.Millisecond), JitterFrac: 0.2}
+	c := cluster.Build(cfg, netCfg, seed, infos, 50*sim.Millisecond)
+	c.RunUntil(c.Eng.Now() + 20*sim.Second)
+
+	mix := workload.DefaultMix()
+	mix.Objects = n
+	mix.RatePerSec = rate
+	d := workload.NewDriver(c, cat, mix, r.Split())
+	start := c.Eng.Now()
+	d.Run(start, start+horizon)
+	if churnPerMin > 0 {
+		workload.Churn(c, r.Split(), start, start+horizon, churnPerMin/60, 0.7, nil)
+	}
+	c.RunUntil(start + horizon + 90*sim.Second)
+
+	ev := c.Events.Snapshot()
+	return fmt.Sprintf("%d,%g,%g,%d,%d,%d,%d,%d,%d,%d,%d,%.4f,%d",
+		n, rate, churnPerMin, len(c.RMs()),
+		ev.Submitted, ev.Admitted, ev.Rejected, ev.Redirected,
+		ev.Repairs, ev.Failovers, len(ev.Reports),
+		c.Events.MissRate(), c.Net.Stats().Sent)
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestParseHelpers(t *testing.T) {
+	ints, err := parseInts(" 1, 2,3 ")
+	if err != nil || len(ints) != 3 || ints[2] != 3 {
+		t.Fatalf("parseInts = %v, %v", ints, err)
+	}
+	if _, err := parseInts("1,x"); err == nil {
+		t.Fatal("bad int accepted")
+	}
+	floats, err := parseFloats("0.5, 1.5")
+	if err != nil || len(floats) != 2 || floats[1] != 1.5 {
+		t.Fatalf("parseFloats = %v, %v", floats, err)
+	}
+	if _, err := parseFloats("a"); err == nil {
+		t.Fatal("bad float accepted")
+	}
+}
+
+func TestRunCellProducesCSVRow(t *testing.T) {
+	row := runCell(1, 12, 0.5, 0, 16, 20*sim.Second)
+	fields := strings.Split(row, ",")
+	if len(fields) != 13 {
+		t.Fatalf("fields = %d: %q", len(fields), row)
+	}
+	if fields[0] != "12" || fields[1] != "0.5" {
+		t.Fatalf("row prefix: %q", row)
+	}
+}

@@ -1,0 +1,174 @@
+// Command p2pnode runs one live middleware peer over TCP — the
+// deployable daemon form of the system. Several p2pnode processes with a
+// shared address book form a real overlay; the first one (-founder)
+// becomes the Resource Manager of domain 0.
+//
+// Example (three shells):
+//
+//	p2pnode -id 0 -listen :7000 -book "1=localhost:7001,2=localhost:7002" \
+//	        -founder -object "movie:30" -speed 10
+//	p2pnode -id 1 -listen :7001 -book "0=localhost:7000,2=localhost:7002" \
+//	        -bootstrap 0 -speed 10
+//	p2pnode -id 2 -listen :7002 -book "0=localhost:7000,1=localhost:7001" \
+//	        -bootstrap 0 -speed 10 -submit movie -after 3s
+//
+// The -submit node issues a transcoding query once joined and prints the
+// session report.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	var (
+		id        = flag.Int("id", 0, "this node's global ID")
+		listen    = flag.String("listen", ":7000", "TCP listen address")
+		book      = flag.String("book", "", "address book: 'id=host:port,id=host:port,...'")
+		founder   = flag.Bool("founder", false, "found domain 0 (first node of the overlay)")
+		bootstrap = flag.Int("bootstrap", -1, "node ID to join through (ignored with -founder)")
+		speed     = flag.Float64("speed", 10, "processing power (work units/s)")
+		bandwidth = flag.Float64("bw", 5000, "access bandwidth (Kbps)")
+		uptime    = flag.Float64("uptime", 7200, "historical uptime (s), used for RM qualification")
+		object    = flag.String("object", "", "host an object: 'name:durationSeconds'")
+		submit    = flag.String("submit", "", "submit a query for this object name once joined")
+		after     = flag.Duration("after", 3*time.Second, "delay before -submit")
+		verbose   = flag.Bool("v", false, "log node diagnostics")
+	)
+	flag.Parse()
+
+	cfg := p2prm.DefaultConfig()
+	info := p2prm.PeerInfo{
+		SpeedWU:       *speed,
+		BandwidthKbps: *bandwidth,
+		UptimeSec:     *uptime,
+		Services:      standardLadder(),
+	}
+	if *object != "" {
+		name, dur := parseObject(*object)
+		src := p2prm.Format{Codec: p2prm.MPEG2, Width: 800, Height: 600, BitrateKbps: 512}
+		info.Objects = append(info.Objects, p2prm.Object{
+			Name:   name,
+			Format: src,
+			Bytes:  int64(dur * float64(src.BitrateKbps) * 1000 / 8),
+		})
+	}
+
+	opts := p2prm.LiveOptions{Seed: uint64(*id) + 1, Listen: *listen}
+	if *verbose {
+		opts.Logger = log.New(os.Stderr, "", log.Lmicroseconds)
+	}
+	l, err := p2prm.NewLive(cfg, opts)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	defer l.Close()
+	log.Printf("node %d listening on %s", *id, l.ListenAddr())
+
+	for _, entry := range strings.Split(*book, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		kv := strings.SplitN(entry, "=", 2)
+		if len(kv) != 2 {
+			log.Fatalf("bad -book entry %q", entry)
+		}
+		rid, err := strconv.Atoi(kv[0])
+		if err != nil {
+			log.Fatalf("bad -book id %q", kv[0])
+		}
+		l.Register(p2prm.NodeID(rid), kv[1])
+	}
+
+	self := p2prm.NodeID(*id)
+	if *founder {
+		l.StartPeerWithID(self, info, p2prm.NoNode)
+		log.Printf("node %d founded domain 0 as Resource Manager", *id)
+	} else {
+		if *bootstrap < 0 {
+			log.Fatal("need -bootstrap or -founder")
+		}
+		l.StartPeerWithID(self, info, p2prm.NodeID(*bootstrap))
+	}
+
+	// Wait for membership.
+	for !l.Joined(self) {
+		time.Sleep(100 * time.Millisecond)
+	}
+	log.Printf("node %d joined the overlay (RM role: %v)", *id, l.IsRM(self))
+
+	if *submit != "" {
+		time.Sleep(*after)
+		taskID := l.Submit(self, p2prm.TaskSpec{
+			ObjectName: *submit,
+			Constraint: p2prm.Constraint{
+				Codecs:         []p2prm.Codec{p2prm.MPEG4},
+				MaxWidth:       640,
+				MaxHeight:      480,
+				MaxBitrateKbps: 64,
+			},
+			DeadlineMicros: 2_000_000,
+			DurationSec:    10,
+			ChunkSec:       1,
+		})
+		log.Printf("submitted task %s for object %q", taskID, *submit)
+		for {
+			time.Sleep(250 * time.Millisecond)
+			ev := l.Events()
+			if len(ev.Reports) > 0 {
+				r := ev.Reports[0]
+				fmt.Printf("session %s: %d/%d chunks, %d missed, startup %.1fms, mean latency %.1fms\n",
+					r.TaskID, r.Received, r.Chunks, r.Missed,
+					float64(r.StartupMicros)/1000, r.MeanLatencyMicros/1000)
+				return
+			}
+			if ev.Rejected > 0 {
+				fmt.Println("task rejected: no allocation satisfies the QoS requirements")
+				return
+			}
+		}
+	}
+
+	// Daemon mode: run until interrupted.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	log.Printf("node %d shutting down", *id)
+}
+
+// standardLadder returns the default transcoder set every node offers.
+func standardLadder() []p2prm.Transcoder {
+	src := p2prm.Format{Codec: p2prm.MPEG2, Width: 800, Height: 600, BitrateKbps: 512}
+	mid := p2prm.Format{Codec: p2prm.MPEG2, Width: 640, Height: 480, BitrateKbps: 256}
+	tgt1 := p2prm.Format{Codec: p2prm.MPEG4, Width: 640, Height: 480, BitrateKbps: 64}
+	tgt2 := p2prm.Format{Codec: p2prm.H263, Width: 320, Height: 240, BitrateKbps: 32}
+	return []p2prm.Transcoder{
+		{From: src, To: mid},
+		{From: mid, To: tgt1},
+		{From: mid, To: tgt2},
+		{From: src, To: tgt1},
+	}
+}
+
+func parseObject(s string) (string, float64) {
+	parts := strings.SplitN(s, ":", 2)
+	name := parts[0]
+	dur := 30.0
+	if len(parts) == 2 {
+		if v, err := strconv.ParseFloat(parts[1], 64); err == nil {
+			dur = v
+		}
+	}
+	return name, dur
+}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestThreeProcessOverlay builds the daemon and runs a real three-process
+// overlay over TCP on loopback: a founder hosting an object, a worker,
+// and a consumer that submits a transcode query and prints the session
+// report.
+func TestThreeProcessOverlay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes")
+	}
+	bin := filepath.Join(t.TempDir(), "p2pnode")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("build: %v", err)
+	}
+
+	ports := make([]int, 3)
+	for i := range ports {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ports[i] = ln.Addr().(*net.TCPAddr).Port
+		ln.Close()
+	}
+	addr := func(i int) string { return fmt.Sprintf("127.0.0.1:%d", ports[i]) }
+	book := func(self int) string {
+		var parts []string
+		for i := range ports {
+			if i != self {
+				parts = append(parts, fmt.Sprintf("%d=%s", i, addr(i)))
+			}
+		}
+		return strings.Join(parts, ",")
+	}
+
+	founder := exec.Command(bin,
+		"-id", "0", "-listen", addr(0), "-book", book(0),
+		"-founder", "-object", "movie:10", "-speed", "20")
+	worker := exec.Command(bin,
+		"-id", "1", "-listen", addr(1), "-book", book(1),
+		"-bootstrap", "0", "-speed", "20")
+	var out bytes.Buffer
+	consumer := exec.Command(bin,
+		"-id", "2", "-listen", addr(2), "-book", book(2),
+		"-bootstrap", "0", "-speed", "20",
+		"-submit", "movie", "-after", "2s")
+	consumer.Stdout = &out
+	consumer.Stderr = &out
+
+	if err := founder.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		founder.Process.Kill()
+		founder.Wait()
+	}()
+	time.Sleep(300 * time.Millisecond)
+	if err := worker.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		worker.Process.Kill()
+		worker.Wait()
+	}()
+	time.Sleep(300 * time.Millisecond)
+	if err := consumer.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- consumer.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("consumer exited with %v\noutput:\n%s", err, out.String())
+		}
+	case <-time.After(60 * time.Second):
+		consumer.Process.Kill()
+		t.Fatalf("consumer timed out\noutput:\n%s", out.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "session") || !strings.Contains(s, "chunks") {
+		t.Fatalf("no session report in output:\n%s", s)
+	}
+	if strings.Contains(s, "rejected") {
+		t.Fatalf("task rejected:\n%s", s)
+	}
+}

@@ -1,0 +1,89 @@
+// Command p2psim runs the paper-reproduction experiment suite (see
+// DESIGN.md and EXPERIMENTS.md) and prints the result tables.
+//
+// Usage:
+//
+//	p2psim [-exp all|E1,...|A2] [-seed N] [-quick] [-md]
+//
+// Examples:
+//
+//	p2psim -exp all                # full suite (minutes)
+//	p2psim -exp E3,E5 -quick       # two experiments, small sweeps
+//	p2psim -exp E1 -md             # markdown output for EXPERIMENTS.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		expFlag  = flag.String("exp", "all", "comma-separated experiment IDs (E1..E10, A1, A2) or 'all'")
+		seed     = flag.Uint64("seed", 42, "deterministic run seed")
+		quick    = flag.Bool("quick", false, "shrink sweeps for a fast pass")
+		markdown = flag.Bool("md", false, "emit tables as markdown")
+	)
+	flag.Parse()
+
+	opt := experiments.Options{Seed: *seed, Quick: *quick}
+	runners := map[string]func(experiments.Options) experiments.Result{
+		"E1":  experiments.E1Figure1,
+		"E2":  experiments.E2TaskAssignment,
+		"E3":  experiments.E3AllocatorComparison,
+		"E4":  experiments.E4Scalability,
+		"E5":  experiments.E5SchedulerComparison,
+		"E6":  experiments.E6Churn,
+		"E7":  experiments.E7AdmissionRedirect,
+		"E8":  experiments.E8GossipBloom,
+		"E9":  experiments.E9Adaptation,
+		"E10": experiments.E10UpdatePeriod,
+		"E11": experiments.E11Decentralization,
+		"A1":  experiments.A1ObjectiveAblation,
+		"A2":  experiments.A2BackupSync,
+		"A3":  experiments.A3Preemption,
+	}
+	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "A1", "A2", "A3"}
+
+	var selected []string
+	if *expFlag == "all" {
+		selected = order
+	} else {
+		for _, id := range strings.Split(*expFlag, ",") {
+			id = strings.TrimSpace(strings.ToUpper(id))
+			if _, ok := runners[id]; !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (valid: %s)\n", id, strings.Join(order, " "))
+				os.Exit(2)
+			}
+			selected = append(selected, id)
+		}
+	}
+
+	for _, id := range selected {
+		start := time.Now()
+		res := runners[id](opt)
+		elapsed := time.Since(start).Round(time.Millisecond)
+		if *markdown {
+			fmt.Printf("### %s: %s\n\n*Claim:* %s\n\n%s\n", res.ID, res.Title, res.Claim, res.Table.Markdown())
+			for _, n := range res.Notes {
+				fmt.Printf("*Note:* %s\n\n", n)
+			}
+			fmt.Printf("_(generated in %v, seed %d%s)_\n\n", elapsed, *seed, quickTag(*quick))
+		} else {
+			fmt.Print(res.String())
+			fmt.Printf("(%v, seed %d%s)\n\n", elapsed, *seed, quickTag(*quick))
+		}
+	}
+}
+
+func quickTag(q bool) string {
+	if q {
+		return ", quick"
+	}
+	return ""
+}

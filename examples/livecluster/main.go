@@ -1,0 +1,107 @@
+// Livecluster: the same middleware running in real time.
+//
+// Five peers run as goroutines with serialized mailboxes (the live
+// runtime; swap in the TCP transport and this spans machines — see
+// cmd/p2pnode). They form a domain, a user peer requests a transcode,
+// and the pipeline streams 50ms chunks under wall-clock deadlines.
+//
+// Run: go run ./examples/livecluster
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	cfg := p2prm.DefaultConfig()
+	// Real-time run: tighten the control periods so the demo is snappy.
+	cfg.HeartbeatPeriod = 100 * p2prm.Millisecond
+	cfg.ProfilePeriod = 100 * p2prm.Millisecond
+	cfg.BackupSyncPeriod = 250 * p2prm.Millisecond
+	cfg.GossipPeriod = 0
+	cfg.AdaptPeriod = 0
+
+	l, err := p2prm.NewLive(cfg, p2prm.LiveOptions{Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer l.Close()
+
+	src := p2prm.Format{Codec: p2prm.MPEG2, Width: 800, Height: 600, BitrateKbps: 512}
+	mid := p2prm.Format{Codec: p2prm.MPEG2, Width: 640, Height: 480, BitrateKbps: 256}
+	tgt := p2prm.Format{Codec: p2prm.MPEG4, Width: 640, Height: 480, BitrateKbps: 64}
+	peer := func(objects ...p2prm.Object) p2prm.PeerInfo {
+		return p2prm.PeerInfo{
+			SpeedWU:       50,
+			BandwidthKbps: 10000,
+			UptimeSec:     7200,
+			Objects:       objects,
+			Services: []p2prm.Transcoder{
+				{From: src, To: mid},
+				{From: mid, To: tgt},
+			},
+		}
+	}
+
+	clip := p2prm.Object{Name: "clip", Format: src, Bytes: 512 * 1000 / 8 * 3} // 3s
+	fmt.Println("starting 5 live peers (goroutines with serialized mailboxes)...")
+	rm := l.StartFounder(peer(clip))
+	var others []p2prm.NodeID
+	for i := 0; i < 4; i++ {
+		others = append(others, l.StartPeer(peer(), rm))
+	}
+
+	waitUntil(5*time.Second, func() bool {
+		if !l.Joined(rm) {
+			return false
+		}
+		for _, id := range others {
+			if !l.Joined(id) {
+				return false
+			}
+		}
+		return true
+	})
+	fmt.Printf("overlay formed: node %d is the Resource Manager\n", rm)
+
+	user := others[len(others)-1]
+	fmt.Printf("node %d requests 'clip' as MPEG-4 640x480 (3s of media, 50ms chunks)...\n", user)
+	start := time.Now()
+	taskID := l.Submit(user, p2prm.TaskSpec{
+		ObjectName: "clip",
+		Constraint: p2prm.Constraint{
+			Codecs:         []p2prm.Codec{p2prm.MPEG4},
+			MaxWidth:       640,
+			MaxHeight:      480,
+			MaxBitrateKbps: 64,
+		},
+		DeadlineMicros: 500_000, // 500ms startup budget
+		DurationSec:    3,
+		ChunkSec:       0.05,
+	})
+	fmt.Printf("task %s submitted; streaming in real time...\n", taskID)
+
+	waitUntil(15*time.Second, func() bool { return len(l.Events().Reports) > 0 })
+	r := l.Events().Reports[0]
+	fmt.Printf("\nsession finished after %v (wall clock)\n", time.Since(start).Round(time.Millisecond))
+	fmt.Printf("  chunks delivered:   %d/%d\n", r.Received, r.Chunks)
+	fmt.Printf("  deadline misses:    %d\n", r.Missed)
+	fmt.Printf("  startup latency:    %.1f ms (budget 500 ms)\n", float64(r.StartupMicros)/1000)
+	fmt.Printf("  mean chunk latency: %.2f ms\n", r.MeanLatencyMicros/1000)
+	fmt.Printf("  pipeline repaired:  %d times\n", r.Repaired)
+}
+
+func waitUntil(timeout time.Duration, cond func() bool) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	log.Fatal("timed out waiting for the live cluster")
+}

@@ -1,0 +1,176 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/proto"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+func TestPeerSpecsQualification(t *testing.T) {
+	q := proto.QualifyThresholds{MinSpeedWU: 4, MinBandwidthKbps: 1000, MinUptimeSec: 1800}
+	r := rng.New(1)
+	infos := PeerSpecs(r, 400, q, 0.5)
+	qualified := 0
+	for _, info := range infos {
+		if info.SpeedWU <= 0 || info.BandwidthKbps <= 0 || info.UptimeSec < 0 {
+			t.Fatalf("invalid spec %+v", info)
+		}
+		if info.Qualifies(q) {
+			qualified++
+		}
+	}
+	// At least the forced 50% (plus whoever qualifies by chance).
+	if qualified < 180 {
+		t.Fatalf("qualified = %d/400, want >= ~200", qualified)
+	}
+}
+
+func TestPeerSpecsZeroFrac(t *testing.T) {
+	q := proto.QualifyThresholds{MinSpeedWU: 1e9} // unreachable
+	infos := PeerSpecs(rng.New(2), 50, q, 0)
+	for _, info := range infos {
+		if info.Qualifies(q) {
+			t.Fatal("impossible qualification")
+		}
+	}
+}
+
+func TestStandardCatalogLadderConnectsSourcesToTargets(t *testing.T) {
+	cat := StandardCatalog()
+	if len(cat.Sources) == 0 || len(cat.Targets) == 0 || len(cat.Ladder) == 0 {
+		t.Fatal("empty catalog")
+	}
+	// Every target must be reachable from some source through the ladder.
+	reach := map[string]bool{}
+	for _, s := range cat.Sources {
+		reach[s.Key()] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, tr := range cat.Ladder {
+			if reach[tr.From.Key()] && !reach[tr.To.Key()] {
+				reach[tr.To.Key()] = true
+				changed = true
+			}
+		}
+	}
+	for _, tgt := range cat.Targets {
+		if !reach[tgt.Key()] {
+			t.Fatalf("target %v unreachable through the ladder", tgt)
+		}
+	}
+}
+
+func TestPopulate(t *testing.T) {
+	cat := StandardCatalog()
+	r := rng.New(3)
+	infos := make([]proto.PeerInfo, 10)
+	cat.Populate(r, infos, 3, 8, 2, 20)
+	objCopies := map[string]int{}
+	for _, info := range infos {
+		if len(info.Services) != 3 {
+			t.Fatalf("services = %d, want 3", len(info.Services))
+		}
+		seen := map[string]bool{}
+		for _, svc := range info.Services {
+			if seen[svc.Key()] {
+				t.Fatal("duplicate service on one peer")
+			}
+			seen[svc.Key()] = true
+		}
+		for _, o := range info.Objects {
+			objCopies[o.Name]++
+			if !strings.HasPrefix(o.Name, "obj-") {
+				t.Fatalf("object name %q", o.Name)
+			}
+			if o.Bytes <= 0 {
+				t.Fatal("empty object")
+			}
+		}
+	}
+	if len(objCopies) != 8 {
+		t.Fatalf("distinct objects = %d, want 8", len(objCopies))
+	}
+	for name, copies := range objCopies {
+		if copies != 2 {
+			t.Fatalf("object %s has %d copies, want 2", name, copies)
+		}
+	}
+}
+
+func TestRequestConstraint(t *testing.T) {
+	cat := StandardCatalog()
+	r := rng.New(4)
+	strict := cat.RequestConstraint(r, false)
+	if len(strict.Codecs) == 0 {
+		t.Fatal("strict constraint has no codec")
+	}
+	relaxed := cat.RequestConstraint(r, true)
+	if len(relaxed.Codecs) != 0 {
+		t.Fatal("relaxed constraint still pins codec")
+	}
+	// Some catalog target must satisfy each generated constraint.
+	for i := 0; i < 50; i++ {
+		c := cat.RequestConstraint(r, r.Bool(0.5))
+		ok := false
+		for _, tgt := range cat.Targets {
+			if tgt.Satisfies(c) {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Fatalf("constraint %v unsatisfiable by catalog targets", c)
+		}
+	}
+}
+
+func TestBuildFormsOverlay(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.MaxDomainPeers = 8
+	r := rng.New(5)
+	infos := PeerSpecs(r, 20, cfg.Qualify, 0.5)
+	cat := StandardCatalog()
+	cat.Populate(r, infos, 3, 10, 2, 20)
+	c := Build(cfg, netsim.Config{Latency: netsim.UniformLatency(5 * sim.Millisecond)}, 6, infos, 100*sim.Millisecond)
+	c.RunUntil(c.Eng.Now() + 30*sim.Second)
+	if got := c.JoinedCount(); got != 20 {
+		t.Fatalf("joined = %d/20", got)
+	}
+	if len(c.IDs()) != 20 {
+		t.Fatalf("IDs = %d", len(c.IDs()))
+	}
+	if len(c.RMs()) < 2 {
+		t.Fatalf("RMs = %v", c.RMs())
+	}
+	// Peer accessor agrees with the network.
+	for _, id := range c.IDs() {
+		if c.Peer(id) == nil {
+			t.Fatalf("Peer(%d) = nil", id)
+		}
+	}
+}
+
+func TestCrashAndLeaveScheduling(t *testing.T) {
+	cfg := core.DefaultConfig()
+	c := New(cfg, netsim.Config{}, 7)
+	infos := PeerSpecs(rng.New(8), 4, cfg.Qualify, 1)
+	c.AddFounder(infos[0])
+	for _, info := range infos[1:] {
+		c.AddPeer(info, 0)
+	}
+	c.RunUntil(3 * sim.Second)
+	c.Crash(c.Eng.Now()+sim.Second, 1)
+	c.Leave(c.Eng.Now()+2*sim.Second, 2)
+	c.RunUntil(c.Eng.Now() + 10*sim.Second)
+	if c.Net.Alive(1) || c.Net.Alive(2) {
+		t.Fatal("crash/leave did not take effect")
+	}
+	if !c.Net.Alive(0) || !c.Net.Alive(3) {
+		t.Fatal("wrong nodes died")
+	}
+}

@@ -1,0 +1,60 @@
+package core
+
+import "repro/internal/env"
+
+// ConnManager is the peer's Connection Manager (§2): it tracks the
+// overlay connections the peer holds — to its Resource Manager and to the
+// adjacent peers of every pipeline it participates in. Connections are
+// reference-counted because two sessions may share an adjacency.
+type ConnManager struct {
+	refs   map[env.NodeID]int
+	opened uint64
+	closed uint64
+	peak   int
+}
+
+// NewConnManager returns an empty manager.
+func NewConnManager() *ConnManager {
+	return &ConnManager{refs: make(map[env.NodeID]int)}
+}
+
+// Open establishes (or references) a connection to the peer.
+func (c *ConnManager) Open(to env.NodeID) {
+	if to == env.NoNode {
+		return
+	}
+	c.refs[to]++
+	if c.refs[to] == 1 {
+		c.opened++
+		if len(c.refs) > c.peak {
+			c.peak = len(c.refs)
+		}
+	}
+}
+
+// Close dereferences (and possibly tears down) a connection.
+func (c *ConnManager) Close(to env.NodeID) {
+	if n, ok := c.refs[to]; ok {
+		if n <= 1 {
+			delete(c.refs, to)
+			c.closed++
+		} else {
+			c.refs[to] = n - 1
+		}
+	}
+}
+
+// Active returns the number of distinct open connections.
+func (c *ConnManager) Active() int { return len(c.refs) }
+
+// Has reports whether a connection to the peer is already open.
+func (c *ConnManager) Has(to env.NodeID) bool {
+	_, ok := c.refs[to]
+	return ok
+}
+
+// Peak returns the high-water mark of simultaneous connections.
+func (c *ConnManager) Peak() int { return c.peak }
+
+// Churn returns total connections opened and closed.
+func (c *ConnManager) Churn() (opened, closed uint64) { return c.opened, c.closed }

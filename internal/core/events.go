@@ -1,0 +1,202 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/proto"
+)
+
+// Events collects run-wide observations from all nodes. One Events
+// instance is shared by every peer of a run; experiments read it after the
+// simulation finishes. It is mutex-guarded so the live runtime (where
+// nodes are goroutines) can share it too.
+type Events struct {
+	mu sync.Mutex
+	EventsData
+}
+
+// EventsData is the plain-data portion of Events; Snapshot returns a copy
+// of it.
+type EventsData struct {
+	Submitted  int // task queries issued by users
+	Admitted   int // sessions composed
+	Rejected   int // TaskReject outcomes
+	Redirected int // inter-domain forwards
+
+	Reports []proto.SessionReport // completed-session accounts
+
+	Repairs        int     // failure-triggered re-allocations
+	RepairMicros   []int64 // detection→recompose latency
+	Migrations     int     // overload-triggered reassignments
+	Preemptions    int     // importance-based session preemptions
+	Aborted        int     // sessions torn down before/without a sink report
+	Failovers      int     // backup→RM takeovers
+	FailoverMicros []int64 // RM silence detection→takeover
+
+	DomainsCreated    int
+	PeersDeclaredDead int
+
+	AllocNanos []int64 // wall-clock cost of each allocation computation
+}
+
+// Lock-protected mutators used by node internals.
+
+func (e *Events) submitted() {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	e.Submitted++
+	e.mu.Unlock()
+}
+
+func (e *Events) admitted() {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	e.Admitted++
+	e.mu.Unlock()
+}
+
+func (e *Events) rejected() {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	e.Rejected++
+	e.mu.Unlock()
+}
+
+func (e *Events) redirected() {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	e.Redirected++
+	e.mu.Unlock()
+}
+
+func (e *Events) report(r proto.SessionReport) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	e.Reports = append(e.Reports, r)
+	e.mu.Unlock()
+}
+
+func (e *Events) repair(micros int64) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	e.Repairs++
+	e.RepairMicros = append(e.RepairMicros, micros)
+	e.mu.Unlock()
+}
+
+func (e *Events) aborted() {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	e.Aborted++
+	e.mu.Unlock()
+}
+
+func (e *Events) preemption() {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	e.Preemptions++
+	e.mu.Unlock()
+}
+
+func (e *Events) migration() {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	e.Migrations++
+	e.mu.Unlock()
+}
+
+func (e *Events) failover(micros int64) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	e.Failovers++
+	e.FailoverMicros = append(e.FailoverMicros, micros)
+	e.mu.Unlock()
+}
+
+func (e *Events) domainCreated() {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	e.DomainsCreated++
+	e.mu.Unlock()
+}
+
+func (e *Events) peerDead() {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	e.PeersDeclaredDead++
+	e.mu.Unlock()
+}
+
+func (e *Events) allocCost(nanos int64) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	e.AllocNanos = append(e.AllocNanos, nanos)
+	e.mu.Unlock()
+}
+
+// Snapshot returns a copy safe to read while nodes are still running.
+func (e *Events) Snapshot() EventsData {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	cp := e.EventsData
+	cp.Reports = append([]proto.SessionReport(nil), e.Reports...)
+	cp.RepairMicros = append([]int64(nil), e.RepairMicros...)
+	cp.FailoverMicros = append([]int64(nil), e.FailoverMicros...)
+	cp.AllocNanos = append([]int64(nil), e.AllocNanos...)
+	return cp
+}
+
+// MissRate aggregates chunk misses across all session reports.
+func (e *Events) MissRate() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var chunks, missed int
+	for _, r := range e.Reports {
+		chunks += r.Chunks
+		missed += r.Missed
+	}
+	if chunks == 0 {
+		return 0
+	}
+	return float64(missed) / float64(chunks)
+}
+
+// SessionsOnTime counts sessions whose startup met the given budget and
+// that missed no chunks.
+func (e *Events) SessionsOnTime(startupBudgetMicros int64) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n := 0
+	for _, r := range e.Reports {
+		if r.Missed == 0 && r.StartupMicros <= startupBudgetMicros {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/bloom"
+	"repro/internal/env"
+	"repro/internal/fairness"
+	"repro/internal/proto"
+)
+
+// Inter-domain propagation (§3.1, §4.4): each RM keeps Bloom-filter
+// summaries of the objects and services available in other domains,
+// "updated lazily using a gossiping protocol". The protocol is a classic
+// push-pull anti-entropy: digest -> missing summaries -> wanted
+// summaries.
+
+// buildOwnSummary constructs this domain's current summary.
+func (p *Peer) buildOwnSummary() proto.DomainSummary {
+	st := p.rm
+	objects := bloom.New(p.cfg.BloomM, p.cfg.BloomK)
+	services := bloom.New(p.cfg.BloomM, p.cfg.BloomK)
+	var utilSum float64
+	for _, id := range sortedPeerIDs(st.peers) {
+		rec := st.peers[id]
+		for _, o := range rec.info.Objects {
+			objects.AddString(o.Name)
+		}
+		for _, s := range rec.info.Services {
+			services.AddString(s.Key())
+		}
+		utilSum += rec.util()
+	}
+	avg := 0.0
+	if len(st.peers) > 0 {
+		avg = utilSum / float64(len(st.peers))
+	}
+	return proto.DomainSummary{
+		Domain:       st.domain,
+		RM:           p.ctx.Self(),
+		Version:      st.version,
+		NumPeers:     len(st.peers),
+		AvgUtil:      avg,
+		ObjectBloom:  objects.Bytes(),
+		ServiceBloom: services.Bytes(),
+		BloomM:       p.cfg.BloomM,
+		BloomK:       p.cfg.BloomK,
+	}
+}
+
+// bloomFrom reconstructs a summary's object filter.
+func bloomFrom(sum proto.DomainSummary) (*bloom.Filter, error) {
+	return bloom.FromBytes(sum.ObjectBloom, sum.BloomM, sum.BloomK)
+}
+
+// serviceBloomFrom reconstructs a summary's service filter.
+func serviceBloomFrom(sum proto.DomainSummary) (*bloom.Filter, error) {
+	return bloom.FromBytes(sum.ServiceBloom, sum.BloomM, sum.BloomK)
+}
+
+// gossipVersions collects the versions this RM holds, including its own.
+func (p *Peer) gossipVersions() map[proto.DomainID]uint64 {
+	st := p.rm
+	v := make(map[proto.DomainID]uint64, len(st.summaries)+1)
+	v[st.domain] = st.version
+	for d, sum := range st.summaries {
+		v[d] = sum.Version
+	}
+	return v
+}
+
+// rmGossipTick opens one anti-entropy round with a random known RM.
+func (p *Peer) rmGossipTick() {
+	st := p.rm
+	if st == nil || len(st.knownRMs) == 0 {
+		return
+	}
+	// Refresh our own load picture every round so AvgUtil propagates.
+	st.bumpVersion()
+	domains := make([]proto.DomainID, 0, len(st.knownRMs))
+	for d := range st.knownRMs {
+		domains = append(domains, d)
+	}
+	sort.Slice(domains, func(i, j int) bool { return domains[i] < domains[j] })
+	target := st.knownRMs[domains[p.ctx.Rand().Intn(len(domains))]]
+	p.ctx.Send(target, proto.GossipDigest{
+		From:     proto.RMRef{Domain: st.domain, RM: p.ctx.Self()},
+		Versions: p.gossipVersions(),
+	})
+}
+
+// rmHandleGossipDigest answers with summaries the digest lacks and asks
+// for ones where the sender is ahead.
+func (p *Peer) rmHandleGossipDigest(from env.NodeID, msg proto.GossipDigest) {
+	st := p.rm
+	if st == nil {
+		return
+	}
+	st.noteRM(msg.From)
+	reply := proto.GossipSummaries{From: proto.RMRef{Domain: st.domain, RM: p.ctx.Self()}}
+	mine := p.gossipVersions()
+	// Summaries I have that the sender lacks or holds stale.
+	for d, v := range mine {
+		theirs, ok := msg.Versions[d]
+		if ok && theirs >= v {
+			continue
+		}
+		if d == st.domain {
+			reply.Summaries = append(reply.Summaries, p.buildOwnSummary())
+		} else if sum, ok := st.summaries[d]; ok {
+			reply.Summaries = append(reply.Summaries, sum)
+		}
+	}
+	// Domains where the sender is ahead of me.
+	for d, v := range msg.Versions {
+		if d == st.domain {
+			continue
+		}
+		if cur, ok := mine[d]; !ok || cur < v {
+			reply.Want = append(reply.Want, d)
+		}
+	}
+	sort.Slice(reply.Summaries, func(i, j int) bool { return reply.Summaries[i].Domain < reply.Summaries[j].Domain })
+	sort.Slice(reply.Want, func(i, j int) bool { return reply.Want[i] < reply.Want[j] })
+	p.ctx.Send(from, reply)
+}
+
+// rmHandleGossipSummaries installs received summaries and completes the
+// push-pull exchange.
+func (p *Peer) rmHandleGossipSummaries(from env.NodeID, msg proto.GossipSummaries) {
+	st := p.rm
+	if st == nil {
+		return
+	}
+	st.noteRM(msg.From)
+	for _, sum := range msg.Summaries {
+		if sum.Domain == st.domain {
+			continue
+		}
+		cur, ok := st.summaries[sum.Domain]
+		if !ok || sum.Version > cur.Version {
+			st.summaries[sum.Domain] = sum
+			st.noteRM(proto.RMRef{Domain: sum.Domain, RM: sum.RM})
+		}
+	}
+	if len(msg.Want) == 0 {
+		return
+	}
+	reply := proto.GossipSummaries{From: proto.RMRef{Domain: st.domain, RM: p.ctx.Self()}}
+	for _, d := range msg.Want {
+		if d == st.domain {
+			reply.Summaries = append(reply.Summaries, p.buildOwnSummary())
+		} else if sum, ok := st.summaries[d]; ok {
+			reply.Summaries = append(reply.Summaries, sum)
+		}
+	}
+	if len(reply.Summaries) > 0 {
+		sort.Slice(reply.Summaries, func(i, j int) bool { return reply.Summaries[i].Domain < reply.Summaries[j].Domain })
+		p.ctx.Send(from, reply)
+	}
+}
+
+// SummaryStaleness reports, per known remote domain, how far behind this
+// RM's copy is (in versions) given the authoritative RMs — an E8 metric
+// computed by the harness, which can see all nodes.
+func (p *Peer) SummaryVersions() map[proto.DomainID]uint64 {
+	if p.rm == nil {
+		return nil
+	}
+	out := make(map[proto.DomainID]uint64, len(p.rm.summaries))
+	for d, s := range p.rm.summaries {
+		out[d] = s.Version
+	}
+	return out
+}
+
+// OwnVersion returns this RM's summary version.
+func (p *Peer) OwnVersion() uint64 {
+	if p.rm == nil {
+		return 0
+	}
+	return p.rm.version
+}
+
+// fairnessIndex is a tiny alias keeping rm.go free of the import.
+func fairnessIndex(loads []float64) float64 { return fairness.Index(loads) }

@@ -1,0 +1,1281 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/env"
+	"repro/internal/graph"
+	"repro/internal/media"
+	"repro/internal/proto"
+	"repro/internal/sim"
+)
+
+// rmState is the Resource-Manager role state (§3.1): full knowledge of
+// the domain's peers, objects, services, resource graph and running
+// sessions, plus gossiped summaries of other domains.
+type rmState struct {
+	domain proto.DomainID
+
+	peers   map[env.NodeID]*peerRecord
+	order   []env.NodeID // fairness/graph index -> NodeID, rebuilt with the graph
+	indexOf map[env.NodeID]int
+
+	gr        *graph.ResourceGraph
+	formats   map[string]media.Format // vertex key -> format
+	grDirty   bool
+	grBuiltAt sim.Time
+
+	sessions map[string]*rmSession
+
+	backup env.NodeID
+
+	knownRMs  map[proto.DomainID]env.NodeID
+	summaries map[proto.DomainID]proto.DomainSummary
+	version   uint64
+
+	hbSeq       uint64
+	outstanding map[env.NodeID]int     // consecutive unanswered heartbeats
+	hbSent      map[uint64]sim.Time    // probe send times for RTT measurement
+	rttMicros   map[env.NodeID]float64 // smoothed per-peer round-trip times
+
+	timers []env.Cancel
+}
+
+// peerRecord is the RM's view of one domain member (§3.1 items 2-6).
+type peerRecord struct {
+	info       proto.PeerInfo
+	load       float64
+	bw         float64
+	lastReport sim.Time
+}
+
+// util returns the record's relative load.
+func (r *peerRecord) util() float64 { return r.load / r.info.SpeedWU }
+
+// loadDelta remembers load the RM applied to its view for a session, to
+// be released on completion or abort.
+type loadDelta struct {
+	peer env.NodeID
+	work float64
+}
+
+// Session lifecycle at the RM.
+const (
+	sessComposing = iota
+	sessRunning
+)
+
+type rmSession struct {
+	desc    proto.SessionDesc
+	spec    proto.TaskSpec
+	goalKey string
+	state   int
+
+	pendingAcks  map[int]bool // roles awaiting ComposeAck
+	composeTimer env.Cancel
+	applied      []loadDelta
+	repairStart  sim.Time // nonzero while a repair recompose is in flight
+}
+
+// sortedKnownRMs returns the known remote RMs in domain order, so map
+// iteration order never leaks into message ordering.
+func (s *rmState) sortedKnownRMs() []proto.RMRef {
+	out := make([]proto.RMRef, 0, len(s.knownRMs))
+	for d, rmNode := range s.knownRMs {
+		out = append(out, proto.RMRef{Domain: d, RM: rmNode})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Domain < out[j].Domain })
+	return out
+}
+
+func (s *rmState) stopTimers() {
+	for _, c := range s.timers {
+		c()
+	}
+	s.timers = nil
+}
+
+// becomeFounder makes this peer the Resource Manager of domain 0 (the
+// first node of the overlay).
+func (p *Peer) becomeFounder() {
+	p.startRM(0, nil, nil, nil)
+	p.joined = true
+	p.startMemberTimers()
+	p.events.domainCreated()
+}
+
+// foundDomain starts a new domain after a BecomeRM promotion (§4.1).
+func (p *Peer) foundDomain(id proto.DomainID, known []proto.RMRef) {
+	p.startRM(id, known, nil, nil)
+	p.joined = true
+	p.startMemberTimers()
+	p.events.domainCreated()
+}
+
+// takeover promotes this backup to Resource Manager using the replicated
+// state (§4.1).
+func (p *Peer) takeover() {
+	st := p.backupState
+	p.backupState = nil
+	detectionLag := p.ctx.Now() - p.lastRMContact
+	p.events.failover(int64(detectionLag))
+	var known []proto.RMRef
+	for _, ref := range st.KnownRMs {
+		known = append(known, ref)
+	}
+	p.startRM(st.Domain, known, st.Peers, st.Sessions)
+	p.ctx.Logf("took over as RM of domain %d (%d peers, %d sessions)",
+		st.Domain, len(st.Peers), len(st.Sessions))
+	// Tell everyone — domain members fix their RM pointer, remote RMs fix
+	// their gossip target.
+	ann := proto.TakeoverAnnounce{Domain: st.Domain, NewRM: p.ctx.Self(), Backup: p.rm.backup}
+	for _, id := range sortedPeerIDs(p.rm.peers) {
+		if id != p.ctx.Self() {
+			p.ctx.Send(id, ann)
+		}
+	}
+	for _, ref := range p.rm.sortedKnownRMs() {
+		p.ctx.Send(ref.RM, ann)
+	}
+}
+
+// startRM initializes RM state. snapshot/sessions are non-nil only on
+// takeover.
+func (p *Peer) startRM(id proto.DomainID, known []proto.RMRef, snapshot []proto.PeerSnapshot, sessions []proto.SessionDesc) {
+	p.domain = id
+	p.rmID = p.ctx.Self()
+	st := &rmState{
+		domain:      id,
+		peers:       make(map[env.NodeID]*peerRecord),
+		indexOf:     make(map[env.NodeID]int),
+		formats:     make(map[string]media.Format),
+		sessions:    make(map[string]*rmSession),
+		backup:      env.NoNode,
+		knownRMs:    make(map[proto.DomainID]env.NodeID),
+		summaries:   make(map[proto.DomainID]proto.DomainSummary),
+		outstanding: make(map[env.NodeID]int),
+		hbSent:      make(map[uint64]sim.Time),
+		rttMicros:   make(map[env.NodeID]float64),
+		grDirty:     true,
+	}
+	p.rm = st
+	// The RM is itself a processing peer of its domain (§2).
+	self := p.info
+	self.ID = p.ctx.Self()
+	st.peers[p.ctx.Self()] = &peerRecord{info: self, lastReport: p.ctx.Now()}
+	for _, ref := range known {
+		if ref.RM != p.ctx.Self() {
+			st.knownRMs[ref.Domain] = ref.RM
+		}
+	}
+	for _, ps := range snapshot {
+		if ps.Info.ID == p.ctx.Self() {
+			continue
+		}
+		st.peers[ps.Info.ID] = &peerRecord{info: ps.Info, load: ps.Load, lastReport: p.ctx.Now()}
+	}
+	for _, d := range sessions {
+		st.sessions[d.TaskID] = &rmSession{desc: d, state: sessRunning,
+			applied: appliedFromDesc(d), spec: proto.TaskSpec{ID: d.TaskID, Origin: d.Origin, ObjectName: d.ObjectName, ChunkSec: d.ChunkSec, Importance: d.Importance}}
+	}
+	st.electBackup(p)
+	st.bumpVersion()
+
+	cfg := p.cfg
+	st.timers = append(st.timers,
+		env.Every(p.ctx, cfg.HeartbeatPeriod, cfg.HeartbeatPeriod, p.rmHeartbeatTick),
+		env.Every(p.ctx, cfg.BackupSyncPeriod, cfg.BackupSyncPeriod, p.rmBackupSyncTick),
+		env.Every(p.ctx, cfg.ProfilePeriod, cfg.ProfilePeriod, p.rmOwnProfileTick),
+	)
+	if cfg.GossipPeriod > 0 {
+		st.timers = append(st.timers, env.Every(p.ctx, cfg.GossipPeriod, cfg.GossipPeriod, p.rmGossipTick))
+	}
+	if cfg.AdaptPeriod > 0 {
+		st.timers = append(st.timers, env.Every(p.ctx, cfg.AdaptPeriod, cfg.AdaptPeriod, p.rmAdaptTick))
+	}
+}
+
+// appliedFromDesc reconstructs the load deltas of an inherited session.
+func appliedFromDesc(d proto.SessionDesc) []loadDelta {
+	var out []loadDelta
+	for _, s := range d.Stages {
+		out = append(out, loadDelta{peer: s.Peer, work: s.Work})
+	}
+	return out
+}
+
+func (s *rmState) bumpVersion() { s.version++ }
+
+// electBackup picks the highest-scoring qualified member as backup RM
+// (§4.1: "the first peer in the list serves as backup Resource Manager").
+func (s *rmState) electBackup(p *Peer) {
+	best := env.NoNode
+	bestScore := -1.0
+	for _, id := range sortedPeerIDs(s.peers) {
+		if id == p.ctx.Self() {
+			continue
+		}
+		rec := s.peers[id]
+		if !rec.info.Qualifies(p.cfg.Qualify) {
+			continue
+		}
+		// Strictly-greater keeps the lowest ID among equal scores, making
+		// the election deterministic.
+		if sc := rec.info.Score(); sc > bestScore {
+			best, bestScore = id, sc
+		}
+	}
+	s.backup = best
+}
+
+// noteRM records a newly learned Resource Manager.
+func (s *rmState) noteRM(ref proto.RMRef) {
+	if ref.Domain == s.domain {
+		return
+	}
+	s.knownRMs[ref.Domain] = ref.RM
+	if sum, ok := s.summaries[ref.Domain]; ok && sum.RM != ref.RM {
+		sum.RM = ref.RM
+		s.summaries[ref.Domain] = sum
+	}
+}
+
+// --- membership handling (§4.1) ---
+
+// rmHandleJoin runs the ultrapeer-style join negotiation.
+func (p *Peer) rmHandleJoin(from env.NodeID, msg proto.Join) {
+	if p.rm == nil {
+		// Not an RM: redirect to ours ("connects ... to a random peer who
+		// redirects it to the Resource Manager") — unless our RM has gone
+		// silent, in which case pointing the joiner at a dead node only
+		// feeds a retry storm.
+		if p.joined && p.rmID != env.NoNode && !p.awaitingAnnounce {
+			p.ctx.Send(from, proto.JoinRedirect{Target: p.rmID, Reason: "not-an-rm"})
+		}
+		return
+	}
+	st := p.rm
+	if rec, ok := st.peers[from]; ok {
+		// Re-join (e.g. retry after a lost accept): refresh info, re-accept.
+		rec.info = msg.Info
+		p.sendAccept(from)
+		return
+	}
+	if len(st.peers) < p.cfg.MaxDomainPeers {
+		st.peers[from] = &peerRecord{info: msg.Info, lastReport: p.ctx.Now()}
+		st.grDirty = true
+		st.electBackup(p)
+		st.bumpVersion()
+		p.sendAccept(from)
+		return
+	}
+	// Domain full. A qualified newcomer founds a new domain.
+	if msg.Info.Qualifies(p.cfg.Qualify) {
+		newDomain := proto.DomainID(from)
+		refs := []proto.RMRef{{Domain: st.domain, RM: p.ctx.Self()}}
+		refs = append(refs, st.sortedKnownRMs()...)
+		st.noteRM(proto.RMRef{Domain: newDomain, RM: from})
+		p.ctx.Send(from, proto.BecomeRM{NewDomain: newDomain, KnownRMs: refs})
+		return
+	}
+	// Unqualified: redirect to the least-utilized other domain with
+	// capacity — unless the joiner has already been bounced around, in
+	// which case admit past the cap rather than strand it.
+	if msg.Hops < p.cfg.MaxRedirects {
+		if target := st.pickRedirectRM(p.cfg.MaxDomainPeers); target != env.NoNode {
+			p.ctx.Send(from, proto.JoinRedirect{Target: target, Reason: "domain-full"})
+			return
+		}
+	}
+	// Nowhere to send them: stretch the cap rather than strand the peer.
+	st.peers[from] = &peerRecord{info: msg.Info, lastReport: p.ctx.Now()}
+	st.grDirty = true
+	st.bumpVersion()
+	p.sendAccept(from)
+}
+
+// pickRedirectRM chooses another domain's RM, preferring low utilization
+// and skipping domains whose last summary shows them at capacity.
+func (s *rmState) pickRedirectRM(maxPeers int) env.NodeID {
+	type cand struct {
+		rm   env.NodeID
+		util float64
+	}
+	var cands []cand
+	for d, rmNode := range s.knownRMs {
+		util := 0.5
+		if sum, ok := s.summaries[d]; ok {
+			util = sum.AvgUtil
+			if sum.NumPeers >= maxPeers {
+				continue
+			}
+		}
+		cands = append(cands, cand{rmNode, util})
+	}
+	if len(cands) == 0 {
+		return env.NoNode
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].util != cands[j].util {
+			return cands[i].util < cands[j].util
+		}
+		return cands[i].rm < cands[j].rm
+	})
+	return cands[0].rm
+}
+
+// sendAccept sends JoinAccept with the member list as fallback contacts.
+func (p *Peer) sendAccept(to env.NodeID) {
+	st := p.rm
+	members := make([]env.NodeID, 0, len(st.peers))
+	for id := range st.peers {
+		if id != to {
+			members = append(members, id)
+		}
+	}
+	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+	p.ctx.Send(to, proto.JoinAccept{
+		Domain: st.domain,
+		RM:     p.ctx.Self(),
+		Backup: st.backup,
+		Peers:  members,
+	})
+}
+
+// rmHandleLeave processes a graceful departure.
+func (p *Peer) rmHandleLeave(from env.NodeID) {
+	if p.rm == nil {
+		return
+	}
+	p.rmRemovePeer(from, "leave")
+}
+
+// rmRemovePeer drops a peer from the domain and repairs affected state
+// (§4.1: update objects/services, resource graph, and substitute the peer
+// in interrupted service graphs).
+func (p *Peer) rmRemovePeer(id env.NodeID, reason string) {
+	st := p.rm
+	if _, ok := st.peers[id]; !ok {
+		return
+	}
+	delete(st.peers, id)
+	delete(st.outstanding, id)
+	st.grDirty = true
+	st.bumpVersion()
+	if st.backup == id {
+		st.electBackup(p)
+	}
+	p.events.peerDead()
+	p.ctx.Logf("peer n%d removed (%s)", id, reason)
+	// Repair every session whose pipeline used the peer (§4.1).
+	for _, sess := range sortedSessions(st.sessions) {
+		if sess.desc.UsesPeer(id) {
+			p.repairSession(sess, id)
+		}
+	}
+}
+
+// sortedSessions returns sessions in deterministic task-ID order.
+func sortedSessions(m map[string]*rmSession) []*rmSession {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*rmSession, len(keys))
+	for i, k := range keys {
+		out[i] = m[k]
+	}
+	return out
+}
+
+// rmHeartbeatTick probes every member and declares silent ones dead.
+func (p *Peer) rmHeartbeatTick() {
+	st := p.rm
+	if st == nil {
+		return
+	}
+	st.hbSeq++
+	st.hbSent[st.hbSeq] = p.ctx.Now()
+	delete(st.hbSent, st.hbSeq-8) // keep a short probe history
+	var dead []env.NodeID
+	for _, id := range sortedPeerIDs(st.peers) {
+		if id == p.ctx.Self() {
+			continue
+		}
+		st.outstanding[id]++
+		if st.outstanding[id] > p.cfg.HeartbeatMisses {
+			dead = append(dead, id)
+			continue
+		}
+		p.ctx.Send(id, proto.HeartbeatReq{Seq: st.hbSeq, Backup: st.backup})
+	}
+	sort.Slice(dead, func(i, j int) bool { return dead[i] < dead[j] })
+	for _, id := range dead {
+		p.rmRemovePeer(id, "heartbeat-timeout")
+	}
+}
+
+// rmHandleHeartbeatAck clears the outstanding counter and folds the
+// probe round-trip into the per-peer communication-time estimate (§3.2:
+// the system monitors communication times as applications execute; the
+// RM uses them as the per-hop latency of resource-graph edges).
+func (p *Peer) rmHandleHeartbeatAck(from env.NodeID, msg proto.HeartbeatAck) {
+	st := p.rm
+	if st == nil {
+		return
+	}
+	st.outstanding[from] = 0
+	if sent, ok := st.hbSent[msg.Seq]; ok {
+		rtt := float64(p.ctx.Now() - sent)
+		const alpha = 0.3
+		if cur, ok := st.rttMicros[from]; ok {
+			st.rttMicros[from] = alpha*rtt + (1-alpha)*cur
+		} else {
+			st.rttMicros[from] = rtt
+		}
+	}
+}
+
+// edgeLatencyMicros returns the RM's best per-hop latency estimate for a
+// peer: half the measured heartbeat RTT when available, otherwise the
+// configured prior.
+func (st *rmState) edgeLatencyMicros(id env.NodeID, prior int64) int64 {
+	if rtt, ok := st.rttMicros[id]; ok && rtt > 0 {
+		return int64(rtt / 2)
+	}
+	return prior
+}
+
+// rmHandleProfile folds a member's report into the domain view (§4.4).
+func (p *Peer) rmHandleProfile(from env.NodeID, msg proto.ProfileUpdate) {
+	st := p.rm
+	if st == nil {
+		return
+	}
+	rec, ok := st.peers[from]
+	if !ok {
+		return
+	}
+	rec.load = msg.Report.Load
+	rec.bw = msg.Report.BandwidthKbps
+	rec.lastReport = msg.Report.At
+	st.outstanding[from] = 0 // a report is as good as a heartbeat ack
+}
+
+// rmOwnProfileTick refreshes the RM's own record directly.
+func (p *Peer) rmOwnProfileTick() {
+	st := p.rm
+	if st == nil {
+		return
+	}
+	if rec, ok := st.peers[p.ctx.Self()]; ok {
+		rec.load = p.prof.Load()
+		rec.bw = p.prof.Bandwidth()
+		rec.lastReport = p.ctx.Now()
+	}
+}
+
+// rmBackupSyncTick replicates state to the backup RM.
+func (p *Peer) rmBackupSyncTick() {
+	st := p.rm
+	if st == nil || st.backup == env.NoNode {
+		return
+	}
+	p.ctx.Send(st.backup, proto.BackupSync{State: p.rmSnapshot()})
+}
+
+// rmSnapshot captures the replicated DomainState.
+func (p *Peer) rmSnapshot() proto.DomainState {
+	st := p.rm
+	ds := proto.DomainState{Domain: st.domain, Version: st.version}
+	for _, id := range sortedPeerIDs(st.peers) {
+		rec := st.peers[id]
+		ds.Peers = append(ds.Peers, proto.PeerSnapshot{Info: rec.info, Load: rec.load})
+	}
+	for _, sess := range sortedSessions(st.sessions) {
+		if sess.state == sessRunning {
+			ds.Sessions = append(ds.Sessions, sess.desc)
+		}
+	}
+	ds.KnownRMs = append(ds.KnownRMs, proto.RMRef{Domain: st.domain, RM: p.ctx.Self()})
+	for d, rmNode := range st.knownRMs {
+		ds.KnownRMs = append(ds.KnownRMs, proto.RMRef{Domain: d, RM: rmNode})
+	}
+	sort.Slice(ds.KnownRMs, func(i, j int) bool { return ds.KnownRMs[i].Domain < ds.KnownRMs[j].Domain })
+	return ds
+}
+
+func sortedPeerIDs(m map[env.NodeID]*peerRecord) []env.NodeID {
+	ids := make([]env.NodeID, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// --- resource graph maintenance (§3.4) ---
+
+// graphRefreshPeriod bounds how stale the resource graph's measured edge
+// latencies may get before an allocation rebuilds it.
+const graphRefreshPeriod = 5 * sim.Second
+
+// freshGraph rebuilds G_r when membership changed or the measured
+// latencies are stale.
+func (p *Peer) freshGraph() {
+	if p.rm.grDirty || p.ctx.Now()-p.rm.grBuiltAt > graphRefreshPeriod {
+		p.rebuildGraph()
+	}
+}
+
+// rebuildGraph reconstructs G_r from the current membership: one edge per
+// (peer, transcoder), vertices for every format seen.
+func (p *Peer) rebuildGraph() {
+	st := p.rm
+	st.grBuiltAt = p.ctx.Now()
+	st.order = sortedPeerIDs(st.peers)
+	st.indexOf = make(map[env.NodeID]int, len(st.order))
+	for i, id := range st.order {
+		st.indexOf[id] = i
+	}
+	st.gr = graph.NewResourceGraph()
+	st.formats = make(map[string]media.Format)
+	addFormat := func(f media.Format) graph.VertexID {
+		v := st.gr.AddVertex(f.Key(), f.String())
+		st.formats[f.Key()] = f
+		return v
+	}
+	for i, id := range st.order {
+		rec := st.peers[id]
+		for _, obj := range rec.info.Objects {
+			addFormat(obj.Format)
+		}
+		for _, tr := range rec.info.Services {
+			from := addFormat(tr.From)
+			to := addFormat(tr.To)
+			st.gr.AddEdge(graph.Edge{
+				From:          from,
+				To:            to,
+				Peer:          i,
+				Service:       tr.Key(),
+				Work:          tr.WorkUnits(),
+				LatencyMicros: st.edgeLatencyMicros(id, p.cfg.LatencyEstimateMicros),
+			})
+		}
+	}
+	st.grDirty = false
+}
+
+// peerView snapshots the domain loads in graph index order.
+func (st *rmState) peerView() *graph.PeerView {
+	pv := &graph.PeerView{
+		Load:  make([]float64, len(st.order)),
+		Speed: make([]float64, len(st.order)),
+	}
+	for i, id := range st.order {
+		rec := st.peers[id]
+		pv.Load[i] = rec.load
+		pv.Speed[i] = rec.info.SpeedWU
+	}
+	return pv
+}
+
+// --- task admission and allocation (§4.3, §4.5) ---
+
+// rmHandleSubmit admits, redirects or rejects a task query.
+func (p *Peer) rmHandleSubmit(from env.NodeID, msg proto.TaskSubmit) {
+	st := p.rm
+	if st == nil {
+		// Misdirected: point the sender at our RM.
+		if p.joined && p.rmID != env.NoNode && p.rmID != p.ctx.Self() {
+			p.ctx.Send(p.rmID, msg)
+		}
+		return
+	}
+	spec := msg.Spec
+	if spec.ChunkSec <= 0 {
+		spec.ChunkSec = p.cfg.DefaultChunkSec
+	}
+	sess, why := p.rmAllocate(spec)
+	if sess != nil {
+		st.sessions[spec.ID] = sess
+		p.events.admitted()
+		p.composeSession(sess)
+		return
+	}
+	// No allocation with current resources. With preemption enabled, try
+	// sacrificing a running lower-importance session (Importance_t,
+	// §3.3): probe feasibility with the victim's load removed before
+	// actually aborting anything.
+	if p.cfg.PreemptLowImportance {
+		if sess := p.tryPreemptFor(spec); sess != nil {
+			st.sessions[spec.ID] = sess
+			p.events.admitted()
+			p.composeSession(sess)
+			return
+		}
+	}
+	// Otherwise redirect toward a domain whose summary claims the object
+	// (§4.5), bounded by MaxRedirects.
+	if msg.Hops < p.cfg.MaxRedirects {
+		if target := st.pickObjectDomain(spec.ObjectName); target != env.NoNode {
+			p.events.redirected()
+			p.ctx.Send(target, proto.TaskSubmit{Spec: spec, Hops: msg.Hops + 1})
+			return
+		}
+	}
+	p.ctx.Logf("task %s rejected: %s", spec.ID, why)
+	p.rejectUpstream(spec.ID, spec.Origin, why)
+}
+
+// pickObjectDomain finds a gossiped domain whose object Bloom filter
+// possibly contains the object, preferring low utilization.
+func (st *rmState) pickObjectDomain(object string) env.NodeID {
+	type cand struct {
+		rm   env.NodeID
+		util float64
+	}
+	var cands []cand
+	for d, sum := range st.summaries {
+		if d == st.domain || len(sum.ObjectBloom) == 0 {
+			continue
+		}
+		f, err := bloomFrom(sum)
+		if err != nil || !f.ContainsString(object) {
+			continue
+		}
+		cands = append(cands, cand{sum.RM, sum.AvgUtil})
+	}
+	if len(cands) == 0 {
+		return env.NoNode
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].util != cands[j].util {
+			return cands[i].util < cands[j].util
+		}
+		return cands[i].rm < cands[j].rm
+	})
+	return cands[0].rm
+}
+
+// searchResult is the outcome of the Figure-3 search over goal states.
+type searchResult struct {
+	alloc   graph.Allocation
+	goal    graph.VertexID
+	obj     media.Object
+	srcPeer env.NodeID
+}
+
+// rmSearch runs the Figure-3 search without side effects: locate the
+// object (least-loaded holder as source), enumerate goal states
+// satisfying the constraint, allocate with the configured strategy
+// against the given load view, and keep the fairest feasible result.
+func (p *Peer) rmSearch(spec proto.TaskSpec, pv *graph.PeerView) (searchResult, string) {
+	st := p.rm
+	var res searchResult
+	res.srcPeer = env.NoNode
+	srcUtil := 0.0
+	for _, id := range st.order {
+		rec := st.peers[id]
+		for _, o := range rec.info.Objects {
+			if o.Name == spec.ObjectName {
+				if res.srcPeer == env.NoNode || rec.util() < srcUtil {
+					res.obj, res.srcPeer, srcUtil = o, id, rec.util()
+				}
+			}
+		}
+	}
+	if res.srcPeer == env.NoNode {
+		return res, "object not in domain"
+	}
+	vInit, ok := st.gr.Lookup(res.obj.Format.Key())
+	if !ok {
+		return res, "object format not in resource graph"
+	}
+	// Goal candidates: every known format state satisfying the constraint.
+	var goals []graph.VertexID
+	for key, f := range st.formats {
+		if f.Satisfies(spec.Constraint) {
+			if v, ok := st.gr.Lookup(key); ok {
+				goals = append(goals, v)
+			}
+		}
+	}
+	if len(goals) == 0 {
+		return res, "no format satisfies the constraint"
+	}
+	sort.Slice(goals, func(i, j int) bool { return goals[i] < goals[j] })
+
+	req := graph.Request{
+		Init:           vInit,
+		DeadlineMicros: spec.DeadlineMicros,
+		ChunkSeconds:   spec.ChunkSec,
+	}
+	started := time.Now()
+	res.goal = graph.VertexID(-1)
+	found := false
+	for _, g := range goals {
+		req.Goal = g
+		alloc, err := p.cfg.Allocator.Allocate(st.gr, req, pv)
+		if err != nil {
+			continue
+		}
+		if !found || alloc.Fairness > res.alloc.Fairness ||
+			(alloc.Fairness == res.alloc.Fairness && len(alloc.Path) < len(res.alloc.Path)) {
+			res.alloc, res.goal, found = alloc, g, true
+		}
+	}
+	p.events.allocCost(time.Since(started).Nanoseconds())
+	if !found {
+		return res, "no allocation satisfies the QoS requirements"
+	}
+	return res, ""
+}
+
+// rmAllocate runs the search against the current view and materializes a
+// session from the result.
+func (p *Peer) rmAllocate(spec proto.TaskSpec) (*rmSession, string) {
+	st := p.rm
+	p.freshGraph()
+	sr, why := p.rmSearch(spec, st.peerView())
+	if why != "" {
+		return nil, why
+	}
+	best, bestGoal, obj, srcPeer := sr.alloc, sr.goal, sr.obj, sr.srcPeer
+
+	// Build the session descriptor (the service graph G_s).
+	dur := spec.DurationSec
+	if dur <= 0 {
+		dur = obj.DurationSeconds()
+	}
+	if dur <= 0 {
+		dur = 10
+	}
+	numChunks := int(dur/spec.ChunkSec + 0.5)
+	if numChunks < 1 {
+		numChunks = 1
+	}
+	desc := proto.SessionDesc{
+		TaskID:            spec.ID,
+		RM:                p.ctx.Self(),
+		Origin:            spec.Origin,
+		SourcePeer:        srcPeer,
+		ObjectName:        spec.ObjectName,
+		SourceBitrateKbps: obj.Format.BitrateKbps,
+		ChunkSec:          spec.ChunkSec,
+		NumChunks:         numChunks,
+		StartupDeadline:   sim.Time(spec.DeadlineMicros),
+		PlaybackBase:      p.ctx.Now() + sim.Time(spec.DeadlineMicros),
+		Importance:        spec.Importance,
+	}
+	var applied []loadDelta
+	for _, eid := range best.Path {
+		e := st.gr.Edge(eid)
+		fromF := st.formats[st.gr.Vertex(e.From).Key]
+		toF := st.formats[st.gr.Vertex(e.To).Key]
+		peerID := st.order[e.Peer]
+		desc.Stages = append(desc.Stages, proto.StageDesc{
+			Peer:           peerID,
+			Service:        e.Service,
+			Work:           e.Work,
+			InBitrateKbps:  fromF.BitrateKbps,
+			OutBitrateKbps: toF.BitrateKbps,
+		})
+		applied = append(applied, loadDelta{peer: peerID, work: e.Work})
+	}
+	sess := &rmSession{
+		desc:    desc,
+		spec:    spec,
+		goalKey: st.gr.Vertex(bestGoal).Key,
+		state:   sessComposing,
+		applied: applied,
+	}
+	p.applyLoads(applied, +1)
+	return sess, ""
+}
+
+// tryPreemptFor looks for a running session with lower importance whose
+// removal would make spec feasible; if one exists it is aborted and the
+// allocation re-run. Returns the new session or nil.
+func (p *Peer) tryPreemptFor(spec proto.TaskSpec) *rmSession {
+	st := p.rm
+	p.freshGraph()
+	// Victims: running sessions strictly less important, cheapest
+	// importance first, deterministic order.
+	var victims []*rmSession
+	for _, sess := range sortedSessions(st.sessions) {
+		if sess.state == sessRunning && sess.desc.Importance < spec.Importance {
+			victims = append(victims, sess)
+		}
+	}
+	sort.SliceStable(victims, func(i, j int) bool {
+		return victims[i].desc.Importance < victims[j].desc.Importance
+	})
+	for _, victim := range victims {
+		// Hypothetical view without the victim's load.
+		p.applyLoads(victim.applied, -1)
+		_, why := p.rmSearch(spec, st.peerView())
+		p.applyLoads(victim.applied, +1)
+		if why != "" {
+			continue
+		}
+		p.abortSession(victim, "preempted", true)
+		p.events.preemption()
+		p.ctx.Logf("preempted %s (importance %d) for %s (importance %d)",
+			victim.desc.TaskID, victim.desc.Importance, spec.ID, spec.Importance)
+		sess, _ := p.rmAllocate(spec)
+		return sess
+	}
+	return nil
+}
+
+// applyLoads adjusts the RM's load view by the session's deltas.
+func (p *Peer) applyLoads(deltas []loadDelta, sign float64) {
+	for _, d := range deltas {
+		if rec, ok := p.rm.peers[d.peer]; ok {
+			rec.load += sign * d.work
+			if rec.load < 0 {
+				rec.load = 0
+			}
+		}
+	}
+}
+
+// composeSession sends the graph-composition messages (§4.3) and arms the
+// ack timeout.
+func (p *Peer) composeSession(sess *rmSession) {
+	d := sess.desc
+	sess.state = sessComposing
+	sess.pendingAcks = map[int]bool{proto.RoleSource: true, proto.RoleSink: true}
+	p.sendOrLoop(d.SourcePeer, proto.GraphCompose{Session: d, Role: proto.RoleSource})
+	p.sendOrLoop(d.Origin, proto.GraphCompose{Session: d, Role: proto.RoleSink})
+	for i := range d.Stages {
+		sess.pendingAcks[i] = true
+		p.sendOrLoop(d.Stages[i].Peer, proto.GraphCompose{Session: d, Role: i})
+	}
+	taskID, gen := d.TaskID, d.Generation
+	sess.composeTimer = p.ctx.After(p.cfg.ComposeTimeout, func() {
+		p.composeTimedOut(taskID, gen)
+	})
+}
+
+// sendOrLoop delivers a message, short-circuiting sends to self (the RM
+// can be a session participant).
+func (p *Peer) sendOrLoop(to env.NodeID, m env.Message) {
+	if to == p.ctx.Self() {
+		p.Receive(p.ctx.Self(), m)
+		return
+	}
+	p.ctx.Send(to, m)
+}
+
+// composeTimedOut aborts a session whose participants never all acked.
+func (p *Peer) composeTimedOut(taskID string, gen int) {
+	st := p.rm
+	if st == nil {
+		return
+	}
+	sess, ok := st.sessions[taskID]
+	if !ok || sess.state != sessComposing || sess.desc.Generation != gen {
+		return
+	}
+	origin := sess.spec.Origin
+	p.abortSession(sess, "compose-timeout", false)
+	p.rejectUpstream(taskID, origin, "session composition timed out")
+}
+
+// abortSession tears a session down everywhere. final=true makes the
+// sink finalize and report the partial stream (mid-stream failures and
+// preemptions); final=false discards silently (sessions that never
+// started streaming).
+func (p *Peer) abortSession(sess *rmSession, reason string, final bool) {
+	st := p.rm
+	d := sess.desc
+	if sess.composeTimer != nil {
+		sess.composeTimer()
+	}
+	p.applyLoads(sess.applied, -1)
+	delete(st.sessions, d.TaskID)
+	if !final {
+		// No sink report will ever exist for this task; account for it so
+		// submissions never silently vanish.
+		p.events.aborted()
+	}
+	abort := proto.SessionAbort{TaskID: d.TaskID, Generation: d.Generation, Reason: reason, Final: final}
+	sent := map[env.NodeID]bool{}
+	for _, peer := range d.PipelinePeers() {
+		if !sent[peer] {
+			sent[peer] = true
+			p.sendOrLoop(peer, abort)
+		}
+	}
+}
+
+// rejectUpstream informs the submitter that its task died before
+// completion machinery could report.
+func (p *Peer) rejectUpstream(taskID string, origin env.NodeID, reason string) {
+	if origin == p.ctx.Self() {
+		if _, mine := p.submits[taskID]; mine {
+			p.resolveSubmit(taskID)
+			p.events.rejected()
+		}
+		return
+	}
+	if origin != env.NoNode {
+		p.ctx.Send(origin, proto.TaskReject{TaskID: taskID, Reason: reason})
+	}
+}
+
+// rmHandleComposeAck advances a composing session; when all roles acked,
+// streaming starts.
+func (p *Peer) rmHandleComposeAck(from env.NodeID, msg proto.ComposeAck) {
+	st := p.rm
+	if st == nil {
+		return
+	}
+	sess, ok := st.sessions[msg.TaskID]
+	if !ok || sess.desc.Generation != msg.Generation || sess.state != sessComposing {
+		return
+	}
+	if !msg.OK {
+		// A participant refused its role (e.g. connection limit, §2):
+		// the composition cannot complete — tear it down and reject.
+		p.ctx.Logf("compose refused for %s by n%d: %s", msg.TaskID, from, msg.Reason)
+		origin := sess.spec.Origin
+		p.abortSession(sess, "compose-refused", false)
+		p.rejectUpstream(msg.TaskID, origin, "participant refused: "+msg.Reason)
+		return
+	}
+	delete(sess.pendingAcks, msg.Role)
+	if len(sess.pendingAcks) > 0 {
+		return
+	}
+	if sess.composeTimer != nil {
+		sess.composeTimer()
+		sess.composeTimer = nil
+	}
+	sess.state = sessRunning
+	if sess.repairStart > 0 {
+		p.events.repair(int64(p.ctx.Now() - sess.repairStart))
+		sess.repairStart = 0
+	}
+	p.sendOrLoop(sess.desc.SourcePeer, proto.SessionStart{TaskID: msg.TaskID, Generation: sess.desc.Generation})
+}
+
+// rmHandleSessionEnd releases the session's resources.
+func (p *Peer) rmHandleSessionEnd(from env.NodeID, msg proto.SessionEnd) {
+	st := p.rm
+	if st == nil {
+		return
+	}
+	sess, ok := st.sessions[msg.Report.TaskID]
+	if !ok {
+		return
+	}
+	if sess.composeTimer != nil {
+		sess.composeTimer()
+	}
+	p.applyLoads(sess.applied, -1)
+	delete(st.sessions, msg.Report.TaskID)
+}
+
+// --- failure repair and adaptation (§4.5) ---
+
+// repairSession substitutes a failed peer in a running session's service
+// graph, or aborts when no substitution exists.
+func (p *Peer) repairSession(sess *rmSession, dead env.NodeID) {
+	st := p.rm
+	d := sess.desc
+	if d.Origin == dead {
+		// The consumer is gone; tear everything down.
+		p.abortSession(sess, "sink-failed", false)
+		return
+	}
+	p.applyLoads(sess.applied, -1)
+
+	p.freshGraph()
+	// New source if the holder died.
+	srcPeer := d.SourcePeer
+	var obj media.Object
+	foundObj := false
+	for _, id := range st.order {
+		for _, o := range st.peers[id].info.Objects {
+			if o.Name == d.ObjectName {
+				if !foundObj || id == srcPeer {
+					obj = o
+					foundObj = true
+					if srcPeer == dead {
+						srcPeer = id
+					}
+				}
+			}
+		}
+	}
+	if srcPeer == dead || !foundObj {
+		p.abortSession(sess, "source-lost", true)
+		return
+	}
+	vInit, okInit := st.gr.Lookup(obj.Format.Key())
+	vGoal, okGoal := st.gr.Lookup(sess.goalKey)
+	if !okInit || !okGoal {
+		p.abortSession(sess, "graph-state-lost", true)
+		return
+	}
+	pv := st.peerView()
+	req := graph.Request{
+		Init:           vInit,
+		Goal:           vGoal,
+		DeadlineMicros: sess.spec.DeadlineMicros,
+		ChunkSeconds:   d.ChunkSec,
+	}
+	alloc, err := p.cfg.Allocator.Allocate(st.gr, req, pv)
+	if err != nil {
+		p.abortSession(sess, "no-repair-allocation", true)
+		return
+	}
+	p.recompose(sess, srcPeer, alloc, obj, true)
+}
+
+// recompose replaces a session's pipeline with a new allocation, bumping
+// the generation, resuming from the estimated playback position, and
+// aborting superseded participants.
+func (p *Peer) recompose(sess *rmSession, srcPeer env.NodeID, alloc graph.Allocation, obj media.Object, isRepair bool) {
+	st := p.rm
+	old := sess.desc
+	d := old
+	d.Generation++
+	d.RM = p.ctx.Self() // a takeover RM adopts the sessions it repairs
+	d.SourcePeer = srcPeer
+	d.Stages = nil
+	var applied []loadDelta
+	for _, eid := range alloc.Path {
+		e := st.gr.Edge(eid)
+		fromF := st.formats[st.gr.Vertex(e.From).Key]
+		toF := st.formats[st.gr.Vertex(e.To).Key]
+		peerID := st.order[e.Peer]
+		d.Stages = append(d.Stages, proto.StageDesc{
+			Peer:           peerID,
+			Service:        e.Service,
+			Work:           e.Work,
+			InBitrateKbps:  fromF.BitrateKbps,
+			OutBitrateKbps: toF.BitrateKbps,
+		})
+		applied = append(applied, loadDelta{peer: peerID, work: e.Work})
+	}
+	// Resume near the playback position: chunks before it were delivered
+	// or are lost in flight (counted as misses by the sink).
+	elapsed := p.ctx.Now() - (d.PlaybackBase - d.StartupDeadline)
+	start := int(float64(elapsed) / (d.ChunkSec * 1e6))
+	if start < 0 {
+		start = 0
+	}
+	if start >= d.NumChunks {
+		start = d.NumChunks - 1
+	}
+	d.StartChunk = start
+
+	sess.desc = d
+	sess.applied = applied
+	p.applyLoads(applied, +1)
+	if isRepair {
+		sess.repairStart = p.ctx.Now()
+	} else {
+		p.events.migration()
+	}
+
+	// Abort pipeline members of the old generation that are not reused.
+	inNew := map[env.NodeID]bool{}
+	for _, id := range d.PipelinePeers() {
+		inNew[id] = true
+	}
+	abort := proto.SessionAbort{TaskID: d.TaskID, Generation: old.Generation, Reason: "superseded"}
+	for _, id := range old.PipelinePeers() {
+		if !inNew[id] && st.peers[id] != nil {
+			p.sendOrLoop(id, abort)
+		}
+	}
+	p.composeSession(sess)
+}
+
+// rmAdaptTick detects overload and reassigns work (§4.5: "some of the
+// currently running application tasks might be reassigned. The allocation
+// algorithm ... is run again").
+func (p *Peer) rmAdaptTick() {
+	st := p.rm
+	if st == nil || len(st.sessions) == 0 {
+		return
+	}
+	// Find the most overloaded peer and check that spare capacity exists
+	// elsewhere.
+	var worst env.NodeID = env.NoNode
+	worstUtil := 0.0
+	spare := false
+	for _, id := range sortedPeerIDs(st.peers) {
+		rec := st.peers[id]
+		u := rec.util()
+		if u > worstUtil {
+			worst, worstUtil = id, u
+		}
+		if u < p.cfg.OverloadUtil-p.cfg.ReassignMargin {
+			spare = true
+		}
+	}
+	if worst == env.NoNode || worstUtil <= p.cfg.OverloadUtil || !spare {
+		return
+	}
+	// Migrate the heaviest running session that uses the overloaded peer
+	// as a stage.
+	var pick *rmSession
+	pickWork := 0.0
+	for _, sess := range sortedSessions(st.sessions) {
+		if sess.state != sessRunning {
+			continue
+		}
+		for _, stg := range sess.desc.Stages {
+			if stg.Peer == worst && stg.Work > pickWork {
+				pick, pickWork = sess, stg.Work
+			}
+		}
+	}
+	if pick == nil {
+		return
+	}
+	p.freshGraph()
+	// Re-run the allocation with the overloaded peer masked out.
+	p.applyLoads(pick.applied, -1)
+	pv := st.peerView()
+	if idx, ok := st.indexOf[worst]; ok {
+		pv.Load[idx] = pv.Speed[idx] // no spare capacity: allocator avoids it
+	}
+	vInit, okInit := st.gr.Lookup(objFormatKey(st, pick))
+	vGoal, okGoal := st.gr.Lookup(pick.goalKey)
+	if !okInit || !okGoal {
+		p.applyLoads(pick.applied, +1)
+		return
+	}
+	req := graph.Request{
+		Init:           vInit,
+		Goal:           vGoal,
+		DeadlineMicros: pick.spec.DeadlineMicros,
+		ChunkSeconds:   pick.desc.ChunkSec,
+	}
+	alloc, err := p.cfg.Allocator.Allocate(st.gr, req, pv)
+	if err != nil {
+		p.applyLoads(pick.applied, +1)
+		return
+	}
+	// Only migrate if the new pipeline actually avoids the hot peer.
+	for _, eid := range alloc.Path {
+		if st.order[st.gr.Edge(eid).Peer] == worst {
+			p.applyLoads(pick.applied, +1)
+			return
+		}
+	}
+	obj, ok := findObject(st, pick.desc.ObjectName, pick.desc.SourcePeer)
+	if !ok {
+		p.applyLoads(pick.applied, +1)
+		return
+	}
+	p.recompose(pick, pick.desc.SourcePeer, alloc, obj, false)
+}
+
+// objFormatKey returns the vertex key of a session's source format.
+func objFormatKey(st *rmState, sess *rmSession) string {
+	if obj, ok := findObject(st, sess.desc.ObjectName, sess.desc.SourcePeer); ok {
+		return obj.Format.Key()
+	}
+	return ""
+}
+
+// findObject locates an object on a preferred peer, falling back to any
+// holder.
+func findObject(st *rmState, name string, prefer env.NodeID) (media.Object, bool) {
+	if rec, ok := st.peers[prefer]; ok {
+		for _, o := range rec.info.Objects {
+			if o.Name == name {
+				return o, true
+			}
+		}
+	}
+	for _, id := range sortedPeerIDs(st.peers) {
+		for _, o := range st.peers[id].info.Objects {
+			if o.Name == name {
+				return o, true
+			}
+		}
+	}
+	return media.Object{}, false
+}
+
+// DomainSize reports the RM's current member count (tests/experiments).
+func (p *Peer) DomainSize() int {
+	if p.rm == nil {
+		return 0
+	}
+	return len(p.rm.peers)
+}
+
+// DomainFairness returns the fairness index of the RM's current load view.
+func (p *Peer) DomainFairness() float64 {
+	if p.rm == nil {
+		return 0
+	}
+	if p.rm.grDirty {
+		p.rebuildGraph()
+	}
+	pv := p.rm.peerView()
+	var loads []float64
+	for i := range pv.Load {
+		loads = append(loads, pv.Load[i]/pv.Speed[i])
+	}
+	return fairnessIndex(loads)
+}
+
+// RunningSessions reports the RM's live session count.
+func (p *Peer) RunningSessions() int {
+	if p.rm == nil {
+		return 0
+	}
+	return len(p.rm.sessions)
+}
+
+// SessionIDs lists the task IDs in the RM's session table (sorted).
+func (p *Peer) SessionIDs() []string {
+	if p.rm == nil {
+		return nil
+	}
+	out := make([]string, 0, len(p.rm.sessions))
+	for id := range p.rm.sessions {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// KnownDomains reports how many other domains this RM has heard of.
+func (p *Peer) KnownDomains() int {
+	if p.rm == nil {
+		return 0
+	}
+	return len(p.rm.knownRMs)
+}
+
+// Backup returns the RM's current backup choice.
+func (p *Peer) Backup() env.NodeID {
+	if p.rm == nil {
+		return env.NoNode
+	}
+	return p.rm.backup
+}
+
+// String renders the peer for diagnostics.
+func (p *Peer) String() string {
+	role := "peer"
+	if p.IsRM() {
+		role = fmt.Sprintf("RM(domain=%d,n=%d)", p.domain, p.DomainSize())
+	}
+	return fmt.Sprintf("node[%s joined=%v]", role, p.joined)
+}

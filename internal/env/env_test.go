@@ -1,0 +1,95 @@
+package env
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestSimClock(t *testing.T) {
+	eng := sim.New()
+	clk := SimClock{Eng: eng}
+	if clk.Now() != 0 {
+		t.Fatalf("Now = %v", clk.Now())
+	}
+	fired := false
+	cancel := clk.After(10, func() { fired = true })
+	eng.Run()
+	if !fired {
+		t.Fatal("timer did not fire")
+	}
+	if cancel() {
+		t.Fatal("cancel after fire returned true")
+	}
+}
+
+func TestSimClockCancel(t *testing.T) {
+	eng := sim.New()
+	clk := SimClock{Eng: eng}
+	fired := false
+	cancel := clk.After(10, func() { fired = true })
+	if !cancel() {
+		t.Fatal("cancel returned false on pending timer")
+	}
+	eng.Run()
+	if fired {
+		t.Fatal("cancelled timer fired")
+	}
+}
+
+func TestEveryTicksAtPeriod(t *testing.T) {
+	eng := sim.New()
+	clk := SimClock{Eng: eng}
+	var ticks []sim.Time
+	stop := Every(clk, 5, 10, func() { ticks = append(ticks, eng.Now()) })
+	eng.RunUntil(36)
+	stop()
+	eng.RunUntil(100)
+	want := []sim.Time{5, 15, 25, 35}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks = %v", ticks)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("ticks = %v, want %v", ticks, want)
+		}
+	}
+}
+
+func TestEveryStopFromCallback(t *testing.T) {
+	eng := sim.New()
+	clk := SimClock{Eng: eng}
+	count := 0
+	var stop Cancel
+	stop = Every(clk, 1, 1, func() {
+		count++
+		if count == 3 {
+			stop()
+		}
+	})
+	eng.RunUntil(100)
+	if count != 3 {
+		t.Fatalf("count = %d", count)
+	}
+}
+
+func TestEveryStopIdempotent(t *testing.T) {
+	eng := sim.New()
+	clk := SimClock{Eng: eng}
+	stop := Every(clk, 1, 1, func() {})
+	if !stop() {
+		t.Fatal("first stop returned false")
+	}
+	if stop() {
+		t.Fatal("second stop returned true")
+	}
+}
+
+func TestEveryPanicsOnBadPeriod(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Every(period=0) did not panic")
+		}
+	}()
+	Every(SimClock{Eng: sim.New()}, 1, 0, func() {})
+}

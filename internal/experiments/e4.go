@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// E4Scalability grows the overlay and measures what each peer and each
+// task costs as the system scales — the paper's central scalability claim
+// (§1: "our proposed schemes scale well with respect to the number of
+// peers"). Decentralization should keep per-peer message load and
+// allocation cost flat while the population grows.
+func E4Scalability(opt Options) Result {
+	res := Result{
+		ID:    "E4",
+		Title: "Scalability with overlay size",
+		Claim: "per-peer control overhead and allocation cost stay bounded as peers (and domains) grow",
+	}
+	res.Table.Header = []string{
+		"peers", "domains", "joined",
+		"ctl_msgs/peer/s", "msgs/task", "alloc_p95_us", "admit_frac", "chunk_miss",
+	}
+	sizes := []int{16, 64, 256, 512}
+	if opt.Quick {
+		sizes = []int{16, 64}
+	}
+	for _, n := range sizes {
+		row := runScaleCell(opt.Seed, n)
+		res.Table.AddRow(row...)
+	}
+	res.Notes = append(res.Notes,
+		"ctl_msgs excludes Chunk data-plane traffic; msgs/task includes it")
+	return res
+}
+
+func runScaleCell(seed uint64, n int) []any {
+	cfg := core.DefaultConfig()
+	cfg.MaxDomainPeers = 32
+	r := rng.New(seed ^ uint64(n)*2654435761)
+	infos := cluster.PeerSpecs(r, n, cfg.Qualify, 0.4)
+	cat := cluster.StandardCatalog()
+	objCount := n // catalog scales with population
+	cat.Populate(r, infos, 3, objCount, 3, 15)
+	c := cluster.Build(cfg, defaultNet(), seed, infos, 50*sim.Millisecond)
+	c.RunUntil(c.Eng.Now() + 20*sim.Second) // settle + gossip converge
+
+	mix := workload.DefaultMix()
+	mix.Objects = objCount
+	mix.RatePerSec = float64(n) / 16.0 // offered load scales with capacity
+	mix.DurationMeanSec = 15
+	d := workload.NewDriver(c, cat, mix, r.Split())
+
+	before := c.Net.Stats()
+	start := c.Eng.Now()
+	horizon := 60 * sim.Second
+	d.Run(start, start+horizon)
+	c.RunUntil(start + horizon)
+	mid := c.Net.Stats()
+	c.RunUntil(c.Eng.Now() + 90*sim.Second) // drain
+
+	ev := c.Events.Snapshot()
+	after := c.Net.Stats()
+
+	chunkMsgs := after.PerType["Chunk"] - before.PerType["Chunk"]
+	totalMsgs := after.Sent - before.Sent
+	ctlDuringLoad := (mid.Sent - before.Sent) - (mid.PerType["Chunk"] - before.PerType["Chunk"])
+	ctlPerPeerSec := float64(ctlDuringLoad) / float64(n) / horizon.Seconds()
+
+	var msgsPerTask float64
+	if ev.Admitted > 0 {
+		msgsPerTask = float64(totalMsgs-chunkMsgs) / float64(ev.Admitted)
+	}
+	var alloc metrics.Summary
+	for _, ns := range ev.AllocNanos {
+		alloc.Observe(float64(ns) / 1000)
+	}
+	admitFrac := 0.0
+	if ev.Submitted > 0 {
+		admitFrac = float64(ev.Admitted) / float64(ev.Submitted)
+	}
+	return []any{
+		n, len(c.RMs()), c.JoinedCount(),
+		ctlPerPeerSec, msgsPerTask, alloc.Quantile(0.95), admitFrac, c.Events.MissRate(),
+	}
+}

@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/env"
+	"repro/internal/media"
+	"repro/internal/metrics"
+	"repro/internal/proto"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// E6Churn subjects a loaded multi-domain overlay to increasing churn and
+// measures how the failure machinery holds up: repairs, RM failovers,
+// session survival and chunk misses (§4.1, §4.5).
+func E6Churn(opt Options) Result {
+	res := Result{
+		ID:    "E6",
+		Title: "Churn tolerance: session repair and RM failover",
+		Claim: "the system works effectively in a dynamic environment: failed peers are substituted in running service graphs, backup RMs take over",
+	}
+	res.Table.Header = []string{
+		"churn/min", "newcomers", "repairs", "failovers", "dead_declared",
+		"sessions_done", "session_done_frac", "chunk_miss", "repair_p95_ms",
+	}
+	rates := []float64{0, 2, 6, 12}
+	if opt.Quick {
+		rates = []float64{0, 6}
+	}
+	for _, perMin := range rates {
+		res.Table.AddRow(runChurnCell(opt.Seed, perMin)...)
+	}
+	res.Notes = append(res.Notes,
+		"sessions lost to dead sinks/sources are expected; done_frac counts reports received")
+	return res
+}
+
+func runChurnCell(seed uint64, churnPerMin float64) []any {
+	cfg := core.DefaultConfig()
+	cfg.MaxDomainPeers = 16
+	r := rng.New(seed ^ uint64(churnPerMin*7919))
+	n := 32
+	infos := cluster.PeerSpecs(r, n, cfg.Qualify, 0.5)
+	cat := cluster.StandardCatalog()
+	cat.Populate(r, infos, 4, 16, 4, 15)
+	c := cluster.Build(cfg, defaultNet(), seed^3, infos, 50*sim.Millisecond)
+	c.RunUntil(c.Eng.Now() + 15*sim.Second)
+
+	mix := workload.DefaultMix()
+	mix.Objects = 16
+	mix.RatePerSec = 1.5
+	mix.DurationMeanSec = 20
+	d := workload.NewDriver(c, cat, mix, r.Split())
+	start := c.Eng.Now()
+	horizon := 120 * sim.Second
+	d.Run(start, start+horizon)
+	if churnPerMin > 0 {
+		// Full dynamic environment (§4.1): departures AND arrivals, at
+		// matched rates so the population stays roughly stable.
+		workload.Churn(c, r.Split(), start, start+horizon, churnPerMin/60, 0.7, nil)
+		workload.Joins(c, cat, r.Split(), start, start+horizon, churnPerMin/60, cfg.Qualify, 0.5, 4)
+	}
+	c.RunUntil(start + horizon + 90*sim.Second)
+
+	ev := c.Events.Snapshot()
+	var repair metrics.Summary
+	for _, m := range ev.RepairMicros {
+		repair.Observe(float64(m) / 1000)
+	}
+	doneFrac := 0.0
+	if ev.Admitted > 0 {
+		doneFrac = float64(len(ev.Reports)) / float64(ev.Admitted)
+	}
+	newcomers := len(c.IDs()) - n
+	return []any{
+		churnPerMin, newcomers, ev.Repairs, ev.Failovers, ev.PeersDeclaredDead,
+		len(ev.Reports), doneFrac, c.Events.MissRate(), repair.Quantile(0.95),
+	}
+}
+
+// E7AdmissionRedirect overloads one domain while another has spare
+// capacity and compares the full system against one with admission
+// redirection disabled (§4.5: "the task query is redirected to a Resource
+// Manager of another domain").
+func E7AdmissionRedirect(opt Options) Result {
+	res := Result{
+		ID:    "E7",
+		Title: "Admission control and inter-domain redirection",
+		Claim: "redirecting queries to other domains admits tasks a single overloaded domain would reject",
+	}
+	res.Table.Header = []string{"redirection", "submitted", "admitted", "redirected", "rejected", "chunk_miss"}
+	for _, enabled := range []bool{true, false} {
+		row := runRedirectCell(opt.Seed, enabled, opt.Quick)
+		res.Table.AddRow(row...)
+	}
+	return res
+}
+
+func runRedirectCell(seed uint64, redirect bool, quick bool) []any {
+	cfg := core.DefaultConfig()
+	cfg.MaxDomainPeers = 6
+	if !redirect {
+		cfg.MaxRedirects = 0
+	}
+	cat := cluster.StandardCatalog()
+	c := cluster.New(cfg, defaultNet(), seed^17)
+	// Domain A: weak peers (little transcode capacity). Domain B: strong.
+	// The shared object catalog is replicated to both domains so B can
+	// serve redirected queries.
+	obj := media.Object{
+		Name:   "obj-hot",
+		Format: cat.Sources[0],
+		Bytes:  int64(15 * float64(cat.Sources[0].BitrateKbps) * 1000 / 8),
+	}
+	weak := speedyInfo(cat, 2.0)
+	weak.Objects = []media.Object{obj}
+	c.AddFounder(weak)
+	for i := 1; i < 6; i++ {
+		c.AddPeer(speedyInfo(cat, 2.0), 0)
+	}
+	c.RunUntil(3 * sim.Second)
+	// Domain B forms when a strong, qualified peer hits the full domain.
+	strongWithObj := speedyInfo(cat, 12)
+	strongWithObj.Objects = []media.Object{obj}
+	c.AddPeer(strongWithObj, 0)
+	for i := 0; i < 5; i++ {
+		c.AddPeer(speedyInfo(cat, 12), 0)
+	}
+	c.RunUntil(c.Eng.Now() + 20*sim.Second) // gossip convergence
+
+	// Offered load beyond domain A's capacity, all submitted inside A.
+	nTasks := 24
+	if quick {
+		nTasks = 16
+	}
+	r := rng.New(seed ^ 0x777)
+	for i := 0; i < nTasks; i++ {
+		origin := env.NodeID(r.Intn(6)) // domain A members
+		c.Submit(c.Eng.Now()+sim.Time(i)*sim.Second/2, origin, hotSpec(origin, "obj-hot"))
+	}
+	c.RunUntil(c.Eng.Now() + 150*sim.Second)
+	ev := c.Events.Snapshot()
+	label := "off"
+	if redirect {
+		label = "on"
+	}
+	return []any{label, ev.Submitted, ev.Admitted, ev.Redirected, ev.Rejected, c.Events.MissRate()}
+}
+
+// speedyInfo builds a peer info with the full ladder at a given speed.
+func speedyInfo(cat cluster.Catalog, speed float64) proto.PeerInfo {
+	return proto.PeerInfo{
+		SpeedWU:       speed,
+		BandwidthKbps: 5000,
+		UptimeSec:     7200,
+		Services:      append([]media.Transcoder(nil), cat.Ladder...),
+	}
+}
+
+// hotSpec builds the E7 request.
+func hotSpec(origin env.NodeID, object string) proto.TaskSpec {
+	return proto.TaskSpec{
+		Origin:     origin,
+		ObjectName: object,
+		Constraint: media.Constraint{
+			Codecs: []media.Codec{media.MPEG4}, MaxWidth: 640, MaxHeight: 480, MaxBitrateKbps: 64,
+		},
+		DeadlineMicros: 3_000_000,
+		DurationSec:    15,
+		ChunkSec:       1,
+	}
+}

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/bloom"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// E8GossipBloom measures the two halves of the inter-domain information
+// base (§3.1, §4.4): how fast lazy gossip converges as the domain count
+// and gossip period vary, and what the Bloom-filter summaries cost in
+// false positives as they fill.
+func E8GossipBloom(opt Options) Result {
+	res := Result{
+		ID:    "E8",
+		Title: "Gossip convergence and Bloom summary accuracy",
+		Claim: "lazy gossip with Bloom summaries suffices for inter-domain object/service discovery",
+	}
+	res.Table.Header = []string{"metric", "setting", "value"}
+
+	// Part 1: gossip convergence time — how long until every RM knows
+	// every domain, from a cold start.
+	domainCounts := []int{4, 8, 16}
+	periods := []sim.Time{sim.Second, 3 * sim.Second, 6 * sim.Second}
+	if opt.Quick {
+		domainCounts = []int{4, 8}
+		periods = []sim.Time{sim.Second, 4 * sim.Second}
+	}
+	for _, nd := range domainCounts {
+		t := gossipConvergence(opt.Seed, nd, 3*sim.Second)
+		res.Table.AddRow("convergence_s", fmt.Sprintf("%d domains, period 3s", nd), t.Seconds())
+	}
+	for _, p := range periods {
+		t := gossipConvergence(opt.Seed, 8, p)
+		res.Table.AddRow("convergence_s", fmt.Sprintf("8 domains, period %v", p), t.Seconds())
+	}
+
+	// Part 2: Bloom false-positive rate vs filter size for a fixed
+	// 200-object domain.
+	for _, m := range []uint64{1024, 4096, 16384} {
+		fp := bloomFPRate(opt.Seed, m, 4, 200)
+		res.Table.AddRow("bloom_fp_rate", fmt.Sprintf("m=%d k=4, 200 keys", m), fp)
+	}
+	return res
+}
+
+// gossipConvergence builds nd single-peer domains in a line of referrals
+// and reports how long until every RM has a summary of every other
+// domain.
+func gossipConvergence(seed uint64, nd int, period sim.Time) sim.Time {
+	cfg := core.DefaultConfig()
+	cfg.MaxDomainPeers = 1 // every qualified joiner founds a domain
+	cfg.GossipPeriod = period
+	cat := cluster.StandardCatalog()
+	c := cluster.New(cfg, defaultNet(), seed^uint64(nd)<<4^uint64(period))
+	c.AddFounder(strongInfo(cat))
+	for i := 1; i < nd; i++ {
+		c.AddPeer(strongInfo(cat), 0)
+	}
+	// Let joins/promotions settle without counting that toward gossip
+	// time: convergence clock starts once all domains exist.
+	for c.Eng.Now() < 60*sim.Second {
+		c.RunUntil(c.Eng.Now() + sim.Second)
+		if len(c.RMs()) == nd {
+			break
+		}
+	}
+	start := c.Eng.Now()
+	deadline := start + 10*sim.Minute
+	for c.Eng.Now() < deadline {
+		c.RunUntil(c.Eng.Now() + 500*sim.Millisecond)
+		done := true
+		for _, id := range c.RMs() {
+			if c.Peer(id).KnownDomains() != nd-1 || len(c.Peer(id).SummaryVersions()) != nd-1 {
+				done = false
+				break
+			}
+		}
+		if done {
+			return c.Eng.Now() - start
+		}
+	}
+	return -1
+}
+
+// bloomFPRate builds a filter of the node Config geometry and measures
+// its false-positive rate against absent object names.
+func bloomFPRate(seed uint64, m uint64, k uint32, keys int) float64 {
+	f := bloom.New(m, k)
+	for i := 0; i < keys; i++ {
+		f.AddString(fmt.Sprintf("obj-%d", i))
+	}
+	r := rng.New(seed)
+	fp := 0
+	const probes = 20000
+	for i := 0; i < probes; i++ {
+		if f.ContainsString(fmt.Sprintf("absent-%d-%d", i, r.Intn(1<<20))) {
+			fp++
+		}
+	}
+	return float64(fp) / probes
+}

@@ -1,0 +1,279 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/env"
+	"repro/internal/media"
+	"repro/internal/proto"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// E9Adaptation injects a load spike and compares the adaptive system
+// (overload-triggered reassignment, §4.5) against the same system with
+// adaptation disabled, reporting per-phase chunk miss rates.
+func E9Adaptation(opt Options) Result {
+	res := Result{
+		ID:    "E9",
+		Title: "Adaptive reassignment under a load spike",
+		Claim: "re-running the allocation for overloaded peers' tasks recovers QoS after load spikes",
+	}
+	res.Table.Header = []string{"adaptation", "migrations", "admit_frac", "miss_before", "miss_spike", "miss_after"}
+	for _, adapt := range []bool{true, false} {
+		res.Table.AddRow(runSpikeCell(opt.Seed, adapt, opt.Quick)...)
+	}
+	return res
+}
+
+func runSpikeCell(seed uint64, adapt bool, quick bool) []any {
+	cfg := core.DefaultConfig()
+	cfg.OverloadUtil = 0.80
+	cfg.ReassignMargin = 0.25
+	cfg.AdaptPeriod = sim.Second
+	if !adapt {
+		cfg.AdaptPeriod = 0
+	}
+	c, cat := uniformDomain(cfg, seed^0xE9, 12, 8, 3, 30)
+	mix := workload.DefaultMix()
+	mix.Objects = 8
+	mix.RatePerSec = 1.0
+	mix.DurationMeanSec = 30
+	d := workload.NewDriver(c, cat, mix, rng.New(seed^0xABC))
+
+	start := c.Eng.Now()
+	phase := 60 * sim.Second
+	if quick {
+		phase = 40 * sim.Second
+	}
+	// Steady request load throughout; during the middle phase, half the
+	// peers get hit by heavy extraneous workload (§4.5) that only profile
+	// reports reveal.
+	d.Run(start, start+3*phase)
+	spiked := []env.NodeID{6, 7, 8, 9, 10, 11}
+	workload.LoadSpike(c, spiked, start+phase, start+2*phase, 0.85)
+	c.RunUntil(start + 3*phase + 90*sim.Second)
+
+	ev := c.Events.Snapshot()
+	// Bucket sessions into phases by their finish time.
+	missOf := func(fromUs, toUs int64) float64 {
+		var chunks, missed int
+		for _, r := range ev.Reports {
+			if r.FinishedMicros >= fromUs && r.FinishedMicros < toUs {
+				chunks += r.Chunks
+				missed += r.Missed
+			}
+		}
+		if chunks == 0 {
+			return 0
+		}
+		return float64(missed) / float64(chunks)
+	}
+	p0, p1, p2 := int64(start), int64(start+phase), int64(start+2*phase)
+	end := int64(start + 3*phase + 90*sim.Second)
+	before := missOf(p0, p1)
+	spike := missOf(p1, p2+int64(30*sim.Second)) // sessions finishing shortly after carry spike damage
+	after := missOf(p2+int64(30*sim.Second), end)
+	admitFrac := 0.0
+	if ev.Submitted > 0 {
+		admitFrac = float64(ev.Admitted) / float64(ev.Submitted)
+	}
+	label := "off"
+	if adapt {
+		label = "on"
+	}
+	return []any{label, ev.Migrations, admitFrac, before, spike, after}
+}
+
+// E10UpdatePeriod sweeps the intra-domain profiler update period (§4.4:
+// "too frequent updates would cause high network traffic ... too
+// infrequent updates may not capture the application requirements"),
+// measuring both sides of the trade-off.
+func E10UpdatePeriod(opt Options) Result {
+	res := Result{
+		ID:    "E10",
+		Title: "Profiler update period trade-off",
+		Claim: "the update frequency trades control traffic against allocation quality (stale load views cause misses)",
+	}
+	res.Table.Header = []string{"period_s", "profile_msgs", "ctl_msgs/peer/s", "admit_frac", "chunk_miss"}
+	periods := []sim.Time{250 * sim.Millisecond, sim.Second, 4 * sim.Second, 16 * sim.Second}
+	if opt.Quick {
+		periods = []sim.Time{500 * sim.Millisecond, 8 * sim.Second}
+	}
+	seeds := []uint64{opt.Seed, opt.Seed + 101, opt.Seed + 202, opt.Seed + 303, opt.Seed + 404}
+	if opt.Quick {
+		seeds = seeds[:1]
+	}
+	for _, p := range periods {
+		res.Table.AddRow(runUpdateCellAveraged(seeds, p, opt.Quick)...)
+	}
+	res.Notes = append(res.Notes, "cells averaged over seeds to damp single-run variance")
+	return res
+}
+
+// runUpdateCellAveraged averages the E10 cell across seeds.
+func runUpdateCellAveraged(seeds []uint64, period sim.Time, quick bool) []any {
+	var profMsgs, ctl, admit, miss float64
+	for _, sd := range seeds {
+		row := runUpdateCell(sd, period, quick)
+		profMsgs += float64(row[1].(uint64))
+		ctl += row[2].(float64)
+		admit += row[3].(float64)
+		miss += row[4].(float64)
+	}
+	n := float64(len(seeds))
+	return []any{period.Seconds(), profMsgs / n, ctl / n, admit / n, miss / n}
+}
+
+func runUpdateCell(seed uint64, period sim.Time, quick bool) []any {
+	cfg := core.DefaultConfig()
+	cfg.ProfilePeriod = period
+	cfg.AdaptPeriod = 0 // isolate the staleness effect
+	c, cat := uniformDomain(cfg, seed^uint64(period), 16, 12, 2, 15)
+	mix := workload.DefaultMix()
+	mix.Objects = 12
+	mix.RatePerSec = 2.0
+	mix.DurationMeanSec = 15
+	d := workload.NewDriver(c, cat, mix, rng.New(seed^0x10E))
+	start := c.Eng.Now()
+	horizon := 120 * sim.Second
+	if quick {
+		horizon = 60 * sim.Second
+	}
+	before := c.Net.Stats()
+	d.Run(start, start+horizon)
+	// Extraneous load flips every 15s on random peers: only profile
+	// updates tell the RM, so a stale view misallocates (§4.4/§4.5).
+	workload.BackgroundNoise(c, rng.New(seed^0xBEEF), start, start+horizon, 15*sim.Second, 0.5)
+	c.RunUntil(start + horizon + 90*sim.Second)
+	after := c.Net.Stats()
+
+	ev := c.Events.Snapshot()
+	profMsgs := after.PerType["ProfileUpdate"] - before.PerType["ProfileUpdate"]
+	ctl := (after.Sent - before.Sent) - (after.PerType["Chunk"] - before.PerType["Chunk"])
+	perPeerSec := float64(ctl) / 16 / (horizon + 90*sim.Second).Seconds()
+	admitFrac := 0.0
+	if ev.Submitted > 0 {
+		admitFrac = float64(ev.Admitted) / float64(ev.Submitted)
+	}
+	return []any{period.Seconds(), profMsgs, perPeerSec, admitFrac, c.Events.MissRate()}
+}
+
+// A2BackupSync kills the RM mid-run under different backup-sync periods
+// and measures failover latency and how many running sessions the new RM
+// still knows about (§4.1's backup copy; DESIGN.md ablation A2).
+func A2BackupSync(opt Options) Result {
+	res := Result{
+		ID:    "A2",
+		Title: "Ablation: backup sync period vs state lost at failover",
+		Claim: "a fresher backup copy preserves more session state across RM failure",
+	}
+	res.Table.Header = []string{"sync_period_s", "failover_ms", "at_kill", "orphaned", "ghosts", "done_frac"}
+	periods := []sim.Time{sim.Second, 4 * sim.Second, 16 * sim.Second}
+	if opt.Quick {
+		periods = []sim.Time{sim.Second, 8 * sim.Second}
+	}
+	for _, p := range periods {
+		res.Table.AddRow(runBackupCell(opt.Seed, p)...)
+	}
+	res.Notes = append(res.Notes,
+		"sessions unknown to the new RM still stream (data plane is peer-to-peer) but lose repair/adaptation coverage")
+	return res
+}
+
+func runBackupCell(seed uint64, syncPeriod sim.Time) []any {
+	cfg := core.DefaultConfig()
+	cfg.BackupSyncPeriod = syncPeriod
+	cfg.AdaptPeriod = 0
+	// Build the domain by hand: the founder (the RM we will kill) holds
+	// no objects, so sessions need no source-loss repair at failover and
+	// the session-table difference isolates the sync-period effect.
+	cat := clusterCatalog()
+	c := newCluster(cfg, seed^0xA2)
+	r := rng.New(seed ^ 0xA2FF)
+	infos := make([]proto.PeerInfo, 10)
+	for i := range infos {
+		infos[i] = strongInfo(cat)
+	}
+	for o := 0; o < 8; o++ {
+		f := cat.Sources[r.Intn(len(cat.Sources))]
+		obj := media.Object{
+			Name:   fmt.Sprintf("obj-%d", o),
+			Format: f,
+			Bytes:  int64(60 * float64(f.BitrateKbps) * 1000 / 8),
+		}
+		for k := 0; k < 2; k++ {
+			holder := 1 + r.Intn(9) // never the founder
+			infos[holder].Objects = append(infos[holder].Objects, obj)
+		}
+	}
+	c.AddFounder(infos[0])
+	for i := 1; i < 10; i++ {
+		c.AddPeer(infos[i], 0)
+	}
+	c.RunUntil(5 * sim.Second)
+	mix := workload.DefaultMix()
+	mix.Objects = 8
+	mix.RatePerSec = 0.8
+	mix.DurationMeanSec = 60
+	d := workload.NewDriver(c, cat, mix, rng.New(seed^0xA2A2))
+	start := c.Eng.Now()
+	// All submissions land before the kill so the new RM cannot inflate
+	// its table with post-failover admissions.
+	d.Run(start, start+25*sim.Second)
+
+	// Kill just after the submission window so the long sync periods are
+	// mid-cycle (their last snapshot predates the newest sessions).
+	killAt := start + 26*sim.Second
+	var atKill, orphaned, ghosts int
+	orphaned, ghosts = -1, -1
+	c.Eng.At(killAt-sim.Millisecond, func() { atKill = c.Peer(0).RunningSessions() })
+	c.Crash(killAt, 0)
+	// Inspect the new RM's table right after takeover, before its
+	// heartbeat machinery starts repairing: sessions actually streaming
+	// but absent from the table are orphaned (no repair/adaptation
+	// coverage); table entries with no live sink are ghosts (stale load
+	// accounting). Both grow with the sync period.
+	c.Eng.At(killAt+2*sim.Second, func() {
+		known := map[string]bool{}
+		for _, id := range c.RMs() {
+			for _, tid := range c.Peer(id).SessionIDs() {
+				known[tid] = true
+			}
+		}
+		active := map[string]bool{}
+		for _, id := range c.IDs() {
+			if !c.Net.Alive(id) {
+				continue
+			}
+			for _, tid := range c.Peer(id).ActiveSinkSessions() {
+				active[tid] = true
+			}
+		}
+		orphaned, ghosts = 0, 0
+		for tid := range active {
+			if !known[tid] {
+				orphaned++
+			}
+		}
+		for tid := range known {
+			if !active[tid] {
+				ghosts++
+			}
+		}
+	})
+	c.RunUntil(start + 60*sim.Second + 120*sim.Second)
+
+	ev := c.Events.Snapshot()
+	var failMs float64 = -1
+	if len(ev.FailoverMicros) > 0 {
+		failMs = float64(ev.FailoverMicros[0]) / 1000
+	}
+	doneFrac := 0.0
+	if ev.Admitted > 0 {
+		doneFrac = float64(len(ev.Reports)) / float64(ev.Admitted)
+	}
+	return []any{syncPeriod.Seconds(), failMs, atKill, orphaned, ghosts, doneFrac}
+}

@@ -1,0 +1,128 @@
+// Package experiments implements the evaluation suite documented in
+// DESIGN.md and EXPERIMENTS.md. The paper has no quantitative evaluation
+// section, so each experiment operationalizes one of its testable claims
+// (scalability, fairness, adaptivity, churn tolerance) or reproduces one
+// of its figures as an executable artifact.
+//
+// Every experiment is deterministic given its options and returns a
+// Result whose table is what cmd/p2psim prints and EXPERIMENTS.md
+// records.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/media"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/proto"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// Options tunes an experiment run.
+type Options struct {
+	Seed uint64
+	// Quick shrinks sweeps/populations for test-suite latency; the
+	// benchmark harness and CLI run with Quick=false.
+	Quick bool
+}
+
+// Result is one experiment's output.
+type Result struct {
+	ID    string
+	Title string
+	Claim string // the paper claim under test
+	Table metrics.Table
+	Notes []string
+}
+
+// String renders the result as the CLI prints it.
+func (r Result) String() string {
+	s := fmt.Sprintf("== %s: %s ==\nClaim: %s\n%s", r.ID, r.Title, r.Claim, r.Table.String())
+	for _, n := range r.Notes {
+		s += "note: " + n + "\n"
+	}
+	return s
+}
+
+// defaultNet is the standard experiment network: 10ms links with 20%
+// jitter.
+func defaultNet() netsim.Config {
+	return netsim.Config{
+		Latency:    netsim.UniformLatency(10 * sim.Millisecond),
+		JitterFrac: 0.2,
+	}
+}
+
+// strongInfo returns an RM-qualified peer with the full service ladder.
+func strongInfo(cat cluster.Catalog) proto.PeerInfo {
+	return proto.PeerInfo{
+		SpeedWU:       10,
+		BandwidthKbps: 5000,
+		UptimeSec:     7200,
+		Services:      append([]media.Transcoder(nil), cat.Ladder...),
+	}
+}
+
+// uniformDomain builds a single domain of n identical strong peers with
+// objCount objects (duration objDur seconds) spread replicas-wide.
+func uniformDomain(cfg core.Config, seed uint64, n, objCount, replicas int, objDur float64) (*cluster.Cluster, cluster.Catalog) {
+	cat := cluster.StandardCatalog()
+	c := cluster.New(cfg, defaultNet(), seed)
+	infos := make([]proto.PeerInfo, n)
+	for i := range infos {
+		infos[i] = strongInfo(cat)
+	}
+	r := rng.New(seed ^ 0xabcdef)
+	for o := 0; o < objCount; o++ {
+		f := cat.Sources[r.Intn(len(cat.Sources))]
+		obj := media.Object{
+			Name:   fmt.Sprintf("obj-%d", o),
+			Format: f,
+			Hash:   r.Uint64(),
+			Bytes:  int64(objDur * float64(f.BitrateKbps) * 1000 / 8),
+		}
+		for k := 0; k < replicas; k++ {
+			holder := r.Intn(n)
+			infos[holder].Objects = append(infos[holder].Objects, obj)
+		}
+	}
+	c.AddFounder(infos[0])
+	for i := 1; i < n; i++ {
+		c.AddPeer(infos[i], 0)
+	}
+	c.RunUntil(5 * sim.Second)
+	return c, cat
+}
+
+// clusterCatalog returns the standard catalog (alias for readability in
+// experiment files).
+func clusterCatalog() cluster.Catalog { return cluster.StandardCatalog() }
+
+// newCluster builds an empty cluster on the default experiment network.
+func newCluster(cfg core.Config, seed uint64) *cluster.Cluster {
+	return cluster.New(cfg, defaultNet(), seed)
+}
+
+// All runs the complete suite in order.
+func All(opt Options) []Result {
+	return []Result{
+		E1Figure1(opt),
+		E2TaskAssignment(opt),
+		E3AllocatorComparison(opt),
+		E4Scalability(opt),
+		E5SchedulerComparison(opt),
+		E6Churn(opt),
+		E7AdmissionRedirect(opt),
+		E8GossipBloom(opt),
+		E9Adaptation(opt),
+		E10UpdatePeriod(opt),
+		E11Decentralization(opt),
+		A1ObjectiveAblation(opt),
+		A2BackupSync(opt),
+		A3Preemption(opt),
+	}
+}

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+var quick = Options{Seed: 42, Quick: true}
+
+func TestE1Figure1(t *testing.T) {
+	res := E1Figure1(quick)
+	if len(res.Table.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Table.Rows))
+	}
+	// The enumerated paths note must list exactly the paper's three.
+	note := res.Notes[0]
+	for _, want := range []string{"{e1,e2}", "{e1,e3}", "{e1,e4,e5,e8}"} {
+		if !strings.Contains(note, want) {
+			t.Fatalf("paths note %q missing %s", note, want)
+		}
+	}
+	// With peer 1 loaded, the chosen path must be {e1,e3}.
+	if res.Table.Rows[1][2] != "{e1,e3}" {
+		t.Fatalf("loaded-peer1 choice = %q", res.Table.Rows[1][2])
+	}
+	// With peer 2 loaded, must avoid e3.
+	if res.Table.Rows[2][2] == "{e1,e3}" {
+		t.Fatalf("loaded-peer2 still chose e3")
+	}
+}
+
+func TestE2TaskAssignment(t *testing.T) {
+	res := E2TaskAssignment(quick)
+	rows := res.Table.Rows
+	if rows[0][1] != "1" || rows[1][1] != "1" || rows[2][1] != "1" {
+		t.Fatalf("walkthrough failed:\n%s", res.Table.String())
+	}
+}
+
+func TestE3AllocatorComparison(t *testing.T) {
+	res := E3AllocatorComparison(quick)
+	if len(res.Table.Rows) != 8 { // 4 allocators x 2 rates
+		t.Fatalf("rows = %d\n%s", len(res.Table.Rows), res.Table.String())
+	}
+	t.Logf("\n%s", res.String())
+}
+
+func TestE4Scalability(t *testing.T) {
+	res := E4Scalability(quick)
+	if len(res.Table.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Table.Rows))
+	}
+	t.Logf("\n%s", res.String())
+}
+
+func TestE5SchedulerComparison(t *testing.T) {
+	res := E5SchedulerComparison(quick)
+	if len(res.Table.Rows) != 10 { // 5 policies x 2 utils
+		t.Fatalf("rows = %d", len(res.Table.Rows))
+	}
+	t.Logf("\n%s", res.String())
+}
+
+func TestE6Churn(t *testing.T) {
+	res := E6Churn(quick)
+	if len(res.Table.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Table.Rows))
+	}
+	t.Logf("\n%s", res.String())
+}
+
+func TestE7AdmissionRedirect(t *testing.T) {
+	res := E7AdmissionRedirect(quick)
+	t.Logf("\n%s", res.String())
+}
+
+func TestE8GossipBloom(t *testing.T) {
+	res := E8GossipBloom(quick)
+	t.Logf("\n%s", res.String())
+}
+
+func TestE9Adaptation(t *testing.T) {
+	res := E9Adaptation(quick)
+	t.Logf("\n%s", res.String())
+}
+
+func TestE10UpdatePeriod(t *testing.T) {
+	res := E10UpdatePeriod(quick)
+	t.Logf("\n%s", res.String())
+}
+
+func TestA1ObjectiveAblation(t *testing.T) {
+	res := A1ObjectiveAblation(quick)
+	t.Logf("\n%s", res.String())
+}
+
+func TestA2BackupSync(t *testing.T) {
+	res := A2BackupSync(quick)
+	t.Logf("\n%s", res.String())
+}
+
+func TestFairnessHelper(t *testing.T) {
+	if got := fairnessOfLoads([]float64{1, 1}); got != 1 {
+		t.Fatalf("fairnessOfLoads = %v", got)
+	}
+}
+
+func TestA3Preemption(t *testing.T) {
+	res := A3Preemption(quick)
+	t.Logf("\n%s", res.String())
+	// With preemption on, at least one high-importance task must run and
+	// at least one preemption must occur; off, none do.
+	on, off := res.Table.Rows[0], res.Table.Rows[1]
+	if on[0] != "on" || off[0] != "off" {
+		t.Fatalf("row order: %v", res.Table.Rows)
+	}
+	if on[2] == "0" {
+		t.Fatalf("preemption admitted no high-importance tasks:\n%s", res.Table.String())
+	}
+	if off[3] != "0" {
+		t.Fatalf("preemptions happened while disabled:\n%s", res.Table.String())
+	}
+}
+
+func TestE11Decentralization(t *testing.T) {
+	res := E11Decentralization(quick)
+	t.Logf("\n%s", res.String())
+	if len(res.Table.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Table.Rows))
+	}
+	if res.Table.Rows[0][0] != "global-RM" || res.Table.Rows[1][0] != "domains(16)" {
+		t.Fatalf("row labels: %v", res.Table.Rows)
+	}
+}

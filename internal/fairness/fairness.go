@@ -1,0 +1,151 @@
+// Package fairness implements Jain's Fairness Index (Jain, Chiu, Hawe
+// 1984), the metric the paper's Resource Managers use to compare candidate
+// load distributions (§4.2, Eq. 1):
+//
+//	F(l) = (Σ l_p)² / (|P| · Σ l_p²)
+//
+// The index is 1 for a perfectly uniform distribution, 1/|P| when a single
+// peer carries all load, and is independent of the scale of the loads.
+// The package also provides an incremental form so the allocation
+// algorithm can evaluate "fairness if this path were assigned" for many
+// candidate paths without rescanning every peer load.
+package fairness
+
+// Index returns Jain's Fairness Index of loads. By convention an empty
+// distribution has index 1 (nothing to be unfair about), and an all-zero
+// distribution also has index 1 (perfectly uniform).
+func Index(loads []float64) float64 {
+	if len(loads) == 0 {
+		return 1
+	}
+	var sum, sumSq float64
+	for _, l := range loads {
+		sum += l
+		sumSq += l * l
+	}
+	if sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(loads)) * sumSq)
+}
+
+// Incremental evaluates the fairness index under hypothetical load deltas
+// without mutating the underlying distribution. Construct it once per
+// allocation decision, then call WithDeltas for each candidate path.
+type Incremental struct {
+	n     int
+	sum   float64
+	sumSq float64
+	base  []float64
+}
+
+// NewIncremental captures the current load distribution.
+func NewIncremental(loads []float64) *Incremental {
+	inc := &Incremental{n: len(loads), base: append([]float64(nil), loads...)}
+	for _, l := range loads {
+		inc.sum += l
+		inc.sumSq += l * l
+	}
+	return inc
+}
+
+// N returns the number of peers in the captured distribution.
+func (inc *Incremental) N() int { return inc.n }
+
+// Base returns the captured load of peer i.
+func (inc *Incremental) Base(i int) float64 { return inc.base[i] }
+
+// Index returns the fairness of the captured distribution unchanged.
+func (inc *Incremental) Index() float64 {
+	if inc.n == 0 || inc.sumSq == 0 {
+		return 1
+	}
+	return inc.sum * inc.sum / (float64(inc.n) * inc.sumSq)
+}
+
+// WithDeltas returns the fairness index of the captured distribution with
+// delta[i] added to each listed peer. peers and deltas are parallel
+// slices; a peer may appear more than once (its deltas accumulate). The
+// captured distribution is not modified.
+//
+// Each duplicate occurrence must subtract the previously accumulated
+// value's square and add the new one, so the computation walks the listed
+// peers with a small scratch map; candidate paths are short (a handful of
+// services), so this stays O(len(peers)).
+func (inc *Incremental) WithDeltas(peers []int, deltas []float64) float64 {
+	if len(peers) != len(deltas) {
+		panic("fairness: peers/deltas length mismatch")
+	}
+	if inc.n == 0 {
+		return 1
+	}
+	sum, sumSq := inc.sum, inc.sumSq
+	// Accumulate per-peer deltas; paths are short so a tiny assoc list
+	// beats a map allocation.
+	type acc struct {
+		peer  int
+		delta float64
+	}
+	var accs [8]acc
+	list := accs[:0]
+	for i, p := range peers {
+		if p < 0 || p >= inc.n {
+			panic("fairness: peer index out of range")
+		}
+		found := false
+		for j := range list {
+			if list[j].peer == p {
+				list[j].delta += deltas[i]
+				found = true
+				break
+			}
+		}
+		if !found {
+			list = append(list, acc{p, deltas[i]})
+		}
+	}
+	for _, a := range list {
+		old := inc.base[a.peer]
+		nw := old + a.delta
+		sum += a.delta
+		sumSq += nw*nw - old*old
+	}
+	if sumSq <= 0 {
+		return 1
+	}
+	return sum * sum / (float64(inc.n) * sumSq)
+}
+
+// Apply permanently adds delta to peer i's captured load.
+func (inc *Incremental) Apply(i int, delta float64) {
+	old := inc.base[i]
+	nw := old + delta
+	inc.base[i] = nw
+	inc.sum += delta
+	inc.sumSq += nw*nw - old*old
+}
+
+// BestLoad returns l_best for peer i: the load value for peer i that
+// maximizes the index with all other loads fixed (§4.2 discusses that the
+// index peaks as a peer's load approaches a specific value and falls as it
+// diverges). Setting dF/dx = 0 for F(x) = (S'+x)²/(n·(Q'+x²)), with S' and
+// Q' the sum and sum-of-squares of the other loads, gives x = Q'/S'. When
+// all other loads are equal this reduces to their common value. If the
+// other peers are all idle (S' = 0) any x > 0 makes the distribution
+// maximally unfair, so l_best is 0.
+func BestLoad(loads []float64, i int) float64 {
+	if len(loads) <= 1 {
+		return loads[0]
+	}
+	var sum, sumSq float64
+	for j, l := range loads {
+		if j != i {
+			sum += l
+			sumSq += l * l
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	return sumSq / sum
+}

@@ -1,0 +1,341 @@
+package fairness
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestIndexUniform(t *testing.T) {
+	if got := Index([]float64{5, 5, 5, 5}); !almost(got, 1) {
+		t.Fatalf("uniform index = %v, want 1", got)
+	}
+}
+
+func TestIndexSinglePeerCarriesAll(t *testing.T) {
+	// One of n peers loaded: index = 1/n ("fair to only 1/n of users").
+	if got := Index([]float64{10, 0, 0, 0}); !almost(got, 0.25) {
+		t.Fatalf("index = %v, want 0.25", got)
+	}
+}
+
+func TestIndexPaperInterpretation(t *testing.T) {
+	// §4.2: "A value of 0.1 indicates the system to be fair to only 10% of
+	// the users": 1 of 10 peers loaded gives exactly 0.1.
+	loads := make([]float64, 10)
+	loads[0] = 7
+	if got := Index(loads); !almost(got, 0.1) {
+		t.Fatalf("index = %v, want 0.1", got)
+	}
+}
+
+func TestIndexEdgeCases(t *testing.T) {
+	if got := Index(nil); got != 1 {
+		t.Fatalf("empty index = %v", got)
+	}
+	if got := Index([]float64{0, 0, 0}); got != 1 {
+		t.Fatalf("all-zero index = %v", got)
+	}
+	if got := Index([]float64{3}); !almost(got, 1) {
+		t.Fatalf("singleton index = %v", got)
+	}
+}
+
+func TestIndexKnownValue(t *testing.T) {
+	// (1+2+3)²/(3·(1+4+9)) = 36/42.
+	if got := Index([]float64{1, 2, 3}); !almost(got, 36.0/42.0) {
+		t.Fatalf("index = %v, want %v", got, 36.0/42.0)
+	}
+}
+
+// Property (§4.2): the index lies in (0, 1] and is scale-independent.
+func TestPropertyRangeAndScale(t *testing.T) {
+	r := rng.New(7)
+	check := func(n uint8, scaleRaw uint16) bool {
+		size := int(n%32) + 1
+		loads := make([]float64, size)
+		for i := range loads {
+			loads[i] = r.Uniform(0, 100)
+		}
+		idx := Index(loads)
+		if idx <= 0 || idx > 1+1e-12 {
+			return false
+		}
+		scale := 0.001 + float64(scaleRaw)/100
+		scaled := make([]float64, size)
+		for i, l := range loads {
+			scaled[i] = l * scale
+		}
+		return almost(idx, Index(scaled))
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the index is at least 1/n (Jain's lower bound for nonzero
+// distributions).
+func TestPropertyLowerBound(t *testing.T) {
+	r := rng.New(11)
+	check := func(n uint8) bool {
+		size := int(n%32) + 1
+		loads := make([]float64, size)
+		for i := range loads {
+			loads[i] = r.Uniform(0, 10)
+		}
+		return Index(loads) >= 1/float64(size)-1e-12
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: moving load from a loaded peer to an idle one (equalizing)
+// never decreases the index.
+func TestPropertyEqualizingTransferImproves(t *testing.T) {
+	r := rng.New(13)
+	for trial := 0; trial < 200; trial++ {
+		size := 2 + r.Intn(20)
+		loads := make([]float64, size)
+		for i := range loads {
+			loads[i] = r.Uniform(0, 100)
+		}
+		// Find max and min.
+		hi, lo := 0, 0
+		for i, l := range loads {
+			if l > loads[hi] {
+				hi = i
+			}
+			if l < loads[lo] {
+				lo = i
+			}
+		}
+		if almost(loads[hi], loads[lo]) {
+			continue
+		}
+		before := Index(loads)
+		transfer := (loads[hi] - loads[lo]) * r.Uniform(0, 0.5)
+		loads[hi] -= transfer
+		loads[lo] += transfer
+		after := Index(loads)
+		if after < before-1e-9 {
+			t.Fatalf("equalizing transfer lowered index: %v -> %v", before, after)
+		}
+	}
+}
+
+func TestBestLoadUniformOthers(t *testing.T) {
+	loads := []float64{3, 3, 3, 99}
+	if got := BestLoad(loads, 3); !almost(got, 3) {
+		t.Fatalf("BestLoad = %v, want 3", got)
+	}
+}
+
+func TestBestLoadIsArgmax(t *testing.T) {
+	r := rng.New(17)
+	for trial := 0; trial < 100; trial++ {
+		size := 2 + r.Intn(10)
+		loads := make([]float64, size)
+		for i := range loads {
+			loads[i] = r.Uniform(0.1, 50)
+		}
+		i := r.Intn(size)
+		best := BestLoad(loads, i)
+		eval := func(x float64) float64 {
+			cp := append([]float64(nil), loads...)
+			cp[i] = x
+			return Index(cp)
+		}
+		fBest := eval(best)
+		// Probe around best: nothing should beat it.
+		for _, x := range []float64{best * 0.5, best * 0.9, best * 1.1, best * 2, best + 1, math.Max(0, best-1)} {
+			if eval(x) > fBest+1e-9 {
+				t.Fatalf("trial %d: eval(%v)=%v beats eval(best=%v)=%v, loads=%v i=%d",
+					trial, x, eval(x), best, fBest, loads, i)
+			}
+		}
+	}
+}
+
+func TestBestLoadAllOthersIdle(t *testing.T) {
+	if got := BestLoad([]float64{0, 0, 5}, 2); got != 0 {
+		t.Fatalf("BestLoad with idle others = %v, want 0", got)
+	}
+}
+
+func TestBestLoadSingleton(t *testing.T) {
+	if got := BestLoad([]float64{7}, 0); got != 7 {
+		t.Fatalf("BestLoad singleton = %v", got)
+	}
+}
+
+// §4.2: "there is no fair load distribution where some peers are
+// overloaded or underloaded compared to the rest" — divergence from
+// l_best lowers the index monotonically on each side.
+func TestDivergenceFromBestMonotone(t *testing.T) {
+	loads := []float64{4, 4, 4, 4}
+	eval := func(x float64) float64 {
+		cp := append([]float64(nil), loads...)
+		cp[0] = x
+		return Index(cp)
+	}
+	best := BestLoad(loads, 0)
+	prev := eval(best)
+	for x := best; x <= best+20; x += 0.5 {
+		cur := eval(x)
+		if cur > prev+1e-12 {
+			t.Fatalf("index rose while diverging above l_best at x=%v", x)
+		}
+		prev = cur
+	}
+	prev = eval(best)
+	for x := best; x >= 0; x -= 0.5 {
+		cur := eval(x)
+		if cur > prev+1e-12 {
+			t.Fatalf("index rose while diverging below l_best at x=%v", x)
+		}
+		prev = cur
+	}
+}
+
+func TestIncrementalMatchesDirect(t *testing.T) {
+	r := rng.New(19)
+	for trial := 0; trial < 200; trial++ {
+		size := 1 + r.Intn(16)
+		loads := make([]float64, size)
+		for i := range loads {
+			loads[i] = r.Uniform(0, 20)
+		}
+		inc := NewIncremental(loads)
+		if !almost(inc.Index(), Index(loads)) {
+			t.Fatalf("base index mismatch")
+		}
+		// Random candidate path with possible duplicate peers.
+		pathLen := 1 + r.Intn(5)
+		peers := make([]int, pathLen)
+		deltas := make([]float64, pathLen)
+		for i := range peers {
+			peers[i] = r.Intn(size)
+			deltas[i] = r.Uniform(0, 5)
+		}
+		got := inc.WithDeltas(peers, deltas)
+		want := func() float64 {
+			cp := append([]float64(nil), loads...)
+			for i, p := range peers {
+				cp[p] += deltas[i]
+			}
+			return Index(cp)
+		}()
+		if !almost(got, want) {
+			t.Fatalf("WithDeltas = %v, want %v (peers=%v deltas=%v loads=%v)",
+				got, want, peers, deltas, loads)
+		}
+		// WithDeltas must not mutate.
+		if !almost(inc.Index(), Index(loads)) {
+			t.Fatal("WithDeltas mutated captured state")
+		}
+	}
+}
+
+func TestIncrementalApply(t *testing.T) {
+	loads := []float64{1, 2, 3}
+	inc := NewIncremental(loads)
+	inc.Apply(0, 4)
+	if !almost(inc.Index(), Index([]float64{5, 2, 3})) {
+		t.Fatalf("Apply index = %v", inc.Index())
+	}
+	if !almost(inc.Base(0), 5) {
+		t.Fatalf("Base(0) = %v", inc.Base(0))
+	}
+	if inc.N() != 3 {
+		t.Fatalf("N = %d", inc.N())
+	}
+	// Original slice must be untouched.
+	if loads[0] != 1 {
+		t.Fatal("NewIncremental aliased input")
+	}
+}
+
+func TestIncrementalPanics(t *testing.T) {
+	inc := NewIncremental([]float64{1, 2})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("length mismatch did not panic")
+			}
+		}()
+		inc.WithDeltas([]int{0}, []float64{1, 2})
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("out-of-range peer did not panic")
+			}
+		}()
+		inc.WithDeltas([]int{5}, []float64{1})
+	}()
+}
+
+func TestIncrementalEmptyDistribution(t *testing.T) {
+	inc := NewIncremental(nil)
+	if inc.Index() != 1 {
+		t.Fatalf("empty incremental index = %v", inc.Index())
+	}
+	if got := inc.WithDeltas(nil, nil); got != 1 {
+		t.Fatalf("empty WithDeltas = %v", got)
+	}
+}
+
+func TestIncrementalLongPath(t *testing.T) {
+	// Paths longer than the inline scratch array (8) must still work.
+	loads := make([]float64, 20)
+	for i := range loads {
+		loads[i] = float64(i)
+	}
+	inc := NewIncremental(loads)
+	peers := make([]int, 12)
+	deltas := make([]float64, 12)
+	for i := range peers {
+		peers[i] = i
+		deltas[i] = 1
+	}
+	got := inc.WithDeltas(peers, deltas)
+	cp := append([]float64(nil), loads...)
+	for i := range peers {
+		cp[i]++
+	}
+	if !almost(got, Index(cp)) {
+		t.Fatalf("long path WithDeltas = %v, want %v", got, Index(cp))
+	}
+}
+
+func BenchmarkIndex(b *testing.B) {
+	loads := make([]float64, 256)
+	r := rng.New(1)
+	for i := range loads {
+		loads[i] = r.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Index(loads)
+	}
+}
+
+func BenchmarkIncrementalWithDeltas(b *testing.B) {
+	loads := make([]float64, 256)
+	r := rng.New(1)
+	for i := range loads {
+		loads[i] = r.Float64()
+	}
+	inc := NewIncremental(loads)
+	peers := []int{3, 17, 42}
+	deltas := []float64{0.1, 0.2, 0.3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = inc.WithDeltas(peers, deltas)
+	}
+}

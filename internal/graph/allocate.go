@@ -1,0 +1,382 @@
+package graph
+
+import (
+	"repro/internal/fairness"
+	"repro/internal/rng"
+)
+
+// Allocator selects a task execution sequence through a resource graph.
+// Implementations must not mutate the graph or the peer view.
+type Allocator interface {
+	// Name identifies the strategy in experiment tables.
+	Name() string
+	// Allocate returns a feasible path or ErrNoAllocation.
+	Allocate(g *ResourceGraph, req Request, pv *PeerView) (Allocation, error)
+}
+
+// FairnessBFS is the paper's allocation algorithm (Figure 3): a
+// breadth-first search over G_r with a parallel queue of edge sequences,
+// pruning by the requirement set q, and returning — among complete
+// feasible paths — the one that maximizes the fairness index of the
+// resulting peer load distribution.
+//
+// Interpretation note: the pseudocode guards processing with "if v has not
+// been visited before". Marking the goal vertex visited on its first
+// dequeue would make the f > f_max comparison unreachable, so (as in the
+// paper's own worked example, which weighs three alternative paths) the
+// visited set here applies to the expansion of intermediate vertices:
+// each intermediate vertex is expanded once, while every queued arrival
+// at v_sol is evaluated for fairness.
+type FairnessBFS struct{}
+
+// Name implements Allocator.
+func (FairnessBFS) Name() string { return "fairness-bfs" }
+
+// Allocate implements Allocator with the Figure 3 algorithm.
+func (FairnessBFS) Allocate(g *ResourceGraph, req Request, pv *PeerView) (Allocation, error) {
+	inc := fairness.NewIncremental(pv.Load)
+	best := Allocation{Fairness: -1}
+	maxHops := req.MaxHops
+	if maxHops <= 0 {
+		maxHops = len(g.edges)
+	}
+
+	type entry struct {
+		v    VertexID
+		path []EdgeID
+	}
+	queue := []entry{{v: req.Init}}
+	visited := make([]bool, len(g.vertices))
+
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+
+		// Prune by the requirement set q: the sequence so far must remain
+		// feasible (deadline not yet blown, capacity available).
+		latency, ok := pathMetrics(g, cur.path, &req, pv)
+		if !ok {
+			continue
+		}
+		if cur.v == req.Goal {
+			if len(cur.path) == 0 {
+				// Source already in the requested state: empty sequence.
+				return Allocation{Path: nil, Fairness: inc.Index(), LatencyMicros: 0}, nil
+			}
+			peers, deltas := g.PathPeers(cur.path)
+			if f := inc.WithDeltas(peers, deltas); f > best.Fairness {
+				best = Allocation{Path: cur.path, Fairness: f, LatencyMicros: latency}
+			}
+			continue
+		}
+		if visited[cur.v] {
+			continue
+		}
+		visited[cur.v] = true
+		if len(cur.path) >= maxHops {
+			continue
+		}
+		for _, id := range g.out[cur.v] {
+			e := &g.edges[id]
+			next := make([]EdgeID, len(cur.path)+1)
+			copy(next, cur.path)
+			next[len(cur.path)] = id
+			queue = append(queue, entry{v: e.To, path: next})
+		}
+	}
+	if best.Fairness < 0 {
+		return Allocation{}, ErrNoAllocation
+	}
+	return best, nil
+}
+
+// Exhaustive enumerates every simple path (no repeated vertex) from init
+// to goal and returns the feasible one with maximum fairness. It is the
+// quality yardstick for the ablation study: exponential in the worst case,
+// usable only on small graphs.
+type Exhaustive struct{}
+
+// Name implements Allocator.
+func (Exhaustive) Name() string { return "exhaustive" }
+
+// Allocate implements Allocator by depth-first enumeration.
+func (Exhaustive) Allocate(g *ResourceGraph, req Request, pv *PeerView) (Allocation, error) {
+	inc := fairness.NewIncremental(pv.Load)
+	best := Allocation{Fairness: -1}
+	maxHops := req.MaxHops
+	if maxHops <= 0 {
+		maxHops = len(g.edges)
+	}
+	onPath := make([]bool, len(g.vertices))
+	var path []EdgeID
+
+	var dfs func(v VertexID)
+	dfs = func(v VertexID) {
+		latency, ok := pathMetrics(g, path, &req, pv)
+		if !ok {
+			return
+		}
+		if v == req.Goal {
+			peers, deltas := g.PathPeers(path)
+			if f := inc.WithDeltas(peers, deltas); f > best.Fairness {
+				best = Allocation{
+					Path:          append([]EdgeID(nil), path...),
+					Fairness:      f,
+					LatencyMicros: latency,
+				}
+			}
+			return
+		}
+		if len(path) >= maxHops {
+			return
+		}
+		onPath[v] = true
+		for _, id := range g.out[v] {
+			e := &g.edges[id]
+			if onPath[e.To] {
+				continue
+			}
+			path = append(path, id)
+			dfs(e.To)
+			path = path[:len(path)-1]
+		}
+		onPath[v] = false
+	}
+	dfs(req.Init)
+	if best.Fairness < 0 {
+		return Allocation{}, ErrNoAllocation
+	}
+	return best, nil
+}
+
+// FirstFit returns the first feasible path found in BFS order — the
+// allocation a fairness-blind system would make. Baseline for E3.
+type FirstFit struct{}
+
+// Name implements Allocator.
+func (FirstFit) Name() string { return "first-fit" }
+
+// Allocate implements Allocator.
+func (FirstFit) Allocate(g *ResourceGraph, req Request, pv *PeerView) (Allocation, error) {
+	inc := fairness.NewIncremental(pv.Load)
+	type entry struct {
+		v    VertexID
+		path []EdgeID
+	}
+	maxHops := req.MaxHops
+	if maxHops <= 0 {
+		maxHops = len(g.edges)
+	}
+	queue := []entry{{v: req.Init}}
+	visited := make([]bool, len(g.vertices))
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		latency, ok := pathMetrics(g, cur.path, &req, pv)
+		if !ok {
+			continue
+		}
+		if cur.v == req.Goal {
+			peers, deltas := g.PathPeers(cur.path)
+			return Allocation{Path: cur.path, Fairness: inc.WithDeltas(peers, deltas), LatencyMicros: latency}, nil
+		}
+		if visited[cur.v] {
+			continue
+		}
+		visited[cur.v] = true
+		if len(cur.path) >= maxHops {
+			continue
+		}
+		for _, id := range g.out[cur.v] {
+			next := make([]EdgeID, len(cur.path)+1)
+			copy(next, cur.path)
+			next[len(cur.path)] = id
+			queue = append(queue, entry{v: g.edges[id].To, path: next})
+		}
+	}
+	return Allocation{}, ErrNoAllocation
+}
+
+// GreedyLeastLoaded walks from init toward goal, at each step taking the
+// feasible out-edge whose peer has the lowest relative load — the classic
+// least-loaded heuristic the paper's related work (§5) implements in ORB
+// load balancers. It can dead-end where BFS would not; it retries by
+// excluding dead-end choices, bounded by the number of edges.
+type GreedyLeastLoaded struct{}
+
+// Name implements Allocator.
+func (GreedyLeastLoaded) Name() string { return "greedy-least-loaded" }
+
+// Allocate implements Allocator.
+func (GreedyLeastLoaded) Allocate(g *ResourceGraph, req Request, pv *PeerView) (Allocation, error) {
+	inc := fairness.NewIncremental(pv.Load)
+	maxHops := req.MaxHops
+	if maxHops <= 0 {
+		maxHops = len(g.edges)
+	}
+	banned := make(map[EdgeID]bool)
+	for attempt := 0; attempt <= len(g.edges); attempt++ {
+		var path []EdgeID
+		v := req.Init
+		visited := make([]bool, len(g.vertices))
+		dead := false
+		for v != req.Goal {
+			visited[v] = true
+			if len(path) >= maxHops {
+				dead = true
+				break
+			}
+			bestEdge := EdgeID(-1)
+			bestLoad := 0.0
+			for _, id := range g.out[v] {
+				e := &g.edges[id]
+				if banned[id] || visited[e.To] {
+					continue
+				}
+				cand := append(path, id)
+				if _, ok := pathMetrics(g, cand, &req, pv); !ok {
+					continue
+				}
+				rel := pv.Load[e.Peer] / pv.Speed[e.Peer]
+				if bestEdge < 0 || rel < bestLoad {
+					bestEdge, bestLoad = id, rel
+				}
+			}
+			if bestEdge < 0 {
+				// Dead end: ban the edge that led here and restart.
+				if len(path) > 0 {
+					banned[path[len(path)-1]] = true
+				}
+				dead = true
+				break
+			}
+			path = append(path, bestEdge)
+			v = g.edges[bestEdge].To
+		}
+		if dead {
+			if len(banned) > len(g.edges) {
+				break
+			}
+			continue
+		}
+		latency, ok := pathMetrics(g, path, &req, pv)
+		if !ok {
+			return Allocation{}, ErrNoAllocation
+		}
+		peers, deltas := g.PathPeers(path)
+		return Allocation{Path: path, Fairness: inc.WithDeltas(peers, deltas), LatencyMicros: latency}, nil
+	}
+	return Allocation{}, ErrNoAllocation
+}
+
+// RandomFeasible picks uniformly among all feasible simple paths —
+// the fairness-and-load-blind baseline. Deterministic given its RNG.
+type RandomFeasible struct {
+	R *rng.Rand
+}
+
+// Name implements Allocator.
+func (*RandomFeasible) Name() string { return "random" }
+
+// Allocate implements Allocator by enumerating feasible simple paths
+// (bounded like Exhaustive) and sampling one.
+func (a *RandomFeasible) Allocate(g *ResourceGraph, req Request, pv *PeerView) (Allocation, error) {
+	inc := fairness.NewIncremental(pv.Load)
+	maxHops := req.MaxHops
+	if maxHops <= 0 {
+		maxHops = len(g.edges)
+	}
+	var candidates []Allocation
+	onPath := make([]bool, len(g.vertices))
+	var path []EdgeID
+	var dfs func(v VertexID)
+	dfs = func(v VertexID) {
+		latency, ok := pathMetrics(g, path, &req, pv)
+		if !ok {
+			return
+		}
+		if v == req.Goal {
+			peers, deltas := g.PathPeers(path)
+			candidates = append(candidates, Allocation{
+				Path:          append([]EdgeID(nil), path...),
+				Fairness:      inc.WithDeltas(peers, deltas),
+				LatencyMicros: latency,
+			})
+			return
+		}
+		if len(path) >= maxHops {
+			return
+		}
+		onPath[v] = true
+		for _, id := range g.out[v] {
+			if onPath[g.edges[id].To] {
+				continue
+			}
+			path = append(path, id)
+			dfs(g.edges[id].To)
+			path = path[:len(path)-1]
+		}
+		onPath[v] = false
+	}
+	dfs(req.Init)
+	if len(candidates) == 0 {
+		return Allocation{}, ErrNoAllocation
+	}
+	return candidates[a.R.Intn(len(candidates))], nil
+}
+
+// MinLatency returns the feasible path with the smallest estimated
+// latency (makespan objective) — the A1 ablation comparator showing what
+// optimizing speed instead of fairness does to the load distribution.
+type MinLatency struct{}
+
+// Name implements Allocator.
+func (MinLatency) Name() string { return "min-latency" }
+
+// Allocate implements Allocator by exhaustive search on latency.
+func (MinLatency) Allocate(g *ResourceGraph, req Request, pv *PeerView) (Allocation, error) {
+	inc := fairness.NewIncremental(pv.Load)
+	maxHops := req.MaxHops
+	if maxHops <= 0 {
+		maxHops = len(g.edges)
+	}
+	best := Allocation{LatencyMicros: -1}
+	onPath := make([]bool, len(g.vertices))
+	var path []EdgeID
+	var dfs func(v VertexID)
+	dfs = func(v VertexID) {
+		latency, ok := pathMetrics(g, path, &req, pv)
+		if !ok {
+			return
+		}
+		if v == req.Goal {
+			if best.LatencyMicros < 0 || latency < best.LatencyMicros {
+				peers, deltas := g.PathPeers(path)
+				best = Allocation{
+					Path:          append([]EdgeID(nil), path...),
+					Fairness:      inc.WithDeltas(peers, deltas),
+					LatencyMicros: latency,
+				}
+			}
+			return
+		}
+		if len(path) >= maxHops {
+			return
+		}
+		onPath[v] = true
+		for _, id := range g.out[v] {
+			if onPath[g.edges[id].To] {
+				continue
+			}
+			path = append(path, id)
+			dfs(g.edges[id].To)
+			path = path[:len(path)-1]
+		}
+		onPath[v] = false
+	}
+	dfs(req.Init)
+	if best.LatencyMicros < 0 {
+		return Allocation{}, ErrNoAllocation
+	}
+	return best, nil
+}

@@ -1,0 +1,452 @@
+package graph
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fairness"
+	"repro/internal/rng"
+)
+
+// figure1Request builds the paper's worked example request over Figure 1.
+func figure1Request(f *Figure1) Request {
+	return Request{Init: f.VInit, Goal: f.VSol, ChunkSeconds: 1, DeadlineMicros: 60_000_000}
+}
+
+func TestFigure1EnumeratesThePapersPaths(t *testing.T) {
+	f := Figure1Example(10_000)
+	paths := f.AllPathNames()
+	sort.Strings(paths)
+	want := []string{"{e1,e2}", "{e1,e3}", "{e1,e4,e5,e8}"}
+	sort.Strings(want)
+	if len(paths) != len(want) {
+		t.Fatalf("paths = %v, want %v", paths, want)
+	}
+	for i := range want {
+		if paths[i] != want[i] {
+			t.Fatalf("paths = %v, want %v", paths, want)
+		}
+	}
+}
+
+func TestFigure1AllocationPicksAFeasiblePaperPath(t *testing.T) {
+	f := Figure1Example(10_000)
+	pv := f.IdlePeers(10)
+	alloc, err := FairnessBFS{}.Allocate(f.G, figure1Request(f), pv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := f.G.PathNames(alloc.Path)
+	// §4.3: with both 2-hop options feasible and fair, the RM constructs
+	// the service graph from one of {e1,e2} / {e1,e3}; the 4-hop path
+	// spreads load across more peers and can win on fairness, so all three
+	// are acceptable — what matters is it is one of the paper's paths.
+	valid := map[string]bool{"{e1,e2}": true, "{e1,e3}": true, "{e1,e4,e5,e8}": true}
+	if !valid[got] {
+		t.Fatalf("allocated %s, not a paper path", got)
+	}
+	if alloc.Fairness <= 0 || alloc.Fairness > 1 {
+		t.Fatalf("fairness = %v", alloc.Fairness)
+	}
+}
+
+func TestFigure1LoadedPeerSteersAllocation(t *testing.T) {
+	f := Figure1Example(10_000)
+	pv := f.IdlePeers(10)
+	// Load peer 1 (offers e2 and e8) heavily: the allocator should avoid
+	// it and pick {e1,e3} (peer 2 idle).
+	pv.Load[1] = 9.0
+	alloc, err := FairnessBFS{}.Allocate(f.G, figure1Request(f), pv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.G.PathNames(alloc.Path); got != "{e1,e3}" {
+		t.Fatalf("allocated %s, want {e1,e3} (peer 1 loaded)", got)
+	}
+}
+
+func TestFairnessBFSMaximizesAmongFeasible(t *testing.T) {
+	// Two parallel 1-hop routes on peers with different existing load:
+	// fairness favors assigning to the less-loaded peer.
+	g := NewResourceGraph()
+	a := g.AddVertex("a", "A")
+	b := g.AddVertex("b", "B")
+	g.AddEdge(Edge{From: a, To: b, Peer: 0, Work: 2})
+	g.AddEdge(Edge{From: a, To: b, Peer: 1, Work: 2})
+	pv := idle(2, 10)
+	pv.Load[0] = 5
+	alloc, err := FairnessBFS{}.Allocate(g, Request{Init: a, Goal: b, ChunkSeconds: 1}, pv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Edge(alloc.Path[0]).Peer != 1 {
+		t.Fatal("fairness allocator chose the loaded peer")
+	}
+	// And its reported fairness must match a direct computation.
+	want := fairness.Index([]float64{5, 2})
+	if diff := alloc.Fairness - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("fairness = %v, want %v", alloc.Fairness, want)
+	}
+}
+
+func TestExhaustiveAtLeastAsFairAsBFS(t *testing.T) {
+	r := rng.New(5)
+	for trial := 0; trial < 50; trial++ {
+		g, init, goal, pv := randomDAG(r, 8, 16, 6)
+		req := Request{Init: init, Goal: goal, ChunkSeconds: 1}
+		ex, errEx := Exhaustive{}.Allocate(g, req, pv)
+		bfs, errBFS := FairnessBFS{}.Allocate(g, req, pv)
+		if errEx != nil {
+			// If exhaustive finds nothing, BFS must not either.
+			if errBFS == nil {
+				t.Fatalf("trial %d: BFS found a path exhaustive missed", trial)
+			}
+			continue
+		}
+		if errBFS != nil {
+			continue // BFS's visited pruning can miss paths; that's expected
+		}
+		if bfs.Fairness > ex.Fairness+1e-9 {
+			t.Fatalf("trial %d: BFS fairness %v beats exhaustive %v", trial, bfs.Fairness, ex.Fairness)
+		}
+	}
+}
+
+func TestMinLatencyMinimizes(t *testing.T) {
+	r := rng.New(9)
+	for trial := 0; trial < 50; trial++ {
+		g, init, goal, pv := randomDAG(r, 8, 16, 6)
+		req := Request{Init: init, Goal: goal, ChunkSeconds: 1}
+		ml, err := MinLatency{}.Allocate(g, req, pv)
+		if err != nil {
+			continue
+		}
+		ex, err := Exhaustive{}.Allocate(g, req, pv)
+		if err != nil {
+			t.Fatalf("trial %d: exhaustive failed where min-latency succeeded", trial)
+		}
+		if ml.LatencyMicros > ex.LatencyMicros && ml.LatencyMicros <= 0 {
+			t.Fatalf("trial %d: nonsense latency", trial)
+		}
+		// min-latency must not be slower than the fairness-optimal path.
+		if ml.LatencyMicros > ex.LatencyMicros {
+			t.Fatalf("trial %d: min-latency %d slower than exhaustive pick %d",
+				trial, ml.LatencyMicros, ex.LatencyMicros)
+		}
+	}
+}
+
+func TestRandomFeasibleIsFeasibleAndDeterministic(t *testing.T) {
+	f := Figure1Example(10_000)
+	pv := f.IdlePeers(10)
+	a1 := &RandomFeasible{R: rng.New(42)}
+	a2 := &RandomFeasible{R: rng.New(42)}
+	req := figure1Request(f)
+	alloc1, err := a1.Allocate(f.G, req, pv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc2, err := a2.Allocate(f.G, req, pv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.G.PathNames(alloc1.Path) != f.G.PathNames(alloc2.Path) {
+		t.Fatal("same seed produced different random allocations")
+	}
+	// Over many draws all three paper paths should appear.
+	seen := map[string]bool{}
+	a := &RandomFeasible{R: rng.New(7)}
+	for i := 0; i < 100; i++ {
+		alloc, err := a.Allocate(f.G, req, pv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[f.G.PathNames(alloc.Path)] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("random explored %d paths, want 3: %v", len(seen), seen)
+	}
+}
+
+func TestGreedyLeastLoadedPrefersIdlePeer(t *testing.T) {
+	g := NewResourceGraph()
+	a := g.AddVertex("a", "A")
+	b := g.AddVertex("b", "B")
+	g.AddEdge(Edge{From: a, To: b, Peer: 0, Work: 1})
+	g.AddEdge(Edge{From: a, To: b, Peer: 1, Work: 1})
+	pv := idle(2, 10)
+	pv.Load[0] = 8
+	alloc, err := GreedyLeastLoaded{}.Allocate(g, Request{Init: a, Goal: b, ChunkSeconds: 1}, pv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Edge(alloc.Path[0]).Peer != 1 {
+		t.Fatal("greedy chose the loaded peer")
+	}
+}
+
+func TestGreedyEscapesDeadEnd(t *testing.T) {
+	// Greedy prefers the idle peer's edge, but it dead-ends; it must
+	// recover and take the loaded route.
+	g := NewResourceGraph()
+	a := g.AddVertex("a", "A")
+	dead := g.AddVertex("dead", "DEAD")
+	goal := g.AddVertex("goal", "GOAL")
+	g.AddEdge(Edge{From: a, To: dead, Peer: 0, Work: 1}) // idle peer, dead end
+	g.AddEdge(Edge{From: a, To: goal, Peer: 1, Work: 1}) // loaded peer, works
+	pv := idle(2, 10)
+	pv.Load[1] = 5
+	alloc, err := GreedyLeastLoaded{}.Allocate(g, Request{Init: a, Goal: goal, ChunkSeconds: 1}, pv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Edge(alloc.Path[0]).Peer != 1 {
+		t.Fatalf("greedy path = %v", alloc.Path)
+	}
+}
+
+func TestAllAllocatorsRespectFeasibility(t *testing.T) {
+	r := rng.New(31)
+	allocators := []Allocator{
+		FairnessBFS{}, Exhaustive{}, FirstFit{}, GreedyLeastLoaded{},
+		&RandomFeasible{R: rng.New(1)}, MinLatency{},
+	}
+	for trial := 0; trial < 30; trial++ {
+		g, init, goal, pv := randomDAG(r, 10, 20, 8)
+		req := Request{Init: init, Goal: goal, ChunkSeconds: 1, DeadlineMicros: 5_000_000}
+		for _, a := range allocators {
+			alloc, err := a.Allocate(g, req, pv)
+			if err != nil {
+				continue
+			}
+			if latency, ok := pathMetrics(g, alloc.Path, &req, pv); !ok {
+				t.Fatalf("trial %d: %s returned infeasible path", trial, a.Name())
+			} else if latency != alloc.LatencyMicros {
+				t.Fatalf("trial %d: %s reported latency %d, recomputed %d",
+					trial, a.Name(), alloc.LatencyMicros, latency)
+			}
+			// Path must actually connect init to goal.
+			v := req.Init
+			for _, id := range alloc.Path {
+				e := g.Edge(id)
+				if e.From != v {
+					t.Fatalf("trial %d: %s returned disconnected path", trial, a.Name())
+				}
+				v = e.To
+			}
+			if v != req.Goal {
+				t.Fatalf("trial %d: %s path ends at %v, not goal", trial, a.Name(), v)
+			}
+		}
+	}
+}
+
+func TestMaxHopsBound(t *testing.T) {
+	f := Figure1Example(0)
+	pv := f.IdlePeers(10)
+	// Only allow 2 hops: the 4-hop path is excluded but 2-hop paths remain.
+	req := Request{Init: f.VInit, Goal: f.VSol, ChunkSeconds: 1, MaxHops: 2}
+	alloc, err := Exhaustive{}.Allocate(f.G, req, pv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alloc.Path) > 2 {
+		t.Fatalf("path length %d exceeds MaxHops", len(alloc.Path))
+	}
+	// MaxHops 1: no 1-hop path exists.
+	req.MaxHops = 1
+	if _, err := (Exhaustive{}).Allocate(f.G, req, pv); err != ErrNoAllocation {
+		t.Fatalf("err = %v, want ErrNoAllocation", err)
+	}
+}
+
+func TestAllocatorNames(t *testing.T) {
+	names := map[string]bool{}
+	for _, a := range []Allocator{
+		FairnessBFS{}, Exhaustive{}, FirstFit{}, GreedyLeastLoaded{},
+		&RandomFeasible{}, MinLatency{},
+	} {
+		n := a.Name()
+		if n == "" || names[n] {
+			t.Fatalf("duplicate or empty allocator name %q", n)
+		}
+		names[n] = true
+	}
+}
+
+// randomDAG builds a random layered DAG for property-style checks:
+// vertices in layers, edges only forward, random peers/work/loads.
+func randomDAG(r *rng.Rand, nv, ne, npeers int) (*ResourceGraph, VertexID, VertexID, *PeerView) {
+	g := NewResourceGraph()
+	ids := make([]VertexID, nv)
+	for i := 0; i < nv; i++ {
+		ids[i] = g.AddVertex(string(rune('a'+i)), "")
+	}
+	for i := 0; i < ne; i++ {
+		from := r.Intn(nv - 1)
+		to := from + 1 + r.Intn(nv-from-1)
+		g.AddEdge(Edge{
+			From: ids[from], To: ids[to],
+			Peer:          r.Intn(npeers),
+			Work:          r.Uniform(0.2, 2),
+			LatencyMicros: int64(r.Intn(50_000)),
+		})
+	}
+	pv := &PeerView{Load: make([]float64, npeers), Speed: make([]float64, npeers)}
+	for i := 0; i < npeers; i++ {
+		pv.Speed[i] = r.Uniform(5, 15)
+		pv.Load[i] = r.Uniform(0, pv.Speed[i]*0.7)
+	}
+	return g, ids[0], ids[nv-1], pv
+}
+
+func TestBuildServiceGraph(t *testing.T) {
+	f := Figure1Example(10_000)
+	pv := f.IdlePeers(10)
+	alloc, err := FairnessBFS{}.Allocate(f.G, figure1Request(f), pv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sg := BuildServiceGraph(f.G, "task-1", alloc.Path, 0, 5)
+	if len(sg.Stages) != len(alloc.Path) {
+		t.Fatalf("stages = %d, want %d", len(sg.Stages), len(alloc.Path))
+	}
+	if sg.Stages[0].Name != "T1" {
+		t.Fatalf("stage name = %q", sg.Stages[0].Name)
+	}
+	if !sg.UsesPeer(0) || !sg.UsesPeer(5) {
+		t.Fatal("UsesPeer missed source/sink")
+	}
+	if sg.UsesPeer(99) {
+		t.Fatal("UsesPeer found unknown peer")
+	}
+	peers := sg.Peers()
+	if peers[0] != 0 || peers[len(peers)-1] != 5 {
+		t.Fatalf("Peers = %v", peers)
+	}
+	if sg.TotalWork() <= 0 {
+		t.Fatal("TotalWork must be positive")
+	}
+	if got := sg.StageIndexOnPeer(sg.Stages[0].Peer); got != 0 {
+		t.Fatalf("StageIndexOnPeer = %d", got)
+	}
+	if got := sg.StageIndexOnPeer(1234); got != -1 {
+		t.Fatalf("StageIndexOnPeer(unknown) = %d", got)
+	}
+	s := sg.String()
+	if len(s) == 0 || s[0] != 'G' {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func BenchmarkFairnessBFSFigure1(b *testing.B) {
+	f := Figure1Example(10_000)
+	pv := f.IdlePeers(10)
+	req := figure1Request(f)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (FairnessBFS{}).Allocate(f.G, req, pv); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExhaustiveRandomDAG(b *testing.B) {
+	r := rng.New(1)
+	g, init, goal, pv := randomDAG(r, 12, 30, 8)
+	req := Request{Init: init, Goal: goal, ChunkSeconds: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = (Exhaustive{}).Allocate(g, req, pv)
+	}
+}
+
+// Property (testing/quick): for random layered DAGs and loads, whenever
+// FairnessBFS returns an allocation it is (a) feasible under pathMetrics,
+// (b) connected init->goal, and (c) its fairness equals the direct
+// recomputation from the load deltas.
+func TestPropertyQuickAllocationSound(t *testing.T) {
+	r := rng.New(8675309)
+	check := func(nvRaw, neRaw, npRaw uint8) bool {
+		nv := 3 + int(nvRaw%10)
+		ne := 1 + int(neRaw%24)
+		np := 2 + int(npRaw%8)
+		g, init, goal, pv := randomDAG(r, nv, ne, np)
+		req := Request{Init: init, Goal: goal, ChunkSeconds: 1, DeadlineMicros: 10_000_000}
+		alloc, err := (FairnessBFS{}).Allocate(g, req, pv)
+		if err != nil {
+			return true // nothing to verify
+		}
+		if latency, ok := pathMetrics(g, alloc.Path, &req, pv); !ok || latency != alloc.LatencyMicros {
+			return false
+		}
+		v := init
+		for _, id := range alloc.Path {
+			e := g.Edge(id)
+			if e.From != v {
+				return false
+			}
+			v = e.To
+		}
+		if v != goal {
+			return false
+		}
+		peers, deltas := g.PathPeers(alloc.Path)
+		loads := append([]float64(nil), pv.Load...)
+		for i, p := range peers {
+			loads[p] += deltas[i]
+		}
+		want := fairness.Index(loads)
+		return alloc.Fairness-want < 1e-9 && want-alloc.Fairness < 1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property (testing/quick): RemoveEdgesForPeer never changes any other
+// peer's edges and never resurrects anything.
+func TestPropertyQuickRemovePreservesOthers(t *testing.T) {
+	r := rng.New(24601)
+	check := func(neRaw, victimRaw uint8) bool {
+		g, _, _, _ := randomDAG(r, 8, 2+int(neRaw%30), 6)
+		victim := int(victimRaw % 6)
+		type key struct {
+			from, to VertexID
+			peer     int
+		}
+		var before []key
+		for i := 0; i < g.NumVertices(); i++ {
+			for _, id := range g.Out(VertexID(i)) {
+				e := g.Edge(id)
+				if e.Peer != victim {
+					before = append(before, key{e.From, e.To, e.Peer})
+				}
+			}
+		}
+		g.RemoveEdgesForPeer(victim)
+		var after []key
+		for i := 0; i < g.NumVertices(); i++ {
+			for _, id := range g.Out(VertexID(i)) {
+				e := g.Edge(id)
+				if e.Peer == victim {
+					return false // victim edge survived
+				}
+				after = append(after, key{e.From, e.To, e.Peer})
+			}
+		}
+		if len(before) != len(after) {
+			return false
+		}
+		for i := range before {
+			if before[i] != after[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

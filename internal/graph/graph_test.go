@@ -1,0 +1,291 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyGraph builds a 3-vertex diamond: a->b via e0 (peer 0) and e1
+// (peer 1), b->c via e2 (peer 2).
+func tinyGraph() (*ResourceGraph, VertexID, VertexID) {
+	g := NewResourceGraph()
+	a := g.AddVertex("a", "A")
+	b := g.AddVertex("b", "B")
+	c := g.AddVertex("c", "C")
+	g.AddEdge(Edge{From: a, To: b, Peer: 0, Work: 1})
+	g.AddEdge(Edge{From: a, To: b, Peer: 1, Work: 1})
+	g.AddEdge(Edge{From: b, To: c, Peer: 2, Work: 1})
+	return g, a, c
+}
+
+func idle(n int, speed float64) *PeerView {
+	pv := &PeerView{Load: make([]float64, n), Speed: make([]float64, n)}
+	for i := range pv.Speed {
+		pv.Speed[i] = speed
+	}
+	return pv
+}
+
+func TestAddVertexIdempotent(t *testing.T) {
+	g := NewResourceGraph()
+	a := g.AddVertex("x", "X")
+	b := g.AddVertex("x", "X again")
+	if a != b {
+		t.Fatal("same key created two vertices")
+	}
+	if g.NumVertices() != 1 {
+		t.Fatalf("NumVertices = %d", g.NumVertices())
+	}
+}
+
+func TestLookup(t *testing.T) {
+	g := NewResourceGraph()
+	a := g.AddVertex("x", "X")
+	got, ok := g.Lookup("x")
+	if !ok || got != a {
+		t.Fatalf("Lookup = %v,%v", got, ok)
+	}
+	if _, ok := g.Lookup("missing"); ok {
+		t.Fatal("Lookup found missing key")
+	}
+}
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := NewResourceGraph()
+	a := g.AddVertex("a", "A")
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("unknown endpoint did not panic")
+			}
+		}()
+		g.AddEdge(Edge{From: a, To: 99})
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("negative work did not panic")
+			}
+		}()
+		g.AddEdge(Edge{From: a, To: a, Work: -1})
+	}()
+}
+
+func TestEdgeAutoName(t *testing.T) {
+	g, _, _ := tinyGraph()
+	if e := g.Edge(0); e.Name != "e1" {
+		t.Fatalf("auto name = %q", e.Name)
+	}
+	if e := g.Edge(2); e.Name != "e3" {
+		t.Fatalf("auto name = %q", e.Name)
+	}
+}
+
+func TestEdgeByName(t *testing.T) {
+	g, _, _ := tinyGraph()
+	e, ok := g.EdgeByName("e2")
+	if !ok || e.Peer != 1 {
+		t.Fatalf("EdgeByName(e2) = %+v, %v", e, ok)
+	}
+	if _, ok := g.EdgeByName("e99"); ok {
+		t.Fatal("found nonexistent edge")
+	}
+}
+
+func TestRemoveEdgesForPeer(t *testing.T) {
+	g, a, c := tinyGraph()
+	if n := g.RemoveEdgesForPeer(0); n != 1 {
+		t.Fatalf("removed %d edges, want 1", n)
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d", g.NumEdges())
+	}
+	// Path via peer 1 must still exist.
+	alloc, err := FirstFit{}.Allocate(g, Request{Init: a, Goal: c, ChunkSeconds: 1}, idle(3, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range alloc.Path {
+		if g.Edge(id).Peer == 0 {
+			t.Fatal("allocation used removed peer")
+		}
+	}
+	// Removing again is a no-op.
+	if n := g.RemoveEdgesForPeer(0); n != 0 {
+		t.Fatalf("second removal removed %d", n)
+	}
+}
+
+func TestRemoveAllPathsYieldsNoAllocation(t *testing.T) {
+	g, a, c := tinyGraph()
+	g.RemoveEdgesForPeer(2) // the only b->c edge
+	_, err := FairnessBFS{}.Allocate(g, Request{Init: a, Goal: c, ChunkSeconds: 1}, idle(3, 10))
+	if err != ErrNoAllocation {
+		t.Fatalf("err = %v, want ErrNoAllocation", err)
+	}
+}
+
+func TestPathNames(t *testing.T) {
+	g, _, _ := tinyGraph()
+	if got := g.PathNames([]EdgeID{0, 2}); got != "{e1,e3}" {
+		t.Fatalf("PathNames = %q", got)
+	}
+	if got := g.PathNames(nil); got != "{}" {
+		t.Fatalf("empty PathNames = %q", got)
+	}
+}
+
+func TestPeerViewValidate(t *testing.T) {
+	if err := (&PeerView{Load: []float64{1}, Speed: []float64{1, 2}}).Validate(); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if err := (&PeerView{Load: []float64{1}, Speed: []float64{0}}).Validate(); err == nil {
+		t.Fatal("zero speed accepted")
+	}
+	if err := idle(3, 1).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPeerViewClone(t *testing.T) {
+	pv := idle(2, 5)
+	cp := pv.Clone()
+	cp.Load[0] = 99
+	if pv.Load[0] != 0 {
+		t.Fatal("Clone aliased Load")
+	}
+}
+
+func TestPathMetricsDeadline(t *testing.T) {
+	g, a, c := tinyGraph()
+	pv := idle(3, 1) // speed 1: each hop takes 1s for 1s chunks
+	req := Request{Init: a, Goal: c, ChunkSeconds: 1, DeadlineMicros: 1_500_000}
+	// Two hops at ~1s each exceed 1.5s.
+	if _, err := (FairnessBFS{}).Allocate(g, req, pv); err != ErrNoAllocation {
+		t.Fatalf("deadline-infeasible allocation succeeded: %v", err)
+	}
+	req.DeadlineMicros = 3_000_000
+	if _, err := (FairnessBFS{}).Allocate(g, req, pv); err != nil {
+		t.Fatalf("feasible allocation failed: %v", err)
+	}
+}
+
+func TestPathMetricsCapacity(t *testing.T) {
+	g, a, c := tinyGraph()
+	pv := idle(3, 10)
+	pv.Load[2] = 9.5 // peer 2 has 0.5 spare, each edge needs 1.0
+	if _, err := (FairnessBFS{}).Allocate(g, Request{Init: a, Goal: c, ChunkSeconds: 1}, pv); err != ErrNoAllocation {
+		t.Fatalf("over-capacity allocation succeeded: %v", err)
+	}
+}
+
+func TestLatencyIncludesCommLatency(t *testing.T) {
+	g := NewResourceGraph()
+	a := g.AddVertex("a", "A")
+	b := g.AddVertex("b", "B")
+	g.AddEdge(Edge{From: a, To: b, Peer: 0, Work: 1, LatencyMicros: 250_000})
+	pv := idle(1, 1)
+	alloc, err := FairnessBFS{}.Allocate(g, Request{Init: a, Goal: b, ChunkSeconds: 1}, pv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 work unit / 1 spare = 1s exec + 0.25s comm.
+	if alloc.LatencyMicros != 1_250_000 {
+		t.Fatalf("latency = %d, want 1250000", alloc.LatencyMicros)
+	}
+}
+
+func TestInitEqualsGoal(t *testing.T) {
+	g, a, _ := tinyGraph()
+	alloc, err := FairnessBFS{}.Allocate(g, Request{Init: a, Goal: a, ChunkSeconds: 1}, idle(3, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alloc.Path) != 0 {
+		t.Fatalf("path = %v, want empty", alloc.Path)
+	}
+	if alloc.LatencyMicros != 0 {
+		t.Fatalf("latency = %d", alloc.LatencyMicros)
+	}
+}
+
+func TestGraphString(t *testing.T) {
+	g, _, _ := tinyGraph()
+	s := g.String()
+	if !strings.Contains(s, "3 vertices") || !strings.Contains(s, "e1") {
+		t.Fatalf("String:\n%s", s)
+	}
+}
+
+func TestPathPeers(t *testing.T) {
+	g, _, _ := tinyGraph()
+	peers, deltas := g.PathPeers([]EdgeID{0, 2})
+	if len(peers) != 2 || peers[0] != 0 || peers[1] != 2 {
+		t.Fatalf("peers = %v", peers)
+	}
+	if deltas[0] != 1 || deltas[1] != 1 {
+		t.Fatalf("deltas = %v", deltas)
+	}
+}
+
+func TestPathReusingPeerCapacity(t *testing.T) {
+	// A path that visits the same peer twice must account for both loads.
+	g := NewResourceGraph()
+	a := g.AddVertex("a", "A")
+	b := g.AddVertex("b", "B")
+	c := g.AddVertex("c", "C")
+	g.AddEdge(Edge{From: a, To: b, Peer: 0, Work: 3})
+	g.AddEdge(Edge{From: b, To: c, Peer: 0, Work: 3})
+	pv := idle(1, 5) // peer 0 capacity 5 < 3+3
+	if _, err := (FairnessBFS{}).Allocate(g, Request{Init: a, Goal: c, ChunkSeconds: 1}, pv); err != ErrNoAllocation {
+		t.Fatalf("peer-reuse over capacity succeeded: %v", err)
+	}
+	pv = idle(1, 7) // capacity 7 > 6: feasible
+	if _, err := (FairnessBFS{}).Allocate(g, Request{Init: a, Goal: c, ChunkSeconds: 1}, pv); err != nil {
+		t.Fatalf("feasible peer-reuse failed: %v", err)
+	}
+}
+
+func TestTombstonedEdgesNeverAllocated(t *testing.T) {
+	// After RemoveEdgesForPeer, surviving edge IDs must still resolve to
+	// the same edges, and no allocator may route through removed ones.
+	g := NewResourceGraph()
+	a := g.AddVertex("a", "A")
+	b := g.AddVertex("b", "B")
+	c := g.AddVertex("c", "C")
+	e0 := g.AddEdge(Edge{From: a, To: b, Peer: 0, Work: 1})
+	e1 := g.AddEdge(Edge{From: a, To: b, Peer: 1, Work: 1})
+	e2 := g.AddEdge(Edge{From: b, To: c, Peer: 2, Work: 1})
+	_ = e0
+	g.RemoveEdgesForPeer(0)
+	// Surviving IDs keep their identity.
+	if g.Edge(e1).Peer != 1 || g.Edge(e2).Peer != 2 {
+		t.Fatal("edge IDs aliased after removal")
+	}
+	pv := idle(3, 10)
+	req := Request{Init: a, Goal: c, ChunkSeconds: 1}
+	for _, alloc := range []Allocator{FairnessBFS{}, Exhaustive{}, FirstFit{}, GreedyLeastLoaded{}, MinLatency{}} {
+		res, err := alloc.Allocate(g, req, pv)
+		if err != nil {
+			t.Fatalf("%s: %v", alloc.Name(), err)
+		}
+		for _, id := range res.Path {
+			if g.Edge(id).Peer == 0 {
+				t.Fatalf("%s routed through removed peer", alloc.Name())
+			}
+		}
+	}
+}
+
+func TestOutExcludesTombstones(t *testing.T) {
+	g := NewResourceGraph()
+	a := g.AddVertex("a", "A")
+	b := g.AddVertex("b", "B")
+	g.AddEdge(Edge{From: a, To: b, Peer: 0, Work: 1})
+	g.AddEdge(Edge{From: a, To: b, Peer: 1, Work: 1})
+	g.RemoveEdgesForPeer(0)
+	out := g.Out(a)
+	if len(out) != 1 || g.Edge(out[0]).Peer != 1 {
+		t.Fatalf("Out = %v", out)
+	}
+}

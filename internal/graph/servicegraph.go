@@ -1,0 +1,100 @@
+package graph
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ServiceGraph is the paper's G_s (§3.3, Figure 1B): the concrete pipeline
+// of service instances a particular task execution uses. Vertices are the
+// source object, the chosen service instances (T1, T2, ...), and the
+// receiving peer; edges are the peer connections established for the
+// session.
+type ServiceGraph struct {
+	TaskID string
+	Stages []ServiceStage
+	// SourcePeer holds the object; SinkPeer receives the final stream.
+	SourcePeer int
+	SinkPeer   int
+}
+
+// ServiceStage is one service instance in the pipeline.
+type ServiceStage struct {
+	Name          string // "T1", "T2", ...
+	Edge          EdgeID // the resource-graph edge this stage instantiates
+	Peer          int
+	Service       string
+	Work          float64
+	LatencyMicros int64
+}
+
+// BuildServiceGraph converts an allocation path into a service graph for
+// task taskID. sourcePeer is where the object lives and sinkPeer is the
+// requesting peer.
+func BuildServiceGraph(g *ResourceGraph, taskID string, path []EdgeID, sourcePeer, sinkPeer int) *ServiceGraph {
+	sg := &ServiceGraph{TaskID: taskID, SourcePeer: sourcePeer, SinkPeer: sinkPeer}
+	for i, id := range path {
+		e := g.Edge(id)
+		sg.Stages = append(sg.Stages, ServiceStage{
+			Name:          fmt.Sprintf("T%d", i+1),
+			Edge:          id,
+			Peer:          e.Peer,
+			Service:       e.Service,
+			Work:          e.Work,
+			LatencyMicros: e.LatencyMicros,
+		})
+	}
+	return sg
+}
+
+// Peers returns the ordered pipeline peers: source, each stage's peer,
+// sink.
+func (sg *ServiceGraph) Peers() []int {
+	out := []int{sg.SourcePeer}
+	for _, s := range sg.Stages {
+		out = append(out, s.Peer)
+	}
+	return append(out, sg.SinkPeer)
+}
+
+// UsesPeer reports whether the pipeline includes peer in any role
+// (needed for §4.1 failure repair: "If the service graph included the
+// peer in question as one of its vertices...").
+func (sg *ServiceGraph) UsesPeer(peer int) bool {
+	for _, p := range sg.Peers() {
+		if p == peer {
+			return true
+		}
+	}
+	return false
+}
+
+// StageIndexOnPeer returns the first stage index running on peer, or -1.
+func (sg *ServiceGraph) StageIndexOnPeer(peer int) int {
+	for i, s := range sg.Stages {
+		if s.Peer == peer {
+			return i
+		}
+	}
+	return -1
+}
+
+// TotalWork sums the per-second work units across stages.
+func (sg *ServiceGraph) TotalWork() float64 {
+	var w float64
+	for _, s := range sg.Stages {
+		w += s.Work
+	}
+	return w
+}
+
+// String renders like the paper's Figure 1B: source -> T1 -> T2 -> sink.
+func (sg *ServiceGraph) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "G_s[%s]: peer%d(src)", sg.TaskID, sg.SourcePeer)
+	for _, s := range sg.Stages {
+		fmt.Fprintf(&b, " -> %s@peer%d", s.Name, s.Peer)
+	}
+	fmt.Fprintf(&b, " -> peer%d(sink)", sg.SinkPeer)
+	return b.String()
+}

@@ -1,0 +1,284 @@
+// Package live is the real-time runtime: the same node.Peer actors that
+// run under simulation execute here as goroutines with serialized
+// mailboxes, real timers, and a pluggable transport — in-process channels
+// within one process, TCP+gob across processes (see tcp.go). This is the
+// deployable middleware, not a second implementation: protocol logic
+// lives only in internal/core.
+package live
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/env"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// MailboxDepth bounds each node's queue; sends to a full mailbox are
+// dropped (the transport is best-effort, like the simulated one).
+const MailboxDepth = 4096
+
+// envelope is one unit of mailbox work: either a message or a timer
+// callback.
+type envelope struct {
+	from env.NodeID
+	msg  env.Message
+	fn   func()
+}
+
+// Runtime hosts live nodes within one process.
+type Runtime struct {
+	start time.Time
+
+	mu     sync.Mutex
+	nodes  map[env.NodeID]*liveNode
+	nextID env.NodeID
+	seed   *rng.Rand
+
+	// remote, when set, carries messages addressed to nodes not hosted
+	// here (the TCP transport).
+	remote func(from, to env.NodeID, m env.Message) error
+
+	// Logger receives node Logf output; nil silences it.
+	Logger *log.Logger
+
+	dropped atomic.Uint64
+}
+
+// NewRuntime creates an empty live runtime.
+func NewRuntime(seed uint64) *Runtime {
+	return &Runtime{
+		start: time.Now(),
+		nodes: make(map[env.NodeID]*liveNode),
+		seed:  rng.New(seed),
+	}
+}
+
+// liveNode is one hosted actor.
+type liveNode struct {
+	rt      *Runtime
+	id      env.NodeID
+	actor   env.Actor
+	mailbox chan envelope
+	quit    chan struct{}
+	done    chan struct{}
+	r       *rng.Rand
+	stopped atomic.Bool
+	killed  atomic.Bool
+}
+
+// AddNode hosts an actor under the next free ID and starts its loop.
+func (rt *Runtime) AddNode(a env.Actor) env.NodeID {
+	rt.mu.Lock()
+	id := rt.nextID
+	rt.nextID++
+	rt.mu.Unlock()
+	rt.AddNodeWithID(id, a)
+	return id
+}
+
+// AddNodeWithID hosts an actor under a caller-chosen ID (distributed
+// deployments assign global IDs in their address book). It panics if the
+// ID is taken.
+func (rt *Runtime) AddNodeWithID(id env.NodeID, a env.Actor) {
+	rt.mu.Lock()
+	if _, dup := rt.nodes[id]; dup {
+		rt.mu.Unlock()
+		panic(fmt.Sprintf("live: node ID %d already hosted", id))
+	}
+	n := &liveNode{
+		rt:      rt,
+		id:      id,
+		actor:   a,
+		mailbox: make(chan envelope, MailboxDepth),
+		quit:    make(chan struct{}),
+		done:    make(chan struct{}),
+		r:       rt.seed.Split(),
+	}
+	rt.nodes[id] = n
+	if id >= rt.nextID {
+		rt.nextID = id + 1
+	}
+	rt.mu.Unlock()
+	go n.loop()
+}
+
+// node returns a hosted node.
+func (rt *Runtime) node(id env.NodeID) *liveNode {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.nodes[id]
+}
+
+// Stop shuts one node down gracefully and waits for its loop to exit.
+func (rt *Runtime) Stop(id env.NodeID) {
+	n := rt.node(id)
+	if n == nil || !n.stopped.CompareAndSwap(false, true) {
+		return
+	}
+	close(n.quit)
+	<-n.done
+	rt.mu.Lock()
+	delete(rt.nodes, id)
+	rt.mu.Unlock()
+}
+
+// Kill terminates a node abruptly: no Stop hook runs, mirroring
+// netsim.Crash. Pending mailbox work is discarded.
+func (rt *Runtime) Kill(id env.NodeID) {
+	n := rt.node(id)
+	if n == nil {
+		return
+	}
+	n.killed.Store(true)
+	if !n.stopped.CompareAndSwap(false, true) {
+		return
+	}
+	close(n.quit)
+	<-n.done
+	rt.mu.Lock()
+	delete(rt.nodes, id)
+	rt.mu.Unlock()
+}
+
+// Shutdown stops every hosted node.
+func (rt *Runtime) Shutdown() {
+	rt.mu.Lock()
+	ids := make([]env.NodeID, 0, len(rt.nodes))
+	for id := range rt.nodes {
+		ids = append(ids, id)
+	}
+	rt.mu.Unlock()
+	for _, id := range ids {
+		rt.Stop(id)
+	}
+}
+
+// Dropped reports messages discarded due to full mailboxes.
+func (rt *Runtime) Dropped() uint64 { return rt.dropped.Load() }
+
+// Inject delivers a message to a hosted node from the outside world (the
+// TCP listener and tests use this).
+func (rt *Runtime) Inject(from, to env.NodeID, m env.Message) {
+	if n := rt.node(to); n != nil {
+		n.enqueue(envelope{from: from, msg: m})
+	}
+}
+
+// Call runs fn on the node's event loop and waits for it to finish —
+// the safe way for external code (CLIs, tests) to touch actor state.
+func (rt *Runtime) Call(id env.NodeID, fn func()) bool {
+	n := rt.node(id)
+	if n == nil {
+		return false
+	}
+	doneCh := make(chan struct{})
+	n.enqueue(envelope{fn: func() {
+		fn()
+		close(doneCh)
+	}})
+	select {
+	case <-doneCh:
+		return true
+	case <-n.done:
+		return false
+	}
+}
+
+// enqueue adds work, dropping when the mailbox is full.
+func (n *liveNode) enqueue(e envelope) {
+	select {
+	case n.mailbox <- e:
+	default:
+		n.rt.dropped.Add(1)
+	}
+}
+
+// loop is the node's serialized executor.
+func (n *liveNode) loop() {
+	defer close(n.done)
+	n.actor.Init(n)
+	for {
+		select {
+		case <-n.quit:
+			if !n.killed.Load() {
+				n.actor.Stop()
+			}
+			return
+		case e := <-n.mailbox:
+			if e.fn != nil {
+				e.fn()
+			} else {
+				n.actor.Receive(e.from, e.msg)
+			}
+		}
+	}
+}
+
+// --- env.Context implementation ---
+
+// Self implements env.Context.
+func (n *liveNode) Self() env.NodeID { return n.id }
+
+// Now implements env.Clock: elapsed wall time since the runtime started,
+// in the same sim.Time microsecond unit the protocol logic uses.
+func (n *liveNode) Now() sim.Time {
+	return sim.Time(time.Since(n.rt.start).Microseconds())
+}
+
+// After implements env.Clock: real timer whose callback is serialized
+// through the mailbox.
+func (n *liveNode) After(d sim.Time, fn func()) env.Cancel {
+	var cancelled atomic.Bool
+	t := time.AfterFunc(time.Duration(d)*time.Microsecond, func() {
+		if cancelled.Load() || n.stopped.Load() {
+			return
+		}
+		n.enqueue(envelope{fn: func() {
+			if !cancelled.Load() {
+				fn()
+			}
+		}})
+	})
+	return func() bool {
+		first := cancelled.CompareAndSwap(false, true)
+		t.Stop()
+		return first
+	}
+}
+
+// Send implements env.Context: local nodes get direct mailbox delivery,
+// unknown IDs go to the remote transport if one is attached.
+func (n *liveNode) Send(to env.NodeID, m env.Message) {
+	if n.stopped.Load() {
+		return
+	}
+	if dst := n.rt.node(to); dst != nil {
+		dst.enqueue(envelope{from: n.id, msg: m})
+		return
+	}
+	n.rt.mu.Lock()
+	remote := n.rt.remote
+	n.rt.mu.Unlock()
+	if remote != nil {
+		if err := remote(n.id, to, m); err != nil {
+			n.rt.dropped.Add(1)
+		}
+	} else {
+		n.rt.dropped.Add(1)
+	}
+}
+
+// Rand implements env.Context.
+func (n *liveNode) Rand() *rng.Rand { return n.r }
+
+// Logf implements env.Context.
+func (n *liveNode) Logf(format string, args ...any) {
+	if n.rt.Logger != nil {
+		n.rt.Logger.Printf("[n%d %s] %s", n.id, time.Since(n.rt.start).Truncate(time.Millisecond), fmt.Sprintf(format, args...))
+	}
+}

@@ -1,0 +1,188 @@
+package live
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/env"
+)
+
+// wireMsg is the gob frame carried over TCP. Payload types must be
+// registered via proto.RegisterMessages.
+type wireMsg struct {
+	From    env.NodeID
+	To      env.NodeID
+	Payload any
+}
+
+// TCPTransport connects live runtimes across processes. Each process
+// hosts some node IDs locally and routes the rest through the address
+// book. Connections are dialed lazily and kept open.
+type TCPTransport struct {
+	rt *Runtime
+
+	mu       sync.Mutex
+	book     map[env.NodeID]string // remote node -> "host:port"
+	conns    map[string]*gobConn   // addr -> outbound connection
+	accepted map[net.Conn]bool     // inbound connections being read
+	ln       net.Listener
+	wg       sync.WaitGroup
+	closed   bool
+}
+
+type gobConn struct {
+	mu  sync.Mutex
+	c   net.Conn
+	enc *gob.Encoder
+}
+
+// NewTCPTransport attaches a TCP transport to rt: messages to IDs not
+// hosted locally are routed through the address book.
+func NewTCPTransport(rt *Runtime) *TCPTransport {
+	t := &TCPTransport{
+		rt:       rt,
+		book:     make(map[env.NodeID]string),
+		conns:    make(map[string]*gobConn),
+		accepted: make(map[net.Conn]bool),
+	}
+	rt.mu.Lock()
+	rt.remote = t.send
+	rt.mu.Unlock()
+	return t
+}
+
+// Register maps a remote node ID to its listener address.
+func (t *TCPTransport) Register(id env.NodeID, addr string) {
+	t.mu.Lock()
+	t.book[id] = addr
+	t.mu.Unlock()
+}
+
+// Listen starts accepting inbound frames on addr and returns the bound
+// address (useful with ":0").
+func (t *TCPTransport) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	t.mu.Lock()
+	t.ln = ln
+	t.mu.Unlock()
+	t.wg.Add(1)
+	go t.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (t *TCPTransport) acceptLoop(ln net.Listener) {
+	defer t.wg.Done()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			c.Close()
+			return
+		}
+		t.accepted[c] = true
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.readLoop(c)
+	}
+}
+
+func (t *TCPTransport) readLoop(c net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		c.Close()
+		t.mu.Lock()
+		delete(t.accepted, c)
+		t.mu.Unlock()
+	}()
+	dec := gob.NewDecoder(c)
+	for {
+		var wm wireMsg
+		if err := dec.Decode(&wm); err != nil {
+			return
+		}
+		t.rt.Inject(wm.From, wm.To, wm.Payload)
+	}
+}
+
+// send routes one outbound message; it is installed as Runtime.remote.
+func (t *TCPTransport) send(from, to env.NodeID, m env.Message) error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return errors.New("live: transport closed")
+	}
+	addr, ok := t.book[to]
+	t.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("live: no address for node %d", to)
+	}
+	conn, err := t.conn(addr)
+	if err != nil {
+		return err
+	}
+	conn.mu.Lock()
+	defer conn.mu.Unlock()
+	if err := conn.enc.Encode(wireMsg{From: from, To: to, Payload: m}); err != nil {
+		// Connection went bad: drop it so the next send redials.
+		t.mu.Lock()
+		if t.conns[addr] == conn {
+			delete(t.conns, addr)
+		}
+		t.mu.Unlock()
+		conn.c.Close()
+		return err
+	}
+	return nil
+}
+
+// conn returns (dialing if needed) the pooled connection to addr.
+func (t *TCPTransport) conn(addr string) (*gobConn, error) {
+	t.mu.Lock()
+	if c, ok := t.conns[addr]; ok {
+		t.mu.Unlock()
+		return c, nil
+	}
+	t.mu.Unlock()
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &gobConn{c: raw, enc: gob.NewEncoder(raw)}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if existing, ok := t.conns[addr]; ok {
+		raw.Close()
+		return existing, nil
+	}
+	t.conns[addr] = c
+	return c, nil
+}
+
+// Close shuts the listener and every connection (outbound and inbound)
+// down, then waits for the reader goroutines to drain.
+func (t *TCPTransport) Close() {
+	t.mu.Lock()
+	t.closed = true
+	if t.ln != nil {
+		t.ln.Close()
+	}
+	for _, c := range t.conns {
+		c.c.Close()
+	}
+	for c := range t.accepted {
+		c.Close()
+	}
+	t.conns = make(map[string]*gobConn)
+	t.mu.Unlock()
+	t.wg.Wait()
+}

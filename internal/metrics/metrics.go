@@ -1,0 +1,257 @@
+// Package metrics provides lightweight measurement primitives for the
+// simulator and the live runtime: counters, gauges, summaries with exact
+// quantiles, and fixed-resolution time series.
+//
+// The package has no global registry; components own their instruments and
+// experiments aggregate them explicitly, which keeps simulated runs
+// deterministic and avoids hidden cross-run state.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Counter is a monotonically increasing count.
+type Counter struct{ n uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n++ }
+
+// Add adds delta. Negative deltas panic: counters only go up.
+func (c *Counter) Add(delta int) {
+	if delta < 0 {
+		panic("metrics: Counter.Add with negative delta")
+	}
+	c.n += uint64(delta)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n }
+
+// Summary accumulates float64 observations and reports exact order
+// statistics. Observations are kept; memory is proportional to the number
+// of samples, which is fine at simulation scale and keeps quantiles exact.
+type Summary struct {
+	samples []float64
+	sum     float64
+	sorted  bool
+}
+
+// Observe records one sample.
+func (s *Summary) Observe(v float64) {
+	s.samples = append(s.samples, v)
+	s.sum += v
+	s.sorted = false
+}
+
+// Count returns the number of samples.
+func (s *Summary) Count() int { return len(s.samples) }
+
+// Sum returns the sum of all samples.
+func (s *Summary) Sum() float64 { return s.sum }
+
+// Mean returns the sample mean, or 0 with no samples.
+func (s *Summary) Mean() float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	return s.sum / float64(len(s.samples))
+}
+
+// StdDev returns the population standard deviation, or 0 with fewer than
+// two samples.
+func (s *Summary) StdDev() float64 {
+	n := len(s.samples)
+	if n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	var ss float64
+	for _, v := range s.samples {
+		d := v - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n))
+}
+
+func (s *Summary) sort() {
+	if !s.sorted {
+		sort.Float64s(s.samples)
+		s.sorted = true
+	}
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) by nearest-rank with
+// linear interpolation, or 0 with no samples.
+func (s *Summary) Quantile(q float64) float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return s.Min()
+	}
+	if q >= 1 {
+		return s.Max()
+	}
+	s.sort()
+	pos := q * float64(len(s.samples)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(s.samples) {
+		return s.samples[lo]
+	}
+	return s.samples[lo]*(1-frac) + s.samples[lo+1]*frac
+}
+
+// Min returns the smallest sample, or 0 with no samples.
+func (s *Summary) Min() float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	s.sort()
+	return s.samples[0]
+}
+
+// Max returns the largest sample, or 0 with no samples.
+func (s *Summary) Max() float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	s.sort()
+	return s.samples[len(s.samples)-1]
+}
+
+// String renders count/mean/p50/p95/p99/max, the digest used in
+// experiment tables.
+func (s *Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f p50=%.3f p95=%.3f p99=%.3f max=%.3f",
+		s.Count(), s.Mean(), s.Quantile(0.5), s.Quantile(0.95), s.Quantile(0.99), s.Max())
+}
+
+// Series is a time series sampled at the caller's cadence: pairs of
+// (t, value) appended in nondecreasing t order.
+type Series struct {
+	ts []float64
+	vs []float64
+}
+
+// Append records value at time t. Out-of-order appends panic.
+func (s *Series) Append(t, value float64) {
+	if n := len(s.ts); n > 0 && t < s.ts[n-1] {
+		panic(fmt.Sprintf("metrics: Series.Append out of order: %v after %v", t, s.ts[n-1]))
+	}
+	s.ts = append(s.ts, t)
+	s.vs = append(s.vs, value)
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.ts) }
+
+// At returns the i-th point.
+func (s *Series) At(i int) (t, value float64) { return s.ts[i], s.vs[i] }
+
+// Values returns a copy of the values.
+func (s *Series) Values() []float64 {
+	out := make([]float64, len(s.vs))
+	copy(out, s.vs)
+	return out
+}
+
+// MeanAfter returns the mean of values with t >= from, or 0 if none;
+// useful for discarding warm-up transients.
+func (s *Series) MeanAfter(from float64) float64 {
+	var sum float64
+	var n int
+	for i, t := range s.ts {
+		if t >= from {
+			sum += s.vs[i]
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Table formats experiment results as an aligned plain-text table. Rows
+// are printed in the given order; every row must have len(header) cells.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row of cells, Sprint-formatting each value.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = trimFloat(v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func trimFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e12 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.4g", v)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			for pad := len(cell); pad < widths[i]; pad++ {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Markdown renders the table as GitHub-flavored markdown.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	b.WriteString("| " + strings.Join(t.Header, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat("---|", len(t.Header)) + "\n")
+	for _, row := range t.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	return b.String()
+}

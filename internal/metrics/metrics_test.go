@@ -1,0 +1,233 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("Value = %d, want 5", c.Value())
+	}
+}
+
+func TestCounterNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Add did not panic")
+		}
+	}()
+	var c Counter
+	c.Add(-1)
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Quantile(0.5) != 0 || s.Min() != 0 || s.Max() != 0 || s.StdDev() != 0 {
+		t.Fatal("empty summary should report zeros")
+	}
+}
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, v := range []float64{4, 1, 3, 2, 5} {
+		s.Observe(v)
+	}
+	if s.Count() != 5 {
+		t.Fatalf("Count = %d", s.Count())
+	}
+	if s.Sum() != 15 {
+		t.Fatalf("Sum = %v", s.Sum())
+	}
+	if s.Mean() != 3 {
+		t.Fatalf("Mean = %v", s.Mean())
+	}
+	if s.Min() != 1 || s.Max() != 5 {
+		t.Fatalf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+	if got := s.Quantile(0.5); got != 3 {
+		t.Fatalf("median = %v", got)
+	}
+	wantSD := math.Sqrt(2) // population sd of 1..5
+	if math.Abs(s.StdDev()-wantSD) > 1e-12 {
+		t.Fatalf("StdDev = %v, want %v", s.StdDev(), wantSD)
+	}
+}
+
+func TestSummaryQuantileInterpolation(t *testing.T) {
+	var s Summary
+	s.Observe(0)
+	s.Observe(10)
+	if got := s.Quantile(0.5); got != 5 {
+		t.Fatalf("interpolated median = %v, want 5", got)
+	}
+	if got := s.Quantile(0); got != 0 {
+		t.Fatalf("q0 = %v", got)
+	}
+	if got := s.Quantile(1); got != 10 {
+		t.Fatalf("q1 = %v", got)
+	}
+}
+
+func TestSummaryObserveAfterQuantile(t *testing.T) {
+	var s Summary
+	s.Observe(5)
+	_ = s.Quantile(0.5)
+	s.Observe(1) // must re-sort lazily
+	if got := s.Min(); got != 1 {
+		t.Fatalf("Min after late observe = %v", got)
+	}
+}
+
+// Property: quantiles are monotone in q and bounded by min/max.
+func TestPropertyQuantileMonotone(t *testing.T) {
+	check := func(raw []float64, qa, qb uint8) bool {
+		var s Summary
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			s.Observe(v)
+		}
+		if s.Count() == 0 {
+			return true
+		}
+		a := float64(qa%101) / 100
+		b := float64(qb%101) / 100
+		if a > b {
+			a, b = b, a
+		}
+		va, vb := s.Quantile(a), s.Quantile(b)
+		return va <= vb && va >= s.Min() && vb <= s.Max()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: median of a sorted copy matches Quantile(0.5) by the same
+// interpolation rule.
+func TestPropertyMedianMatchesSort(t *testing.T) {
+	check := func(raw []float64) bool {
+		clean := raw[:0:0]
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				clean = append(clean, v)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		var s Summary
+		for _, v := range clean {
+			s.Observe(v)
+		}
+		sorted := append([]float64(nil), clean...)
+		sort.Float64s(sorted)
+		pos := 0.5 * float64(len(sorted)-1)
+		lo := int(pos)
+		frac := pos - float64(lo)
+		want := sorted[lo]
+		if lo+1 < len(sorted) {
+			want = sorted[lo]*(1-frac) + sorted[lo+1]*frac
+		}
+		return s.Quantile(0.5) == want
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Append(0, 1)
+	s.Append(1, 2)
+	s.Append(2, 6)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if tm, v := s.At(2); tm != 2 || v != 6 {
+		t.Fatalf("At(2) = %v,%v", tm, v)
+	}
+	if got := s.MeanAfter(1); got != 4 {
+		t.Fatalf("MeanAfter(1) = %v, want 4", got)
+	}
+	if got := s.MeanAfter(10); got != 0 {
+		t.Fatalf("MeanAfter(10) = %v, want 0", got)
+	}
+	vs := s.Values()
+	vs[0] = 99
+	if _, v := s.At(0); v != 1 {
+		t.Fatal("Values did not copy")
+	}
+}
+
+func TestSeriesOutOfOrderPanics(t *testing.T) {
+	var s Series
+	s.Append(5, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-order append did not panic")
+		}
+	}()
+	s.Append(4, 1)
+}
+
+func TestTableString(t *testing.T) {
+	tab := Table{Header: []string{"name", "value"}}
+	tab.AddRow("alpha", 1.0)
+	tab.AddRow("b", 12.3456789)
+	out := tab.String()
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "12.35") {
+		t.Fatalf("table output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want 4 lines, got %d:\n%s", len(lines), out)
+	}
+	// All data lines at least as wide as header alignment requires.
+	if !strings.HasPrefix(lines[1], "----") {
+		t.Fatalf("missing separator: %q", lines[1])
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tab := Table{Header: []string{"a", "b"}}
+	tab.AddRow(1, 2)
+	md := tab.Markdown()
+	want := "| a | b |\n|---|---|\n| 1 | 2 |\n"
+	if md != want {
+		t.Fatalf("markdown = %q, want %q", md, want)
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	if got := trimFloat(3.0); got != "3" {
+		t.Fatalf("trimFloat(3.0) = %q", got)
+	}
+	if got := trimFloat(0.12345); got != "0.1234" && got != "0.1235" {
+		t.Fatalf("trimFloat(0.12345) = %q", got)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	var s Summary
+	s.Observe(1)
+	out := s.String()
+	if !strings.Contains(out, "n=1") || !strings.Contains(out, "mean=1.000") {
+		t.Fatalf("String = %q", out)
+	}
+}
+
+func BenchmarkSummaryObserve(b *testing.B) {
+	var s Summary
+	for i := 0; i < b.N; i++ {
+		s.Observe(float64(i % 1000))
+	}
+}

@@ -1,0 +1,344 @@
+package netsim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/env"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// echoActor replies "pong" to every "ping" and records receptions.
+type echoActor struct {
+	ctx      env.Context
+	received []string
+	froms    []env.NodeID
+	stopped  bool
+}
+
+type ping struct{ Body string }
+type pong struct{ Body string }
+
+// bigMsg carries a declared payload size.
+type bigMsg struct{ KB float64 }
+
+func (b bigMsg) SizeKB() float64 { return b.KB }
+
+func (a *echoActor) Init(ctx env.Context) { a.ctx = ctx }
+func (a *echoActor) Stop()                { a.stopped = true }
+func (a *echoActor) Receive(from env.NodeID, m env.Message) {
+	switch msg := m.(type) {
+	case ping:
+		a.received = append(a.received, msg.Body)
+		a.froms = append(a.froms, from)
+		a.ctx.Send(from, pong{Body: msg.Body})
+	case pong:
+		a.received = append(a.received, "pong:"+msg.Body)
+	case bigMsg:
+		a.received = append(a.received, "big")
+	}
+}
+
+func newNet(cfg Config) (*sim.Engine, *Network) {
+	eng := sim.New()
+	return eng, New(eng, rng.New(1), cfg)
+}
+
+func TestPingPong(t *testing.T) {
+	eng, net := newNet(Config{Latency: UniformLatency(5 * sim.Millisecond)})
+	a := &echoActor{}
+	b := &echoActor{}
+	ida := net.AddNode(a)
+	idb := net.AddNode(b)
+	eng.After(0, func() {
+		net.nodes[ida].Send(idb, ping{Body: "hi"})
+	})
+	eng.Run()
+	if len(b.received) != 1 || b.received[0] != "hi" {
+		t.Fatalf("b received %v", b.received)
+	}
+	if b.froms[0] != ida {
+		t.Fatalf("from = %v", b.froms[0])
+	}
+	if len(a.received) != 1 || a.received[0] != "pong:hi" {
+		t.Fatalf("a received %v", a.received)
+	}
+	// Round trip = 2 * 5ms.
+	if eng.Now() != 10*sim.Millisecond {
+		t.Fatalf("final time %v", eng.Now())
+	}
+	st := net.Stats()
+	if st.Sent != 2 || st.Delivered != 2 || st.Dropped != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.PerType["ping"] != 1 || st.PerType["pong"] != 1 {
+		t.Fatalf("per-type = %v", st.PerType)
+	}
+}
+
+func TestBandwidthDelay(t *testing.T) {
+	eng, net := newNet(Config{
+		Latency:       UniformLatency(sim.Millisecond),
+		BandwidthKbps: func(from, to env.NodeID) float64 { return 800 }, // 100 KB/s
+	})
+	a := &echoActor{}
+	b := &echoActor{}
+	ida := net.AddNode(a)
+	idb := net.AddNode(b)
+	eng.After(0, func() {
+		net.nodes[ida].Send(idb, bigMsg{KB: 100}) // 1s serialization
+	})
+	eng.Run()
+	if len(b.received) != 1 {
+		t.Fatalf("not delivered")
+	}
+	if eng.Now() != sim.Second+sim.Millisecond {
+		t.Fatalf("arrival at %v, want 1.001s", eng.Now())
+	}
+	if kb := net.Stats().KBytes; kb != 100 {
+		t.Fatalf("KBytes = %v", kb)
+	}
+}
+
+func TestLossDropsMessages(t *testing.T) {
+	eng, net := newNet(Config{LossRate: 1.0})
+	a := &echoActor{}
+	b := &echoActor{}
+	ida := net.AddNode(a)
+	idb := net.AddNode(b)
+	eng.After(0, func() { net.nodes[ida].Send(idb, ping{}) })
+	eng.Run()
+	if len(b.received) != 0 {
+		t.Fatal("lossy network delivered")
+	}
+	if st := net.Stats(); st.Dropped != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCrashSuppressesDeliveryAndTimers(t *testing.T) {
+	eng, net := newNet(Config{Latency: UniformLatency(10 * sim.Millisecond)})
+	a := &echoActor{}
+	b := &echoActor{}
+	ida := net.AddNode(a)
+	idb := net.AddNode(b)
+	timerFired := false
+	eng.After(0, func() {
+		// b arms a timer, then a sends to b, then b crashes before both.
+		net.nodes[idb].After(20*sim.Millisecond, func() { timerFired = true })
+		net.nodes[ida].Send(idb, ping{})
+	})
+	eng.At(5*sim.Millisecond, func() { net.Crash(idb) })
+	eng.Run()
+	if len(b.received) != 0 {
+		t.Fatal("crashed node received a message")
+	}
+	if timerFired {
+		t.Fatal("crashed node's timer fired")
+	}
+	if b.stopped {
+		t.Fatal("Crash must not call Stop")
+	}
+	if net.Alive(idb) {
+		t.Fatal("crashed node still alive")
+	}
+	if net.NumAlive() != 1 {
+		t.Fatalf("NumAlive = %d", net.NumAlive())
+	}
+	if st := net.Stats(); st.Dropped != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestStopCallsActorStop(t *testing.T) {
+	eng, net := newNet(Config{})
+	a := &echoActor{}
+	id := net.AddNode(a)
+	eng.After(0, func() { net.Stop(id) })
+	eng.Run()
+	if !a.stopped {
+		t.Fatal("Stop hook not called")
+	}
+	// Second stop is a no-op.
+	net.Stop(id)
+}
+
+func TestSendFromDeadNodeVanishes(t *testing.T) {
+	eng, net := newNet(Config{})
+	a := &echoActor{}
+	b := &echoActor{}
+	ida := net.AddNode(a)
+	idb := net.AddNode(b)
+	eng.After(0, func() {
+		net.Crash(ida)
+		net.nodes[ida].Send(idb, ping{})
+	})
+	eng.Run()
+	if len(b.received) != 0 {
+		t.Fatal("dead node's send was delivered")
+	}
+	if st := net.Stats(); st.Sent != 0 {
+		t.Fatalf("dead send counted: %+v", st)
+	}
+}
+
+func TestSendToUnknownNode(t *testing.T) {
+	eng, net := newNet(Config{})
+	a := &echoActor{}
+	ida := net.AddNode(a)
+	eng.After(0, func() { net.nodes[ida].Send(999, ping{}) })
+	eng.Run() // must not panic
+	if st := net.Stats(); st.Dropped != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestJitterBounded(t *testing.T) {
+	eng, net := newNet(Config{
+		Latency:    UniformLatency(10 * sim.Millisecond),
+		JitterFrac: 0.5,
+	})
+	a := &echoActor{}
+	b := &echoActor{}
+	ida := net.AddNode(a)
+	idb := net.AddNode(b)
+	var arrivals []sim.Time
+	for i := 0; i < 50; i++ {
+		at := sim.Time(i) * sim.Second
+		eng.At(at, func() { net.nodes[ida].Send(idb, ping{}) })
+	}
+	prevLen := 0
+	for i := 0; i < 50; i++ {
+		at := sim.Time(i)*sim.Second + 16*sim.Millisecond
+		eng.At(at, func() {
+			if len(b.received) > prevLen {
+				arrivals = append(arrivals, eng.Now())
+				prevLen = len(b.received)
+			}
+		})
+	}
+	eng.Run()
+	if len(b.received) != 50 {
+		t.Fatalf("delivered %d/50", len(b.received))
+	}
+}
+
+func TestDeterministicDelivery(t *testing.T) {
+	runOnce := func() []string {
+		eng, net := newNet(Config{Latency: UniformLatency(sim.Millisecond), JitterFrac: 0.3})
+		a := &echoActor{}
+		b := &echoActor{}
+		ida := net.AddNode(a)
+		idb := net.AddNode(b)
+		for i := 0; i < 20; i++ {
+			body := string(rune('a' + i))
+			eng.At(sim.Time(i*100), func() { net.nodes[ida].Send(idb, ping{Body: body}) })
+		}
+		eng.Run()
+		return b.received
+	}
+	r1 := strings.Join(runOnce(), ",")
+	r2 := strings.Join(runOnce(), ",")
+	if r1 != r2 {
+		t.Fatalf("non-deterministic delivery:\n%s\n%s", r1, r2)
+	}
+}
+
+func TestTypeCountsStable(t *testing.T) {
+	s := Stats{PerType: map[string]uint64{"b": 2, "a": 1}}
+	if got := s.TypeCounts(); got != "a=1 b=2" {
+		t.Fatalf("TypeCounts = %q", got)
+	}
+}
+
+func TestLogfTrace(t *testing.T) {
+	var lines []string
+	eng, net := newNet(Config{Trace: func(l string) { lines = append(lines, l) }})
+	a := &echoActor{}
+	id := net.AddNode(a)
+	eng.After(0, func() { net.nodes[id].Logf("hello %d", 42) })
+	eng.Run()
+	if len(lines) != 1 || !strings.Contains(lines[0], "hello 42") || !strings.Contains(lines[0], "n0") {
+		t.Fatalf("trace = %v", lines)
+	}
+}
+
+func TestActorAccessor(t *testing.T) {
+	_, net := newNet(Config{})
+	a := &echoActor{}
+	id := net.AddNode(a)
+	if net.Actor(id) != env.Actor(a) {
+		t.Fatal("Actor returned wrong actor")
+	}
+	if net.Actor(12345) != nil {
+		t.Fatal("Actor for unknown id should be nil")
+	}
+}
+
+func BenchmarkDeliver(b *testing.B) {
+	eng, net := newNet(Config{Latency: UniformLatency(sim.Millisecond)})
+	a1 := &echoActor{}
+	a2 := &echoActor{}
+	id1 := net.AddNode(a1)
+	id2 := net.AddNode(a2)
+	eng.Run() // run Init
+	src := net.nodes[id1]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src.Send(id2, bigMsg{KB: 1})
+		if i%1024 == 0 {
+			eng.Run()
+		}
+	}
+	eng.Run()
+}
+
+func TestPerNodeStats(t *testing.T) {
+	eng, net := newNet(Config{})
+	a := &echoActor{}
+	b := &echoActor{}
+	ida := net.AddNode(a)
+	idb := net.AddNode(b)
+	eng.After(0, func() {
+		net.nodes[ida].Send(idb, bigMsg{KB: 1})
+		net.nodes[ida].Send(idb, bigMsg{KB: 1})
+		net.nodes[idb].Send(ida, bigMsg{KB: 1})
+	})
+	eng.Run()
+	st := net.Stats()
+	if st.PerNode[idb] != 2 || st.PerNode[ida] != 1 {
+		t.Fatalf("PerNode = %v", st.PerNode)
+	}
+	if st.MaxPerNode() != 2 {
+		t.Fatalf("MaxPerNode = %d", st.MaxPerNode())
+	}
+	// The copy must not alias internal state.
+	st.PerNode[idb] = 99
+	if net.Stats().PerNode[idb] != 2 {
+		t.Fatal("Stats aliased PerNode")
+	}
+}
+
+func TestCrashBeforeInitSuppressesInit(t *testing.T) {
+	eng, net := newNet(Config{})
+	a := &echoActor{}
+	id := net.AddNode(a)
+	net.Crash(id) // before the engine ran Init
+	eng.Run()
+	if a.ctx != nil {
+		t.Fatal("Init ran on a node crashed before start")
+	}
+}
+
+func TestStopOnCrashedNodeIsNoop(t *testing.T) {
+	eng, net := newNet(Config{})
+	a := &echoActor{}
+	id := net.AddNode(a)
+	eng.Run()
+	net.Crash(id)
+	net.Stop(id) // must not call the actor's Stop hook
+	if a.stopped {
+		t.Fatal("Stop hook ran on crashed node")
+	}
+}

@@ -1,0 +1,147 @@
+package proto
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/env"
+	"repro/internal/media"
+)
+
+func TestQualifies(t *testing.T) {
+	q := QualifyThresholds{MinSpeedWU: 4, MinBandwidthKbps: 1000, MinUptimeSec: 1800}
+	cases := []struct {
+		info PeerInfo
+		want bool
+	}{
+		{PeerInfo{SpeedWU: 4, BandwidthKbps: 1000, UptimeSec: 1800}, true},
+		{PeerInfo{SpeedWU: 10, BandwidthKbps: 9999, UptimeSec: 9999}, true},
+		{PeerInfo{SpeedWU: 3.9, BandwidthKbps: 1000, UptimeSec: 1800}, false},
+		{PeerInfo{SpeedWU: 4, BandwidthKbps: 999, UptimeSec: 1800}, false},
+		{PeerInfo{SpeedWU: 4, BandwidthKbps: 1000, UptimeSec: 1799}, false},
+	}
+	for i, c := range cases {
+		if got := c.info.Qualifies(q); got != c.want {
+			t.Errorf("case %d: Qualifies = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestScoreMonotone(t *testing.T) {
+	a := PeerInfo{SpeedWU: 4, BandwidthKbps: 1000, UptimeSec: 1800}
+	b := a
+	b.SpeedWU = 8
+	if b.Score() <= a.Score() {
+		t.Fatal("more speed should raise the score")
+	}
+	c := a
+	c.BandwidthKbps = 4000
+	if c.Score() <= a.Score() {
+		t.Fatal("more bandwidth should raise the score")
+	}
+	d := a
+	d.UptimeSec = 7200
+	if d.Score() <= a.Score() {
+		t.Fatal("more uptime should raise the score")
+	}
+}
+
+func TestSessionDescHelpers(t *testing.T) {
+	d := SessionDesc{
+		TaskID:     "t1",
+		SourcePeer: 2,
+		Origin:     7,
+		Stages: []StageDesc{
+			{Peer: 3}, {Peer: 4},
+		},
+	}
+	peers := d.PipelinePeers()
+	want := []env.NodeID{2, 3, 4, 7}
+	if len(peers) != len(want) {
+		t.Fatalf("peers = %v", peers)
+	}
+	for i := range want {
+		if peers[i] != want[i] {
+			t.Fatalf("peers = %v, want %v", peers, want)
+		}
+	}
+	for _, id := range want {
+		if !d.UsesPeer(id) {
+			t.Fatalf("UsesPeer(%d) = false", id)
+		}
+	}
+	if d.UsesPeer(99) {
+		t.Fatal("UsesPeer(99) = true")
+	}
+	if s := d.String(); !strings.Contains(s, "t1") || !strings.Contains(s, "stages=2") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestChunkSized(t *testing.T) {
+	c := Chunk{SizeKBv: 12.5}
+	var sized env.Sized = c
+	if sized.SizeKB() != 12.5 {
+		t.Fatalf("SizeKB = %v", sized.SizeKB())
+	}
+}
+
+// TestGobRoundTrip pushes one of every message through gob — what the
+// live TCP transport does — and checks a payload survives.
+func TestGobRoundTrip(t *testing.T) {
+	RegisterMessages()
+	f := media.Format{Codec: media.MPEG2, Width: 800, Height: 600, BitrateKbps: 512}
+	msgs := []any{
+		Join{Info: PeerInfo{SpeedWU: 5, Objects: []media.Object{{Name: "m", Format: f}}}, Hops: 1},
+		JoinRedirect{Target: 3, Reason: "full"},
+		JoinAccept{Domain: 2, RM: 1, Backup: 4, Peers: []env.NodeID{5, 6}},
+		BecomeRM{NewDomain: 9, KnownRMs: []RMRef{{Domain: 0, RM: 1}}},
+		Leave{},
+		HeartbeatReq{Seq: 7, Backup: 2},
+		HeartbeatAck{Seq: 7},
+		BackupSync{State: DomainState{Domain: 1, Version: 3}},
+		TakeoverAnnounce{Domain: 1, NewRM: 2, Backup: 3},
+		TaskSubmit{Spec: TaskSpec{ID: "t", ObjectName: "m", DeadlineMicros: 5}},
+		TaskReject{TaskID: "t", Reason: "nope"},
+		GraphCompose{Session: SessionDesc{TaskID: "t", NumChunks: 3}, Role: RoleSource},
+		ComposeAck{TaskID: "t", Role: 1, Generation: 2},
+		SessionStart{TaskID: "t", Generation: 2},
+		Chunk{TaskID: "t", Index: 1, SizeKBv: 3.5, NextStage: 2},
+		SessionAbort{TaskID: "t", Generation: 1, Reason: "x"},
+		SessionEnd{Report: SessionReport{TaskID: "t", Chunks: 3, Missed: 1}},
+		GossipDigest{From: RMRef{Domain: 1, RM: 2}, Versions: map[DomainID]uint64{1: 2}},
+		GossipSummaries{Summaries: []DomainSummary{{Domain: 1, Version: 2, ObjectBloom: []byte{1, 2}}}},
+	}
+	for i, m := range msgs {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(&m); err != nil {
+			t.Fatalf("msg %d (%T): encode: %v", i, m, err)
+		}
+		var out any
+		if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
+			t.Fatalf("msg %d (%T): decode: %v", i, m, err)
+		}
+		if got, want := typeOf(out), typeOf(m); got != want {
+			t.Fatalf("msg %d: type %s != %s", i, got, want)
+		}
+	}
+	// Spot-check payload integrity.
+	var buf bytes.Buffer
+	var in any = Chunk{TaskID: "x", Index: 5, SizeKBv: 9.25, Deadline: 123456}
+	if err := gob.NewEncoder(&buf).Encode(&in); err != nil {
+		t.Fatal(err)
+	}
+	var out any
+	if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	c := out.(Chunk)
+	if c.TaskID != "x" || c.Index != 5 || c.SizeKBv != 9.25 || c.Deadline != 123456 {
+		t.Fatalf("chunk round trip = %+v", c)
+	}
+}
+
+func typeOf(v any) string { return fmt.Sprintf("%T", v) }

@@ -1,0 +1,279 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d/100 identical draws across different seeds", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := New(7)
+	s := r.Split()
+	// The split stream must not simply replay the parent stream.
+	parent := New(7)
+	parent.Uint64() // account for the draw consumed by Split
+	match := 0
+	for i := 0; i < 100; i++ {
+		if s.Uint64() == parent.Uint64() {
+			match++
+		}
+	}
+	if match > 2 {
+		t.Fatalf("split stream tracks parent: %d/100 matches", match)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(3)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := New(11)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 0.05*want {
+			t.Errorf("bucket %d: %d draws, want ~%.0f", i, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(9)
+	const mean, draws = 42.0, 200000
+	sum := 0.0
+	for i := 0; i < draws; i++ {
+		v := r.Exp(mean)
+		if v < 0 {
+			t.Fatalf("Exp returned negative %v", v)
+		}
+		sum += v
+	}
+	got := sum / draws
+	if math.Abs(got-mean) > 0.02*mean {
+		t.Fatalf("Exp mean = %v, want ~%v", got, mean)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(13)
+	const mean, sd, draws = 5.0, 2.0, 200000
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < draws; i++ {
+		v := r.Normal(mean, sd)
+		sum += v
+		sumsq += v * v
+	}
+	m := sum / draws
+	variance := sumsq/draws - m*m
+	if math.Abs(m-mean) > 0.05 {
+		t.Errorf("Normal mean = %v, want ~%v", m, mean)
+	}
+	if math.Abs(math.Sqrt(variance)-sd) > 0.05 {
+		t.Errorf("Normal stddev = %v, want ~%v", math.Sqrt(variance), sd)
+	}
+}
+
+func TestParetoBounds(t *testing.T) {
+	r := New(17)
+	for i := 0; i < 10000; i++ {
+		v := r.Pareto(1, 100, 1.5)
+		if v < 1 || v > 100 {
+			t.Fatalf("Pareto sample %v out of [1,100]", v)
+		}
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	r := New(19)
+	for i := 0; i < 10000; i++ {
+		v := r.Uniform(3, 8)
+		if v < 3 || v >= 8 {
+			t.Fatalf("Uniform(3,8) = %v out of range", v)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(23)
+	check := func(n uint8) bool {
+		size := int(n%64) + 1
+		p := r.Perm(size)
+		seen := make([]bool, size)
+		for _, v := range p {
+			if v < 0 || v >= size || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	r := New(29)
+	xs := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	seen := make(map[int]bool)
+	for _, v := range xs {
+		seen[v] = true
+	}
+	if len(seen) != 8 {
+		t.Fatalf("shuffle lost elements: %v", xs)
+	}
+}
+
+func TestPick(t *testing.T) {
+	r := New(31)
+	xs := []string{"a", "b", "c"}
+	got := map[string]int{}
+	for i := 0; i < 3000; i++ {
+		got[Pick(r, xs)]++
+	}
+	for _, s := range xs {
+		if got[s] < 800 {
+			t.Errorf("Pick(%q) drawn only %d/3000 times", s, got[s])
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := New(37)
+	z := NewZipf(r, 100, 1.0)
+	counts := make([]int, 100)
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		v := z.Next()
+		if v < 0 || v >= 100 {
+			t.Fatalf("Zipf rank %d out of range", v)
+		}
+		counts[v]++
+	}
+	// Rank 0 should dominate rank 99 by roughly n (here 100x); allow slack.
+	if counts[0] < 20*counts[99] {
+		t.Errorf("Zipf not skewed: rank0=%d rank99=%d", counts[0], counts[99])
+	}
+	// And rank ordering should broadly hold near the head.
+	if counts[0] < counts[10] {
+		t.Errorf("Zipf head inverted: rank0=%d rank10=%d", counts[0], counts[10])
+	}
+}
+
+func TestZipfZeroExponentIsUniform(t *testing.T) {
+	r := New(41)
+	z := NewZipf(r, 10, 0)
+	counts := make([]int, 10)
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		counts[z.Next()]++
+	}
+	want := float64(draws) / 10
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 0.05*want {
+			t.Errorf("uniform-zipf bucket %d: %d, want ~%.0f", i, c, want)
+		}
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(43)
+	hits := 0
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	got := float64(hits) / draws
+	if math.Abs(got-0.3) > 0.01 {
+		t.Fatalf("Bool(0.3) hit rate %v", got)
+	}
+}
+
+func TestMul64(t *testing.T) {
+	cases := []struct{ a, b, hi, lo uint64 }{
+		{0, 0, 0, 0},
+		{1, 1, 0, 1},
+		{1 << 32, 1 << 32, 1, 0},
+		{math.MaxUint64, 2, 1, math.MaxUint64 - 1},
+		{math.MaxUint64, math.MaxUint64, math.MaxUint64 - 1, 1},
+	}
+	for _, c := range cases {
+		hi, lo := mul64(c.a, c.b)
+		if hi != c.hi || lo != c.lo {
+			t.Errorf("mul64(%d,%d) = (%d,%d), want (%d,%d)", c.a, c.b, hi, lo, c.hi, c.lo)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkZipfNext(b *testing.B) {
+	r := New(1)
+	z := NewZipf(r, 10000, 0.9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = z.Next()
+	}
+}

@@ -1,0 +1,470 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/env"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// run builds a processor, feeds it tasks at their Release times, runs the
+// engine to completion, and returns completions in finish order.
+func run(t *testing.T, speed float64, policy Policy, tasks []*Task) []Completion {
+	t.Helper()
+	eng := sim.New()
+	p := NewProcessor(env.SimClock{Eng: eng}, speed, policy)
+	var out []Completion
+	p.OnComplete = func(c Completion) { out = append(out, c) }
+	for _, task := range tasks {
+		task := task
+		eng.At(task.Release, func() { p.Add(task) })
+	}
+	eng.Run()
+	return out
+}
+
+func TestSingleTaskCompletesOnTime(t *testing.T) {
+	tasks := []*Task{{ID: 1, Release: 0, Deadline: 2 * sim.Second, Work: 1}}
+	out := run(t, 1, LLS{}, tasks) // 1 work unit at speed 1 = 1s
+	if len(out) != 1 {
+		t.Fatalf("completions = %d", len(out))
+	}
+	if out[0].Finished != sim.Second {
+		t.Fatalf("finished at %v, want 1s", out[0].Finished)
+	}
+	if out[0].Missed {
+		t.Fatal("on-time task marked missed")
+	}
+}
+
+func TestSpeedScalesExecution(t *testing.T) {
+	tasks := []*Task{{ID: 1, Deadline: 10 * sim.Second, Work: 4}}
+	out := run(t, 2, FIFO{}, tasks)
+	if out[0].Finished != 2*sim.Second {
+		t.Fatalf("finished at %v, want 2s (4 units at speed 2)", out[0].Finished)
+	}
+}
+
+func TestDeadlineMissDetected(t *testing.T) {
+	tasks := []*Task{{ID: 1, Deadline: sim.Second / 2, Work: 1}}
+	out := run(t, 1, LLS{}, tasks)
+	if !out[0].Missed {
+		t.Fatal("late task not marked missed")
+	}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	tasks := []*Task{
+		{ID: 1, Release: 0, Deadline: 10 * sim.Second, Work: 1},
+		{ID: 2, Release: 1, Deadline: 5 * sim.Second, Work: 1}, // earlier deadline, later arrival
+	}
+	out := run(t, 1, FIFO{}, tasks)
+	if out[0].Task.ID != 1 || out[1].Task.ID != 2 {
+		t.Fatalf("FIFO order = %d,%d", out[0].Task.ID, out[1].Task.ID)
+	}
+}
+
+func TestEDFPreemptsOnArrival(t *testing.T) {
+	tasks := []*Task{
+		{ID: 1, Release: 0, Deadline: 10 * sim.Second, Work: 2},
+		{ID: 2, Release: sim.Second / 2, Deadline: 2 * sim.Second, Work: 1},
+	}
+	out := run(t, 1, EDF{}, tasks)
+	if out[0].Task.ID != 2 {
+		t.Fatalf("EDF did not preempt: first completion = task %d", out[0].Task.ID)
+	}
+	// Task 2: arrives 0.5s, runs 1s -> done 1.5s. Task 1: 0.5s done before
+	// preemption, 1.5s remaining after resume at 1.5s -> done 3.0s.
+	if out[0].Finished != 1500*sim.Millisecond {
+		t.Fatalf("task 2 finished %v", out[0].Finished)
+	}
+	if out[1].Finished != 3000*sim.Millisecond {
+		t.Fatalf("task 1 finished %v", out[1].Finished)
+	}
+}
+
+func TestSJFPicksShortest(t *testing.T) {
+	tasks := []*Task{
+		{ID: 1, Release: 0, Deadline: 20 * sim.Second, Work: 5},
+		{ID: 2, Release: 0, Deadline: 20 * sim.Second, Work: 1},
+		{ID: 3, Release: 0, Deadline: 20 * sim.Second, Work: 3},
+	}
+	out := run(t, 1, SJF{}, tasks)
+	want := []TaskID{2, 3, 1}
+	for i, c := range out {
+		if c.Task.ID != want[i] {
+			t.Fatalf("SJF order %v", []TaskID{out[0].Task.ID, out[1].Task.ID, out[2].Task.ID})
+		}
+	}
+}
+
+func TestPriorityOrder(t *testing.T) {
+	tasks := []*Task{
+		{ID: 1, Release: 0, Deadline: 20 * sim.Second, Work: 1, Importance: 1},
+		{ID: 2, Release: 0, Deadline: 20 * sim.Second, Work: 1, Importance: 9},
+		{ID: 3, Release: 0, Deadline: 20 * sim.Second, Work: 1, Importance: 5},
+	}
+	out := run(t, 1, Priority{}, tasks)
+	want := []TaskID{2, 3, 1}
+	for i, c := range out {
+		if c.Task.ID != want[i] {
+			t.Fatalf("priority order wrong at %d: got %d want %d", i, c.Task.ID, want[i])
+		}
+	}
+}
+
+func TestLLSPicksLeastLaxity(t *testing.T) {
+	// Task 1: deadline 10s, work 1 -> laxity 9s.
+	// Task 2: deadline 5s, work 4 -> laxity 1s. LLS runs 2 first.
+	tasks := []*Task{
+		{ID: 1, Release: 0, Deadline: 10 * sim.Second, Work: 1},
+		{ID: 2, Release: 0, Deadline: 5 * sim.Second, Work: 4},
+	}
+	out := run(t, 1, LLS{}, tasks)
+	if out[0].Task.ID != 2 {
+		t.Fatalf("LLS ran task %d first", out[0].Task.ID)
+	}
+}
+
+func TestLLSTimedPreemption(t *testing.T) {
+	// Running task has large laxity; queued task's laxity shrinks and
+	// crosses mid-execution, forcing a preemption with no new arrivals.
+	// Task 1: work 8, deadline 100s -> laxity 92s.
+	// Task 2: work 1, deadline 10s  -> laxity 9s: runs first (1s).
+	// After task 2 completes at 1s, task 1 laxity = 100-1-8=91s. No queue.
+	// Use three tasks to create a crossing instead:
+	// A: work 10, deadline 200s -> laxity 190 (runs only after others).
+	// B: work 2, deadline 30s -> laxity 28. C arrives later.
+	eng := sim.New()
+	p := NewProcessor(env.SimClock{Eng: eng}, 1, LLS{})
+	var order []TaskID
+	p.OnComplete = func(c Completion) { order = append(order, c.Task.ID) }
+	// B runs first (laxity 28 < 190). While B runs its laxity is constant
+	// at 28; A's laxity decreases from 190 — no crossing during B's 2s.
+	// Then A runs (laxity 188 at t=2). Add C at t=3 with laxity slightly
+	// above A's so it queues, then crosses while A runs.
+	eng.At(0, func() {
+		p.Add(&Task{ID: 1, Deadline: 200 * sim.Second, Work: 10})
+		p.Add(&Task{ID: 2, Deadline: 30 * sim.Second, Work: 2})
+	})
+	// At t=3, A (task 1) is running with laxity 200-3-10+1 = laxity is
+	// 200-3-9 = 188s. C: deadline 3+190s, work 1 -> laxity 189s > 188s,
+	// queues; crossing occurs 1s later at t=4.
+	eng.At(3*sim.Second, func() {
+		p.Add(&Task{ID: 3, Release: 3 * sim.Second, Deadline: 193*sim.Second + 3*sim.Second, Work: 1})
+	})
+	eng.Run()
+	// C must have preempted A and completed before it.
+	if len(order) != 3 {
+		t.Fatalf("completions = %v", order)
+	}
+	if order[0] != 2 || order[1] != 3 || order[2] != 1 {
+		t.Fatalf("order = %v, want [2 3 1]", order)
+	}
+}
+
+func TestRemoveRunningTask(t *testing.T) {
+	eng := sim.New()
+	p := NewProcessor(env.SimClock{Eng: eng}, 1, FIFO{})
+	var done []TaskID
+	p.OnComplete = func(c Completion) { done = append(done, c.Task.ID) }
+	eng.At(0, func() {
+		p.Add(&Task{ID: 1, Deadline: 10 * sim.Second, Work: 5})
+		p.Add(&Task{ID: 2, Deadline: 10 * sim.Second, Work: 1})
+	})
+	eng.At(2*sim.Second, func() {
+		rem, ok := p.Remove(1)
+		if !ok {
+			t.Error("Remove failed")
+		}
+		if rem < 2.9 || rem > 3.1 { // 5 work - 2s at speed 1
+			t.Errorf("remaining = %v, want ~3", rem)
+		}
+	})
+	eng.Run()
+	if len(done) != 1 || done[0] != 2 {
+		t.Fatalf("completions = %v, want just task 2", done)
+	}
+	// Task 2 should have started at removal time and run 1s.
+	if eng.Now() != 3*sim.Second {
+		t.Fatalf("final time %v, want 3s", eng.Now())
+	}
+}
+
+func TestRemoveQueuedTask(t *testing.T) {
+	eng := sim.New()
+	p := NewProcessor(env.SimClock{Eng: eng}, 1, FIFO{})
+	count := 0
+	p.OnComplete = func(Completion) { count++ }
+	eng.At(0, func() {
+		p.Add(&Task{ID: 1, Deadline: 10 * sim.Second, Work: 2})
+		p.Add(&Task{ID: 2, Deadline: 10 * sim.Second, Work: 2})
+	})
+	eng.At(sim.Second, func() {
+		if rem, ok := p.Remove(2); !ok || rem != 2 {
+			t.Errorf("Remove(2) = %v,%v", rem, ok)
+		}
+	})
+	eng.Run()
+	if count != 1 {
+		t.Fatalf("completions = %d", count)
+	}
+}
+
+func TestRemoveUnknownTask(t *testing.T) {
+	eng := sim.New()
+	p := NewProcessor(env.SimClock{Eng: eng}, 1, FIFO{})
+	if _, ok := p.Remove(99); ok {
+		t.Fatal("Remove of unknown task succeeded")
+	}
+}
+
+func TestStatsAndUtilization(t *testing.T) {
+	eng := sim.New()
+	p := NewProcessor(env.SimClock{Eng: eng}, 1, LLS{})
+	eng.At(0, func() {
+		p.Add(&Task{ID: 1, Deadline: sim.Second / 2, Work: 1}) // will miss
+		p.Add(&Task{ID: 2, Deadline: 10 * sim.Second, Work: 1})
+	})
+	eng.Run()
+	st := p.Stats()
+	if st.Completed != 2 || st.Missed != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.MissRatio() != 0.5 {
+		t.Fatalf("MissRatio = %v", st.MissRatio())
+	}
+	if st.TotalLateness <= 0 {
+		t.Fatal("lateness not recorded")
+	}
+	// Processor was busy 2s of the 2s elapsed.
+	if u := p.Utilization(); u < 0.99 || u > 1.01 {
+		t.Fatalf("Utilization = %v", u)
+	}
+}
+
+func TestUtilizationIdleGaps(t *testing.T) {
+	eng := sim.New()
+	p := NewProcessor(env.SimClock{Eng: eng}, 1, LLS{})
+	eng.At(0, func() { p.Add(&Task{ID: 1, Deadline: 10 * sim.Second, Work: 1}) })
+	eng.RunUntil(4 * sim.Second) // 1s busy in 4s
+	if u := p.Utilization(); u < 0.24 || u > 0.26 {
+		t.Fatalf("Utilization = %v, want 0.25", u)
+	}
+}
+
+func TestAddValidation(t *testing.T) {
+	eng := sim.New()
+	p := NewProcessor(env.SimClock{Eng: eng}, 1, LLS{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-work task accepted")
+		}
+	}()
+	p.Add(&Task{ID: 1, Deadline: sim.Second})
+}
+
+func TestNewProcessorValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero speed accepted")
+		}
+	}()
+	NewProcessor(env.SimClock{Eng: sim.New()}, 0, LLS{})
+}
+
+func TestLaxity(t *testing.T) {
+	task := &Task{Deadline: 10 * sim.Second, Work: 2, remaining: 2}
+	// At t=0, speed 1: laxity = 10s - 2s = 8s.
+	if got := task.Laxity(0, 1); got != 8*sim.Second {
+		t.Fatalf("laxity = %v", got)
+	}
+	// Speed 2 halves execution time.
+	if got := task.Laxity(0, 2); got != 9*sim.Second {
+		t.Fatalf("laxity at speed 2 = %v", got)
+	}
+}
+
+func TestDeterministicTieBreak(t *testing.T) {
+	// Identical tasks: completion order must be by ID (released together).
+	for trial := 0; trial < 3; trial++ {
+		tasks := []*Task{
+			{ID: 3, Deadline: 10 * sim.Second, Work: 1},
+			{ID: 1, Deadline: 10 * sim.Second, Work: 1},
+			{ID: 2, Deadline: 10 * sim.Second, Work: 1},
+		}
+		out := run(t, 1, EDF{}, tasks)
+		if out[0].Task.ID != 1 || out[1].Task.ID != 2 || out[2].Task.ID != 3 {
+			t.Fatalf("tie-break order = %d,%d,%d", out[0].Task.ID, out[1].Task.ID, out[2].Task.ID)
+		}
+	}
+}
+
+// Conservation property: under any policy, total busy time equals total
+// work / speed and every admitted task completes exactly once when the
+// system is given enough time.
+func TestPropertyWorkConservation(t *testing.T) {
+	r := rng.New(77)
+	policies := []Policy{LLS{}, EDF{}, FIFO{}, SJF{}, Priority{}}
+	for trial := 0; trial < 40; trial++ {
+		policy := policies[trial%len(policies)]
+		eng := sim.New()
+		speed := r.Uniform(0.5, 4)
+		p := NewProcessor(env.SimClock{Eng: eng}, speed, policy)
+		seen := map[TaskID]int{}
+		p.OnComplete = func(c Completion) { seen[c.Task.ID]++ }
+		n := 1 + r.Intn(20)
+		totalWork := 0.0
+		for i := 0; i < n; i++ {
+			w := r.Uniform(0.1, 3)
+			totalWork += w
+			task := &Task{
+				ID:       TaskID(i),
+				Release:  sim.Time(r.Intn(5_000_000)),
+				Deadline: sim.Time(r.Intn(20_000_000)),
+				Work:     w,
+			}
+			eng.At(task.Release, func() { p.Add(task) })
+		}
+		eng.Run()
+		if len(seen) != n {
+			t.Fatalf("trial %d (%s): %d/%d tasks completed", trial, policy.Name(), len(seen), n)
+		}
+		for id, c := range seen {
+			if c != 1 {
+				t.Fatalf("trial %d: task %d completed %d times", trial, id, c)
+			}
+		}
+		busySec := p.Stats().BusyMicros.Seconds()
+		wantSec := totalWork / speed
+		if diff := busySec - wantSec; diff > 0.001 || diff < -0.001 {
+			t.Fatalf("trial %d (%s): busy %vs, want %vs", trial, policy.Name(), busySec, wantSec)
+		}
+	}
+}
+
+// At moderate load, LLS and EDF (both deadline-aware) should miss no more
+// deadlines than FIFO on deadline-diverse workloads.
+func TestDeadlineAwareBeatsFIFO(t *testing.T) {
+	r := rng.New(123)
+	type result struct{ lls, edf, fifo int }
+	var totals result
+	for trial := 0; trial < 20; trial++ {
+		var tasks []*Task
+		release := sim.Time(0)
+		for i := 0; i < 60; i++ {
+			release += sim.Time(r.Exp(0.11) * 1e6) // ~0.9 utilization at speed 1
+			work := r.Uniform(0.02, 0.18)
+			// Tight or loose deadline, mixed.
+			var dl sim.Time
+			if r.Bool(0.5) {
+				dl = release + sim.Time(work*1e6*r.Uniform(1.1, 2))
+			} else {
+				dl = release + sim.Time(work*1e6*r.Uniform(4, 10))
+			}
+			tasks = append(tasks, &Task{ID: TaskID(i), Release: release, Deadline: dl, Work: work})
+		}
+		copyTasks := func() []*Task {
+			out := make([]*Task, len(tasks))
+			for i, task := range tasks {
+				c := *task
+				out[i] = &c
+			}
+			return out
+		}
+		miss := func(p Policy) int {
+			missed := 0
+			for _, c := range run(t, 1, p, copyTasks()) {
+				if c.Missed {
+					missed++
+				}
+			}
+			return missed
+		}
+		totals.lls += miss(LLS{})
+		totals.edf += miss(EDF{})
+		totals.fifo += miss(FIFO{})
+	}
+	if totals.lls > totals.fifo {
+		t.Fatalf("LLS missed %d > FIFO %d", totals.lls, totals.fifo)
+	}
+	if totals.edf > totals.fifo {
+		t.Fatalf("EDF missed %d > FIFO %d", totals.edf, totals.fifo)
+	}
+}
+
+func TestProcessorString(t *testing.T) {
+	p := NewProcessor(env.SimClock{Eng: sim.New()}, 2, LLS{})
+	s := p.String()
+	if s == "" || s[0] != 'p' {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func BenchmarkProcessorThroughput(b *testing.B) {
+	eng := sim.New()
+	p := NewProcessor(env.SimClock{Eng: eng}, 100, LLS{})
+	r := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Add(&Task{
+			ID:       TaskID(i),
+			Deadline: eng.Now() + sim.Time(r.Intn(1_000_000)),
+			Work:     r.Uniform(0.01, 0.1),
+		})
+		if p.QueueLength() > 64 {
+			eng.Run()
+		}
+	}
+	eng.Run()
+}
+
+func TestQuantumBoundsPreemptionRate(t *testing.T) {
+	// Two tasks with near-equal laxity would thrash under pure LLS; the
+	// quantum must bound the number of context switches.
+	eng := sim.New()
+	p := NewProcessor(env.SimClock{Eng: eng}, 1, LLS{})
+	p.Quantum = 100 * sim.Millisecond
+	eng.At(0, func() {
+		p.Add(&Task{ID: 1, Deadline: 30 * sim.Second, Work: 5})
+		p.Add(&Task{ID: 2, Deadline: 30*sim.Second + 1, Work: 5})
+	})
+	eng.Run()
+	// Total work 10s; with a 100ms quantum the engine fires at most a few
+	// hundred events — not millions.
+	if eng.Fired() > 500 {
+		t.Fatalf("event count %d suggests preemption thrash", eng.Fired())
+	}
+	st := p.Stats()
+	if st.Completed != 2 {
+		t.Fatalf("completed = %d", st.Completed)
+	}
+}
+
+func TestRemoveDuringLLSPreemptionWindow(t *testing.T) {
+	// Removing the queued task that a pending laxity-crossing preemption
+	// points at must not panic or fire a stale switch.
+	eng := sim.New()
+	p := NewProcessor(env.SimClock{Eng: eng}, 1, LLS{})
+	eng.At(0, func() {
+		p.Add(&Task{ID: 1, Deadline: 100 * sim.Second, Work: 3})
+		p.Add(&Task{ID: 2, Deadline: 101 * sim.Second, Work: 3})
+	})
+	eng.At(sim.Second, func() {
+		if _, ok := p.Remove(2); !ok {
+			t.Error("Remove(2) failed")
+		}
+	})
+	eng.Run()
+	if st := p.Stats(); st.Completed != 1 {
+		t.Fatalf("completed = %d, want 1", st.Completed)
+	}
+}
+
+func TestUtilizationAtTimeZero(t *testing.T) {
+	p := NewProcessor(env.SimClock{Eng: sim.New()}, 1, LLS{})
+	if u := p.Utilization(); u != 0 {
+		t.Fatalf("Utilization at t=0 = %v", u)
+	}
+}

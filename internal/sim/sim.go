@@ -1,0 +1,221 @@
+// Package sim is a deterministic discrete-event simulation engine.
+//
+// The engine maintains a virtual clock in microseconds and a binary heap of
+// pending events. Events scheduled for the same instant fire in the order
+// they were scheduled (ties broken by a monotone sequence number), which
+// makes runs bit-reproducible given the same seed and schedule.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a virtual timestamp in microseconds since the start of the run.
+type Time int64
+
+// Common durations expressed in Time units.
+const (
+	Microsecond Time = 1
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+	Minute      Time = 60 * Second
+)
+
+// Seconds converts t to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Millis converts t to floating-point milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+// String renders the time with an adaptive unit.
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", t.Millis())
+	default:
+		return fmt.Sprintf("%dµs", int64(t))
+	}
+}
+
+// FromSeconds converts floating-point seconds to Time, rounding to the
+// nearest microsecond.
+func FromSeconds(s float64) Time { return Time(s*float64(Second) + 0.5) }
+
+// event is one pending callback.
+type event struct {
+	at    Time
+	seq   uint64
+	fn    func()
+	index int  // heap index, maintained by eventQueue
+	dead  bool // cancelled
+}
+
+// eventQueue is a min-heap ordered by (at, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Engine runs events in virtual-time order. It is not safe for concurrent
+// use; all simulated components run on the engine's single logical thread.
+type Engine struct {
+	now    Time
+	seq    uint64
+	queue  eventQueue
+	fired  uint64
+	halted bool
+}
+
+// New returns an engine with the clock at zero.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired reports how many events have executed.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending reports how many events are queued.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Handle identifies a scheduled event and allows cancellation.
+type Handle struct{ ev *event }
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op. It reports whether the event was
+// still pending.
+func (h Handle) Cancel() bool {
+	if h.ev == nil || h.ev.dead || h.ev.index < 0 {
+		return false
+	}
+	h.ev.dead = true
+	return true
+}
+
+// At schedules fn to run at absolute time at. Scheduling in the past
+// panics: it would silently reorder causality.
+func (e *Engine) At(at Time, fn func()) Handle {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", at, e.now))
+	}
+	ev := &event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return Handle{ev}
+}
+
+// After schedules fn to run delay from now.
+func (e *Engine) After(delay Time, fn func()) Handle {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// Every schedules fn to run now+delay and then every period until the
+// returned Ticker is stopped.
+func (e *Engine) Every(delay, period Time, fn func()) *Ticker {
+	if period <= 0 {
+		panic("sim: Every with non-positive period")
+	}
+	t := &Ticker{engine: e, period: period, fn: fn}
+	t.handle = e.After(delay, t.tick)
+	return t
+}
+
+// Ticker is a repeating event created by Every.
+type Ticker struct {
+	engine  *Engine
+	period  Time
+	fn      func()
+	handle  Handle
+	stopped bool
+}
+
+func (t *Ticker) tick() {
+	if t.stopped {
+		return
+	}
+	t.fn()
+	if !t.stopped { // fn may have stopped the ticker
+		t.handle = t.engine.After(t.period, t.tick)
+	}
+}
+
+// Stop cancels future ticks.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	t.handle.Cancel()
+}
+
+// Halt stops the current Run/RunUntil after the in-flight event returns.
+func (e *Engine) Halt() { e.halted = true }
+
+// Step executes the next pending event, advancing the clock. It reports
+// whether an event ran.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.dead {
+			continue
+		}
+		e.now = ev.at
+		e.fired++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil executes events until the queue is empty or the next event is
+// after deadline; the clock then advances to deadline (never backwards).
+func (e *Engine) RunUntil(deadline Time) {
+	e.halted = false
+	for !e.halted {
+		// Skip dead events at the head so their timestamps don't gate us.
+		for len(e.queue) > 0 && e.queue[0].dead {
+			heap.Pop(&e.queue)
+		}
+		if len(e.queue) == 0 || e.queue[0].at > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// Run executes events until the queue drains or Halt is called.
+func (e *Engine) Run() {
+	e.halted = false
+	for !e.halted && e.Step() {
+	}
+}

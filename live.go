@@ -1,0 +1,142 @@
+package p2prm
+
+import (
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/live"
+	"repro/internal/proto"
+)
+
+// Live hosts real-time peers in this process: each peer is a goroutine
+// with a serialized mailbox running exactly the same protocol logic as
+// the simulation. Attach a TCP transport (via LiveOptions.Listen and
+// Register) to span processes.
+type Live struct {
+	rt     *live.Runtime
+	tr     *live.TCPTransport
+	addr   string
+	events *core.Events
+	cfg    Config
+	peers  map[NodeID]*core.Peer
+}
+
+// LiveOptions configures a live runtime.
+type LiveOptions struct {
+	// Seed initializes per-node randomness (live runs are not
+	// deterministic; the seed only decorrelates nodes).
+	Seed uint64
+	// Listen, when non-empty, starts a TCP listener for inter-process
+	// messages ("host:port" or ":0").
+	Listen string
+	// Logger receives node diagnostics; nil silences them.
+	Logger *log.Logger
+}
+
+// NewLive creates a live runtime.
+func NewLive(cfg Config, opts LiveOptions) (*Live, error) {
+	proto.RegisterMessages()
+	rt := live.NewRuntime(opts.Seed)
+	rt.Logger = opts.Logger
+	l := &Live{
+		rt:     rt,
+		events: &core.Events{},
+		cfg:    cfg,
+		peers:  make(map[NodeID]*core.Peer),
+	}
+	if opts.Listen != "" {
+		l.tr = live.NewTCPTransport(rt)
+		addr, err := l.tr.Listen(opts.Listen)
+		if err != nil {
+			return nil, err
+		}
+		l.addr = addr
+	}
+	return l, nil
+}
+
+// ListenAddr returns the bound TCP address ("" without a transport).
+func (l *Live) ListenAddr() string { return l.addr }
+
+// Register maps a remote node ID to its TCP address. Only valid when the
+// runtime was created with Listen.
+func (l *Live) Register(id NodeID, addr string) {
+	if l.tr != nil {
+		l.tr.Register(id, addr)
+	}
+}
+
+// StartFounder hosts a peer that founds domain 0, returning its ID.
+func (l *Live) StartFounder(info PeerInfo) NodeID {
+	p := core.New(l.cfg, info, NoNode, l.events)
+	id := l.rt.AddNode(p)
+	l.peers[id] = p
+	return id
+}
+
+// StartPeer hosts a peer that joins through bootstrap.
+func (l *Live) StartPeer(info PeerInfo, bootstrap NodeID) NodeID {
+	p := core.New(l.cfg, info, bootstrap, l.events)
+	id := l.rt.AddNode(p)
+	l.peers[id] = p
+	return id
+}
+
+// StartPeerWithID hosts a peer under a fixed global ID (multi-process
+// deployments assign IDs in their address book).
+func (l *Live) StartPeerWithID(id NodeID, info PeerInfo, bootstrap NodeID) {
+	p := core.New(l.cfg, info, bootstrap, l.events)
+	l.rt.AddNodeWithID(id, p)
+	l.peers[id] = p
+}
+
+// Submit issues a task query from the given hosted peer and returns the
+// task ID ("" if the peer is unknown).
+func (l *Live) Submit(origin NodeID, spec TaskSpec) string {
+	p, ok := l.peers[origin]
+	if !ok {
+		return ""
+	}
+	var taskID string
+	l.rt.Call(origin, func() { taskID = p.SubmitTask(spec) })
+	return taskID
+}
+
+// Joined reports whether a hosted peer is a domain member.
+func (l *Live) Joined(id NodeID) bool {
+	p, ok := l.peers[id]
+	if !ok {
+		return false
+	}
+	var joined bool
+	l.rt.Call(id, func() { joined = p.Joined() })
+	return joined
+}
+
+// IsRM reports whether a hosted peer holds the Resource-Manager role.
+func (l *Live) IsRM(id NodeID) bool {
+	p, ok := l.peers[id]
+	if !ok {
+		return false
+	}
+	var is bool
+	l.rt.Call(id, func() { is = p.IsRM() })
+	return is
+}
+
+// Events returns a snapshot of run outcomes.
+func (l *Live) Events() EventsData { return l.events.Snapshot() }
+
+// StopPeer gracefully stops one hosted peer.
+func (l *Live) StopPeer(id NodeID) {
+	l.rt.Stop(id)
+	delete(l.peers, id)
+}
+
+// Close shuts everything down.
+func (l *Live) Close() {
+	l.rt.Shutdown()
+	if l.tr != nil {
+		l.tr.Close()
+	}
+}

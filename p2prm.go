@@ -1,0 +1,89 @@
+// Package p2prm is an adaptive resource-management middleware for
+// peer-to-peer soft real-time applications — a from-scratch reproduction
+// of Repantis, Drougas & Kalogeraki, "Adaptive Resource Management in
+// Peer-to-Peer Middleware" (IPPS 2005).
+//
+// The middleware organizes peers into domains led by elected Resource
+// Managers that maintain resource graphs of the services peers offer
+// (e.g. media transcoders), allocate task execution sequences that meet
+// deadlines while maximizing Jain's fairness index of the peer load
+// distribution, schedule local work with Least Laxity Scheduling, and
+// adapt to churn and overload by repairing and reassigning running
+// sessions.
+//
+// Two entry points:
+//
+//   - Simulation runs a whole overlay deterministically on a virtual
+//     clock — this is what the evaluation suite uses.
+//   - Live hosts the same protocol logic in real time on goroutines,
+//     with in-process channel transport or TCP between processes.
+//
+// See DESIGN.md for the architecture and EXPERIMENTS.md for the
+// reproduction results.
+package p2prm
+
+import (
+	"repro/internal/core"
+	"repro/internal/env"
+	"repro/internal/media"
+	"repro/internal/proto"
+	"repro/internal/sim"
+)
+
+// Re-exported domain types. These aliases form the public vocabulary of
+// the library; the implementations live in internal packages.
+type (
+	// Config tunes protocol behavior (domain size, heartbeat and gossip
+	// periods, allocator, scheduling policy, ...).
+	Config = core.Config
+	// PeerInfo describes a peer: capacity, uptime, stored objects and
+	// offered transcoding services.
+	PeerInfo = proto.PeerInfo
+	// TaskSpec is a user query: object name, acceptable formats,
+	// startup deadline, importance, duration.
+	TaskSpec = proto.TaskSpec
+	// SessionReport is the sink-side account of a finished stream.
+	SessionReport = proto.SessionReport
+	// EventsData aggregates run-wide outcomes (admissions, rejections,
+	// repairs, failovers, session reports).
+	EventsData = core.EventsData
+	// NodeID identifies a peer in the overlay.
+	NodeID = env.NodeID
+	// Time is a timestamp/duration in microseconds.
+	Time = sim.Time
+
+	// Format is a concrete media presentation (codec, resolution,
+	// bitrate).
+	Format = media.Format
+	// Constraint is the acceptable-format set attached to a request.
+	Constraint = media.Constraint
+	// Transcoder converts one Format to another at a CPU cost.
+	Transcoder = media.Transcoder
+	// Object is a stored media object.
+	Object = media.Object
+	// Codec identifies a codec family.
+	Codec = media.Codec
+)
+
+// Time units re-exported for request construction.
+const (
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+	Minute      = sim.Minute
+)
+
+// Codecs used by the standard catalog.
+const (
+	MPEG2 = media.MPEG2
+	MPEG4 = media.MPEG4
+	H263  = media.H263
+	RAW   = media.RAW
+)
+
+// NoNode is the absent-peer sentinel.
+const NoNode = env.NoNode
+
+// DefaultConfig returns the baseline configuration used throughout the
+// paper reproduction.
+func DefaultConfig() Config { return core.DefaultConfig() }

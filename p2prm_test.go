@@ -1,0 +1,195 @@
+package p2prm_test
+
+import (
+	"testing"
+	"time"
+
+	"repro"
+)
+
+// strongPeer is a well-provisioned RM-qualified peer.
+func strongPeer() p2prm.PeerInfo {
+	src := p2prm.Format{Codec: p2prm.MPEG2, Width: 800, Height: 600, BitrateKbps: 512}
+	mid := p2prm.Format{Codec: p2prm.MPEG2, Width: 640, Height: 480, BitrateKbps: 256}
+	tgt := p2prm.Format{Codec: p2prm.MPEG4, Width: 640, Height: 480, BitrateKbps: 64}
+	return p2prm.PeerInfo{
+		SpeedWU:       10,
+		BandwidthKbps: 5000,
+		UptimeSec:     7200,
+		Services: []p2prm.Transcoder{
+			{From: src, To: mid},
+			{From: mid, To: tgt},
+		},
+	}
+}
+
+func TestSimulationEndToEnd(t *testing.T) {
+	sim := p2prm.NewSimulation(p2prm.DefaultConfig(), p2prm.SimOptions{Seed: 1})
+	founder := strongPeer()
+	founder.Objects = []p2prm.Object{{
+		Name:   "movie",
+		Format: p2prm.Format{Codec: p2prm.MPEG2, Width: 800, Height: 600, BitrateKbps: 512},
+		Bytes:  512 * 1000 / 8 * 10, // 10 seconds
+	}}
+	id0 := sim.AddFounder(founder)
+	for i := 0; i < 5; i++ {
+		sim.AddPeer(strongPeer(), id0)
+	}
+	sim.RunFor(5 * p2prm.Second)
+	if sim.JoinedCount() != 6 {
+		t.Fatalf("joined = %d", sim.JoinedCount())
+	}
+	if rms := sim.ResourceManagers(); len(rms) != 1 || rms[0] != id0 {
+		t.Fatalf("RMs = %v", rms)
+	}
+	sim.Submit(sim.Now(), 3, p2prm.TaskSpec{
+		ObjectName: "movie",
+		Constraint: p2prm.Constraint{
+			Codecs:         []p2prm.Codec{p2prm.MPEG4},
+			MaxWidth:       640,
+			MaxHeight:      480,
+			MaxBitrateKbps: 64,
+		},
+		DeadlineMicros: 2_000_000,
+		DurationSec:    10,
+		ChunkSec:       1,
+	})
+	sim.RunFor(60 * p2prm.Second)
+	ev := sim.Events()
+	if ev.Admitted != 1 || len(ev.Reports) != 1 {
+		t.Fatalf("events %+v", ev)
+	}
+	if ev.Reports[0].Missed != 0 {
+		t.Fatalf("missed chunks on idle overlay: %+v", ev.Reports[0])
+	}
+	if sim.MissRate() != 0 {
+		t.Fatalf("MissRate = %v", sim.MissRate())
+	}
+	if sim.MessagesSent() == 0 {
+		t.Fatal("no messages counted")
+	}
+}
+
+func TestSimulationGrowAndWorkload(t *testing.T) {
+	cfg := p2prm.DefaultConfig()
+	cfg.MaxDomainPeers = 8
+	sim := p2prm.NewSimulation(cfg, p2prm.SimOptions{Seed: 7})
+	ids := sim.GrowStandard(20, 4, 12, 3, 0.5)
+	if len(ids) != 20 {
+		t.Fatalf("grew %d", len(ids))
+	}
+	sim.RunFor(15 * p2prm.Second)
+	if sim.JoinedCount() != 20 {
+		t.Fatalf("joined = %d/20", sim.JoinedCount())
+	}
+	if len(sim.ResourceManagers()) < 2 {
+		t.Fatalf("domains = %v", sim.ResourceManagers())
+	}
+	start := sim.Now()
+	sim.StandardWorkload(start, start+30*p2prm.Second, 1.0, 12)
+	sim.RunFor(120 * p2prm.Second)
+	ev := sim.Events()
+	if ev.Submitted == 0 || ev.Admitted == 0 {
+		t.Fatalf("workload made no progress: %+v", ev)
+	}
+}
+
+func TestSimulationDeterminism(t *testing.T) {
+	run := func() p2prm.EventsData {
+		sim := p2prm.NewSimulation(p2prm.DefaultConfig(), p2prm.SimOptions{Seed: 99, JitterFrac: 0.3})
+		sim.GrowStandard(10, 4, 8, 2, 0.5)
+		sim.RunFor(10 * p2prm.Second)
+		start := sim.Now()
+		sim.StandardWorkload(start, start+20*p2prm.Second, 1.5, 8)
+		sim.RunFor(90 * p2prm.Second)
+		return sim.Events()
+	}
+	a, b := run(), run()
+	if a.Submitted != b.Submitted || a.Admitted != b.Admitted || len(a.Reports) != len(b.Reports) {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestSimulationChurn(t *testing.T) {
+	sim := p2prm.NewSimulation(p2prm.DefaultConfig(), p2prm.SimOptions{Seed: 5})
+	sim.GrowStandard(16, 4, 8, 3, 0.6)
+	sim.RunFor(10 * p2prm.Second)
+	start := sim.Now()
+	sim.StandardWorkload(start, start+40*p2prm.Second, 1.0, 8)
+	sim.StandardChurn(start, start+40*p2prm.Second, 6)
+	sim.RunFor(120 * p2prm.Second)
+	if sim.JoinedCount() >= 16 {
+		t.Fatal("churn removed nobody")
+	}
+	// The overlay must have kept serving.
+	if ev := sim.Events(); len(ev.Reports) == 0 {
+		t.Fatalf("no sessions survived churn: %+v", ev)
+	}
+}
+
+func TestLiveInProcess(t *testing.T) {
+	cfg := p2prm.DefaultConfig()
+	cfg.HeartbeatPeriod = 50 * p2prm.Millisecond
+	cfg.ProfilePeriod = 50 * p2prm.Millisecond
+	cfg.GossipPeriod = 0
+	cfg.AdaptPeriod = 0
+
+	l, err := p2prm.NewLive(cfg, p2prm.LiveOptions{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	founder := strongPeer()
+	founder.Objects = []p2prm.Object{{
+		Name:   "clip",
+		Format: p2prm.Format{Codec: p2prm.MPEG2, Width: 640, Height: 480, BitrateKbps: 256},
+		Bytes:  256 * 1000 / 8 / 2, // 0.5s
+	}}
+	id0 := l.StartFounder(founder)
+	id1 := l.StartPeer(strongPeer(), id0)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if l.Joined(id0) && l.Joined(id1) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !l.IsRM(id0) {
+		t.Fatal("founder is not RM")
+	}
+	taskID := l.Submit(id1, p2prm.TaskSpec{
+		ObjectName:     "clip",
+		Constraint:     p2prm.Constraint{}, // direct streaming
+		DeadlineMicros: 500_000,
+		DurationSec:    0.5,
+		ChunkSec:       0.1,
+	})
+	if taskID == "" {
+		t.Fatal("submit failed")
+	}
+	deadline = time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(l.Events().Reports) == 1 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	reports := l.Events().Reports
+	if len(reports) != 1 || reports[0].Received != reports[0].Chunks {
+		t.Fatalf("live session reports = %+v", reports)
+	}
+}
+
+func TestLiveTCPAddr(t *testing.T) {
+	l, err := p2prm.NewLive(p2prm.DefaultConfig(), p2prm.LiveOptions{Listen: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if l.ListenAddr() == "" {
+		t.Fatal("no listen address")
+	}
+	l.Register(42, "127.0.0.1:1") // must not panic
+}

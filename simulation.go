@@ -1,0 +1,135 @@
+package p2prm
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// SimOptions configures the simulated network and randomness.
+type SimOptions struct {
+	// Seed makes the whole run reproducible. Runs with equal seeds and
+	// schedules are bit-identical.
+	Seed uint64
+	// LatencyMicros is the one-way link latency (default 10ms).
+	LatencyMicros int64
+	// JitterFrac adds uniform [0, JitterFrac) extra latency per message.
+	JitterFrac float64
+	// LossRate drops messages independently with this probability.
+	LossRate float64
+}
+
+// Simulation is a deterministic overlay under virtual time.
+type Simulation struct {
+	c   *cluster.Cluster
+	cat cluster.Catalog
+}
+
+// NewSimulation creates an empty simulated overlay.
+func NewSimulation(cfg Config, opts SimOptions) *Simulation {
+	lat := opts.LatencyMicros
+	if lat == 0 {
+		lat = 10_000
+	}
+	netCfg := netsim.Config{
+		Latency:    netsim.UniformLatency(sim.Time(lat)),
+		JitterFrac: opts.JitterFrac,
+		LossRate:   opts.LossRate,
+	}
+	return &Simulation{
+		c:   cluster.New(cfg, netCfg, opts.Seed),
+		cat: cluster.StandardCatalog(),
+	}
+}
+
+// AddFounder starts the first node, which founds domain 0 as its
+// Resource Manager, and returns its ID.
+func (s *Simulation) AddFounder(info PeerInfo) NodeID { return s.c.AddFounder(info) }
+
+// AddPeer starts a node that joins the overlay through bootstrap.
+func (s *Simulation) AddPeer(info PeerInfo, bootstrap NodeID) NodeID {
+	return s.c.AddPeer(info, bootstrap)
+}
+
+// Now returns the current virtual time.
+func (s *Simulation) Now() Time { return s.c.Eng.Now() }
+
+// RunFor advances virtual time by d, executing all due events.
+func (s *Simulation) RunFor(d Time) { s.c.RunUntil(s.c.Eng.Now() + d) }
+
+// RunUntil advances virtual time to t.
+func (s *Simulation) RunUntil(t Time) { s.c.RunUntil(t) }
+
+// Submit schedules a task query from origin at virtual time at.
+func (s *Simulation) Submit(at Time, origin NodeID, spec TaskSpec) {
+	s.c.Submit(at, origin, spec)
+}
+
+// Crash schedules a silent node failure.
+func (s *Simulation) Crash(at Time, id NodeID) { s.c.Crash(at, id) }
+
+// Leave schedules a graceful departure.
+func (s *Simulation) Leave(at Time, id NodeID) { s.c.Leave(at, id) }
+
+// Events returns a snapshot of run-wide outcomes.
+func (s *Simulation) Events() EventsData { return s.c.Events.Snapshot() }
+
+// MissRate returns the aggregate chunk-deadline miss rate so far.
+func (s *Simulation) MissRate() float64 { return s.c.Events.MissRate() }
+
+// ResourceManagers lists the nodes currently holding the RM role.
+func (s *Simulation) ResourceManagers() []NodeID { return s.c.RMs() }
+
+// JoinedCount counts live domain members.
+func (s *Simulation) JoinedCount() int { return s.c.JoinedCount() }
+
+// Peer gives direct access to a node's actor for inspection. All peer
+// methods must be called while the simulation is not running (between
+// RunFor calls), which is naturally the case for sequential test code.
+func (s *Simulation) Peer(id NodeID) *core.Peer { return s.c.Peer(id) }
+
+// MessagesSent returns the total messages injected into the network.
+func (s *Simulation) MessagesSent() uint64 { return s.c.Net.Stats().Sent }
+
+// Catalog returns the standard media format catalog used by the
+// synthetic workload helpers.
+func (s *Simulation) Catalog() cluster.Catalog { return s.cat }
+
+// GrowStandard bootstraps a standard overlay: n heterogeneous peers with
+// svcPerPeer transcoders each, objects objects replicated replicas-wide,
+// joined through random contacts. Returns the IDs in join order.
+func (s *Simulation) GrowStandard(n, svcPerPeer, objects, replicas int, qualifiedFrac float64) []NodeID {
+	r := s.c.R.Split()
+	infos := cluster.PeerSpecs(r, n, s.c.Cfg.Qualify, qualifiedFrac)
+	s.cat.Populate(r, infos, svcPerPeer, objects, replicas, 20)
+	ids := make([]NodeID, 0, n)
+	for i, info := range infos {
+		if i == 0 && s.c.JoinedCount() == 0 {
+			ids = append(ids, s.c.AddFounder(info))
+			continue
+		}
+		existing := s.c.IDs()
+		boot := existing[r.Intn(len(existing))]
+		ids = append(ids, s.c.AddPeer(info, boot))
+		s.RunFor(100 * Millisecond)
+	}
+	return ids
+}
+
+// StandardWorkload drives Poisson task arrivals over [from, to) at the
+// given rate, drawing objects Zipf-popularly from the standard catalog.
+func (s *Simulation) StandardWorkload(from, to Time, ratePerSec float64, objects int) {
+	mix := workload.DefaultMix()
+	mix.RatePerSec = ratePerSec
+	mix.Objects = objects
+	d := workload.NewDriver(s.c, s.cat, mix, rng.New(s.c.R.Uint64()))
+	d.Run(from, to)
+}
+
+// StandardChurn injects crash/leave events over [from, to) at eventsPerMin.
+func (s *Simulation) StandardChurn(from, to Time, eventsPerMin float64) {
+	workload.Churn(s.c, rng.New(s.c.R.Uint64()), from, to, eventsPerMin/60, 0.7, nil)
+}
