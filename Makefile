@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: check vet fmt build test race bench-trace
+
+# check is the pre-commit gate referenced from README: static checks,
+# full build, race-enabled tests, and the disabled-tracing overhead
+# benchmark (EXPERIMENTS.md "Tracing overhead microbenchmark").
+check: vet fmt build race bench-trace
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench-trace:
+	$(GO) test -run '^$$' -bench 'SimulatedSession|TraceDisabled' \
+		-benchmem -benchtime 50x .

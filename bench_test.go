@@ -130,8 +130,17 @@ func BenchmarkAllocationFigure3(b *testing.B) {
 // BenchmarkSimulatedSession measures simulating one complete 10-chunk
 // session end-to-end through the public API.
 func BenchmarkSimulatedSession(b *testing.B) {
+	benchSession(b, p2prm.SimOptions{})
+}
+
+// benchSession runs the session-simulation loop with the given options
+// (the seed is overridden per iteration), shared by the trace-overhead
+// benchmarks below.
+func benchSession(b *testing.B, opts p2prm.SimOptions) {
+	b.Helper()
 	for i := 0; i < b.N; i++ {
-		sim := p2prm.NewSimulation(p2prm.DefaultConfig(), p2prm.SimOptions{Seed: uint64(i)})
+		opts.Seed = uint64(i)
+		sim := p2prm.NewSimulation(p2prm.DefaultConfig(), opts)
 		founder := strongPeer()
 		founder.Objects = []p2prm.Object{{
 			Name:   "movie",
@@ -154,6 +163,25 @@ func BenchmarkSimulatedSession(b *testing.B) {
 		if len(sim.Events().Reports) != 1 {
 			b.Fatal("session did not complete")
 		}
+	}
+}
+
+// BenchmarkTraceDisabled is BenchmarkSimulatedSession with tracing
+// explicitly off (nil tracer) — the guard at every call site must make
+// this indistinguishable from the un-instrumented seed (<5% overhead).
+func BenchmarkTraceDisabled(b *testing.B) {
+	benchSession(b, p2prm.SimOptions{Tracer: nil})
+}
+
+// BenchmarkTraceEnabled is the same run with a live tracer and metrics
+// registry attached, measuring the full observability cost. The tracer
+// accumulates spans across iterations; its bounded buffer absorbs them.
+func BenchmarkTraceEnabled(b *testing.B) {
+	tr := p2prm.NewTracer()
+	reg := p2prm.NewMetricsRegistry()
+	benchSession(b, p2prm.SimOptions{Tracer: tr, Metrics: reg})
+	if tr.SessionsBegun() != b.N {
+		b.Fatalf("sessions begun = %d, want %d", tr.SessionsBegun(), b.N)
 	}
 }
 

@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/rng"
 	"repro/internal/sim"
@@ -60,6 +61,7 @@ func main() {
 		domainCap  = flag.Int("domain", 32, "max peers per domain")
 		seed       = flag.Uint64("seed", 42, "run seed")
 		horizonSec = flag.Int("horizon", 120, "loaded-phase length (sim seconds)")
+		metricsOut = flag.String("metrics", "", "write the last cell's labeled metrics registry as JSON here")
 	)
 	flag.Parse()
 
@@ -71,17 +73,27 @@ func main() {
 	die(err)
 
 	fmt.Println("peers,rate,churn_per_min,domains,submitted,admitted,rejected,redirected,repairs,failovers,sessions_done,chunk_miss,msgs_total")
+	var reg *metrics.Registry
 	for _, n := range peers {
 		for _, rate := range rates {
 			for _, churn := range churns {
-				row := runCell(*seed, n, rate, churn, *domainCap, sim.Time(*horizonSec)*sim.Second)
+				if *metricsOut != "" {
+					reg = metrics.NewRegistry()
+				}
+				row := runCell(*seed, n, rate, churn, *domainCap, sim.Time(*horizonSec)*sim.Second, reg)
 				fmt.Println(row)
 			}
 		}
 	}
+	if *metricsOut != "" && reg != nil {
+		f, err := os.Create(*metricsOut)
+		die(err)
+		die(reg.WriteJSON(f))
+		die(f.Close())
+	}
 }
 
-func runCell(seed uint64, n int, rate, churnPerMin float64, domainCap int, horizon sim.Time) string {
+func runCell(seed uint64, n int, rate, churnPerMin float64, domainCap int, horizon sim.Time, reg *metrics.Registry) string {
 	cfg := core.DefaultConfig()
 	cfg.MaxDomainPeers = domainCap
 	r := rng.New(seed ^ uint64(n)<<20 ^ uint64(rate*1000) ^ uint64(churnPerMin*7))
@@ -90,6 +102,7 @@ func runCell(seed uint64, n int, rate, churnPerMin float64, domainCap int, horiz
 	cat.Populate(r, infos, 3, n, 3, 15)
 	netCfg := netsim.Config{Latency: netsim.UniformLatency(10 * sim.Millisecond), JitterFrac: 0.2}
 	c := cluster.Build(cfg, netCfg, seed, infos, 50*sim.Millisecond)
+	c.Events.AttachMetrics(reg) // nil-safe; covers the loaded phase below
 	c.RunUntil(c.Eng.Now() + 20*sim.Second)
 
 	mix := workload.DefaultMix()

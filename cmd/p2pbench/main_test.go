@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/metrics"
 	"repro/internal/sim"
 )
 
@@ -25,12 +26,16 @@ func TestParseHelpers(t *testing.T) {
 }
 
 func TestRunCellProducesCSVRow(t *testing.T) {
-	row := runCell(1, 12, 0.5, 0, 16, 20*sim.Second)
+	reg := metrics.NewRegistry()
+	row := runCell(1, 12, 0.5, 0, 16, 20*sim.Second, reg)
 	fields := strings.Split(row, ",")
 	if len(fields) != 13 {
 		t.Fatalf("fields = %d: %q", len(fields), row)
 	}
 	if fields[0] != "12" || fields[1] != "0.5" {
 		t.Fatalf("row prefix: %q", row)
+	}
+	if len(reg.Snapshot()) == 0 {
+		t.Fatal("attached registry stayed empty over a loaded run")
 	}
 }

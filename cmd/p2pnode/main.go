@@ -43,7 +43,8 @@ func main() {
 		object    = flag.String("object", "", "host an object: 'name:durationSeconds'")
 		submit    = flag.String("submit", "", "submit a query for this object name once joined")
 		after     = flag.Duration("after", 3*time.Second, "delay before -submit")
-		verbose   = flag.Bool("v", false, "log node diagnostics")
+		verbose   = flag.Bool("v", false, "log node diagnostics (structured key=value lines)")
+		httpAddr  = flag.String("http", "", "HTTP diagnostics address, e.g. :9090 (/metrics, /healthz, /debug/pprof)")
 	)
 	flag.Parse()
 
@@ -66,7 +67,7 @@ func main() {
 
 	opts := p2prm.LiveOptions{Seed: uint64(*id) + 1, Listen: *listen}
 	if *verbose {
-		opts.Logger = log.New(os.Stderr, "", log.Lmicroseconds)
+		opts.LogTo = os.Stderr
 	}
 	l, err := p2prm.NewLive(cfg, opts)
 	if err != nil {
@@ -74,6 +75,13 @@ func main() {
 	}
 	defer l.Close()
 	log.Printf("node %d listening on %s", *id, l.ListenAddr())
+	if *httpAddr != "" {
+		addr, err := l.ServeDiagnostics(*httpAddr)
+		if err != nil {
+			log.Fatalf("http: %v", err)
+		}
+		log.Printf("node %d diagnostics on http://%s/metrics", *id, addr)
+	}
 
 	for _, entry := range strings.Split(*book, ",") {
 		entry = strings.TrimSpace(entry)

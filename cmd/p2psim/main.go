@@ -4,12 +4,14 @@
 // Usage:
 //
 //	p2psim [-exp all|E1,...|A2] [-seed N] [-quick] [-md]
+//	p2psim -trace out.jsonl [-seed N] [-quick]
 //
 // Examples:
 //
 //	p2psim -exp all                # full suite (minutes)
 //	p2psim -exp E3,E5 -quick       # two experiments, small sweeps
 //	p2psim -exp E1 -md             # markdown output for EXPERIMENTS.md
+//	p2psim -trace out.jsonl        # traced standard run, Chrome trace JSONL
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 	"strings"
 	"time"
 
+	"repro"
 	"repro/internal/experiments"
 )
 
@@ -28,8 +31,17 @@ func main() {
 		seed     = flag.Uint64("seed", 42, "deterministic run seed")
 		quick    = flag.Bool("quick", false, "shrink sweeps for a fast pass")
 		markdown = flag.Bool("md", false, "emit tables as markdown")
+		traceOut = flag.String("trace", "", "run a traced standard scenario and write Chrome trace-event JSONL here (skips -exp)")
 	)
 	flag.Parse()
+
+	if *traceOut != "" {
+		if err := runTraced(*traceOut, *seed, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	opt := experiments.Options{Seed: *seed, Quick: *quick}
 	runners := map[string]func(experiments.Options) experiments.Result{
@@ -86,4 +98,34 @@ func quickTag(q bool) string {
 		return ", quick"
 	}
 	return ""
+}
+
+// runTraced drives the standard overlay + workload with a session tracer
+// attached and writes the spans as Chrome trace-event JSONL (load it via
+// chrome://tracing after `jq -s . out.jsonl`, or directly in Perfetto).
+func runTraced(path string, seed uint64, quick bool) error {
+	peers, rate, mins := 24, 2.0, 2
+	if quick {
+		peers, rate, mins = 12, 1.0, 1
+	}
+	tr := p2prm.NewTracer()
+	s := p2prm.NewSimulation(p2prm.DefaultConfig(), p2prm.SimOptions{Seed: seed, Tracer: tr})
+	s.GrowStandard(peers, 2, 8, 3, 0.5)
+	warm := s.Now() + 5*p2prm.Second
+	end := warm + p2prm.Time(mins)*p2prm.Minute
+	s.StandardWorkload(warm, end, rate, 8)
+	s.RunUntil(end + 30*p2prm.Second)
+
+	if err := tr.WriteFile(path); err != nil {
+		return err
+	}
+	ev := s.Events()
+	fmt.Printf("traced run: %d submitted, %d admitted, %d rejected\n",
+		ev.Submitted, ev.Admitted, ev.Rejected)
+	fmt.Printf("wrote %s: %d events, %d session spans (begun), %d still open, %d dropped\n",
+		path, tr.Len(), tr.SessionsBegun(), tr.OpenSessions(), tr.Dropped())
+	if tr.SessionsBegun() != ev.Submitted {
+		return fmt.Errorf("span count %d != submitted %d", tr.SessionsBegun(), ev.Submitted)
+	}
+	return nil
 }

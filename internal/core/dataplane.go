@@ -5,6 +5,7 @@ import (
 	"repro/internal/proto"
 	"repro/internal/sched"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // The data plane streams media chunks along a composed pipeline:
@@ -309,6 +310,10 @@ func (p *Peer) sinkChunk(c proto.Chunk) {
 	}
 	if now > c.Deadline {
 		s.late++
+		if tr := p.events.Tracer(); tr != nil {
+			tr.Instant(int64(now), c.TaskID, "chunk-late", int(p.ctx.Self()), int(p.domain),
+				trace.A("chunk", c.Index), trace.A("late_micros", int64(now-c.Deadline)))
+		}
 	}
 	s.sumLatency += float64(now - c.Emitted)
 	s.nLatency++
@@ -364,7 +369,12 @@ func (p *Peer) finalizeSink(taskID string) {
 		FinishedMicros:    int64(p.ctx.Now()),
 		Hops:              len(s.desc.Stages),
 	}
-	p.events.report(rep)
+	p.events.report(p.domain, rep)
+	if tr := p.events.Tracer(); tr != nil {
+		tr.EndSession(int64(p.ctx.Now()), taskID, int(p.ctx.Self()), int(p.domain), "completed",
+			trace.A("chunks", rep.Chunks), trace.A("missed", rep.Missed),
+			trace.A("startup_micros", rep.StartupMicros), trace.A("repaired", rep.Repaired))
+	}
 	if s.desc.RM == p.ctx.Self() {
 		p.rmHandleSessionEnd(p.ctx.Self(), proto.SessionEnd{Report: rep})
 	} else {

@@ -1,18 +1,34 @@
 package core
 
 import (
+	"strconv"
 	"sync"
 
+	"repro/internal/metrics"
 	"repro/internal/proto"
+	"repro/internal/trace"
 )
 
 // Events collects run-wide observations from all nodes. One Events
 // instance is shared by every peer of a run; experiments read it after the
 // simulation finishes. It is mutex-guarded so the live runtime (where
 // nodes are goroutines) can share it too.
+//
+// Beyond the coarse counters of EventsData, an Events can carry two
+// optional sinks attached before the run starts: a *trace.Tracer (span
+// tracing of each task query, see internal/trace) and a
+// *metrics.Registry (labeled counters/gauges/histograms for the /metrics
+// endpoint). The mutators below are thin emitters into all three; with no
+// sinks attached they cost what they always did.
 type Events struct {
 	mu sync.Mutex
 	EventsData
+
+	// tr and reg are set once by AttachTracer/AttachMetrics before any
+	// node runs (the goroutine/simulation start provides the
+	// happens-before edge), so the emitters read them without locking.
+	tr  *trace.Tracer
+	reg *metrics.Registry
 }
 
 // EventsData is the plain-data portion of Events; Snapshot returns a copy
@@ -39,54 +55,142 @@ type EventsData struct {
 	AllocNanos []int64 // wall-clock cost of each allocation computation
 }
 
-// Lock-protected mutators used by node internals.
+// Metric families emitted into an attached Registry. All session counters
+// carry a "domain" label; the load/util gauges additionally carry "peer".
+const (
+	MetricSubmitted   = "p2p_sessions_submitted_total"
+	MetricAdmitted    = "p2p_sessions_admitted_total"
+	MetricRejected    = "p2p_sessions_rejected_total"
+	MetricRedirected  = "p2p_sessions_redirected_total"
+	MetricCompleted   = "p2p_sessions_completed_total"
+	MetricAborted     = "p2p_sessions_aborted_total"
+	MetricRepairs     = "p2p_session_repairs_total"
+	MetricMigrations  = "p2p_session_migrations_total"
+	MetricPreemptions = "p2p_session_preemptions_total"
+	MetricFailovers   = "p2p_rm_failovers_total"
+	MetricDomains     = "p2p_domains_created_total"
+	MetricPeersDead   = "p2p_peers_declared_dead_total"
+	MetricChunks      = "p2p_chunks_total"
+	MetricChunksMiss  = "p2p_chunks_missed_total"
+	MetricAllocSec    = "p2p_alloc_seconds"
+	MetricRepairSec   = "p2p_repair_seconds"
+	MetricFailoverSec = "p2p_failover_seconds"
+	MetricPeerLoad    = "p2p_peer_load"
+	MetricPeerUtil    = "p2p_peer_util"
+)
 
-func (e *Events) submitted() {
+// AttachTracer installs a span-tracing sink. Must be called before any
+// node of the run starts executing.
+func (e *Events) AttachTracer(tr *trace.Tracer) {
+	if e == nil {
+		return
+	}
+	e.tr = tr
+}
+
+// Tracer returns the attached tracer, nil when tracing is off. Call sites
+// guard with this so the disabled path is one pointer compare.
+func (e *Events) Tracer() *trace.Tracer {
+	if e == nil {
+		return nil
+	}
+	return e.tr
+}
+
+// AttachMetrics installs a labeled-metrics sink and pre-registers the
+// session-outcome families for domain 0 so a scrape of a freshly started
+// node already exposes them at zero. Must be called before any node of
+// the run starts executing.
+func (e *Events) AttachMetrics(reg *metrics.Registry) {
+	if e == nil || reg == nil {
+		return
+	}
+	e.reg = reg
+	d0 := metrics.Labels{"domain": "0"}
+	reg.Counter(MetricSubmitted, "Task queries issued by users.", d0)
+	reg.Counter(MetricAdmitted, "Sessions composed after a successful allocation.", d0)
+	reg.Counter(MetricRejected, "Task queries rejected or timed out.", d0)
+	reg.Counter(MetricRedirected, "Task queries forwarded to another domain.", d0)
+	reg.Counter(MetricCompleted, "Sessions finalized by their sink.", d0)
+}
+
+// Registry returns the attached registry, nil when metrics are off.
+func (e *Events) Registry() *metrics.Registry {
+	if e == nil {
+		return nil
+	}
+	return e.reg
+}
+
+func domainLabels(d proto.DomainID) metrics.Labels {
+	return metrics.Labels{"domain": strconv.Itoa(int(d))}
+}
+
+func (e *Events) count(name, help string, d proto.DomainID) {
+	if e.reg != nil {
+		e.reg.Counter(name, help, domainLabels(d)).Inc()
+	}
+}
+
+// Lock-protected mutators used by node internals. Each takes the domain
+// observing the event so attached metrics can label per domain.
+
+func (e *Events) submitted(d proto.DomainID) {
 	if e == nil {
 		return
 	}
 	e.mu.Lock()
 	e.Submitted++
 	e.mu.Unlock()
+	e.count(MetricSubmitted, "Task queries issued by users.", d)
 }
 
-func (e *Events) admitted() {
+func (e *Events) admitted(d proto.DomainID) {
 	if e == nil {
 		return
 	}
 	e.mu.Lock()
 	e.Admitted++
 	e.mu.Unlock()
+	e.count(MetricAdmitted, "Sessions composed after a successful allocation.", d)
 }
 
-func (e *Events) rejected() {
+func (e *Events) rejected(d proto.DomainID) {
 	if e == nil {
 		return
 	}
 	e.mu.Lock()
 	e.Rejected++
 	e.mu.Unlock()
+	e.count(MetricRejected, "Task queries rejected or timed out.", d)
 }
 
-func (e *Events) redirected() {
+func (e *Events) redirected(d proto.DomainID) {
 	if e == nil {
 		return
 	}
 	e.mu.Lock()
 	e.Redirected++
 	e.mu.Unlock()
+	e.count(MetricRedirected, "Task queries forwarded to another domain.", d)
 }
 
-func (e *Events) report(r proto.SessionReport) {
+func (e *Events) report(d proto.DomainID, r proto.SessionReport) {
 	if e == nil {
 		return
 	}
 	e.mu.Lock()
 	e.Reports = append(e.Reports, r)
 	e.mu.Unlock()
+	if e.reg != nil {
+		labels := domainLabels(d)
+		e.reg.Counter(MetricCompleted, "Sessions finalized by their sink.", labels).Inc()
+		e.reg.Counter(MetricChunks, "Chunks expected across finalized sessions.", labels).Add(r.Chunks)
+		e.reg.Counter(MetricChunksMiss, "Chunks late or lost across finalized sessions.", labels).Add(r.Missed)
+	}
 }
 
-func (e *Events) repair(micros int64) {
+func (e *Events) repair(d proto.DomainID, micros int64) {
 	if e == nil {
 		return
 	}
@@ -94,36 +198,44 @@ func (e *Events) repair(micros int64) {
 	e.Repairs++
 	e.RepairMicros = append(e.RepairMicros, micros)
 	e.mu.Unlock()
+	if e.reg != nil {
+		e.reg.Counter(MetricRepairs, "Failure-triggered session re-allocations.", domainLabels(d)).Inc()
+		e.reg.Histogram(MetricRepairSec, "Failure detection to recompose latency in seconds.",
+			nil, domainLabels(d)).Observe(float64(micros) / 1e6)
+	}
 }
 
-func (e *Events) aborted() {
+func (e *Events) aborted(d proto.DomainID) {
 	if e == nil {
 		return
 	}
 	e.mu.Lock()
 	e.Aborted++
 	e.mu.Unlock()
+	e.count(MetricAborted, "Sessions torn down before any sink report.", d)
 }
 
-func (e *Events) preemption() {
+func (e *Events) preemption(d proto.DomainID) {
 	if e == nil {
 		return
 	}
 	e.mu.Lock()
 	e.Preemptions++
 	e.mu.Unlock()
+	e.count(MetricPreemptions, "Sessions preempted for higher-importance tasks.", d)
 }
 
-func (e *Events) migration() {
+func (e *Events) migration(d proto.DomainID) {
 	if e == nil {
 		return
 	}
 	e.mu.Lock()
 	e.Migrations++
 	e.mu.Unlock()
+	e.count(MetricMigrations, "Overload-triggered session reassignments.", d)
 }
 
-func (e *Events) failover(micros int64) {
+func (e *Events) failover(d proto.DomainID, micros int64) {
 	if e == nil {
 		return
 	}
@@ -131,33 +243,55 @@ func (e *Events) failover(micros int64) {
 	e.Failovers++
 	e.FailoverMicros = append(e.FailoverMicros, micros)
 	e.mu.Unlock()
+	if e.reg != nil {
+		e.reg.Counter(MetricFailovers, "Backup-to-RM takeovers.", domainLabels(d)).Inc()
+		e.reg.Histogram(MetricFailoverSec, "RM silence detection to takeover latency in seconds.",
+			nil, domainLabels(d)).Observe(float64(micros) / 1e6)
+	}
 }
 
-func (e *Events) domainCreated() {
+func (e *Events) domainCreated(d proto.DomainID) {
 	if e == nil {
 		return
 	}
 	e.mu.Lock()
 	e.DomainsCreated++
 	e.mu.Unlock()
+	e.count(MetricDomains, "Domains founded over the run.", d)
 }
 
-func (e *Events) peerDead() {
+func (e *Events) peerDead(d proto.DomainID) {
 	if e == nil {
 		return
 	}
 	e.mu.Lock()
 	e.PeersDeclaredDead++
 	e.mu.Unlock()
+	e.count(MetricPeersDead, "Peers removed from a domain (crash or leave).", d)
 }
 
-func (e *Events) allocCost(nanos int64) {
+func (e *Events) allocCost(d proto.DomainID, nanos int64) {
 	if e == nil {
 		return
 	}
 	e.mu.Lock()
 	e.AllocNanos = append(e.AllocNanos, nanos)
 	e.mu.Unlock()
+	if e.reg != nil {
+		e.reg.Histogram(MetricAllocSec, "Wall-clock cost of one allocation computation in seconds.",
+			nil, domainLabels(d)).Observe(float64(nanos) / 1e9)
+	}
+}
+
+// peerLoad exports one peer's profiled load and relative utilization as
+// labeled gauges; it is metrics-only (nothing accumulates in EventsData).
+func (e *Events) peerLoad(d proto.DomainID, peer int, load, util float64) {
+	if e == nil || e.reg == nil {
+		return
+	}
+	labels := metrics.Labels{"domain": strconv.Itoa(int(d)), "peer": strconv.Itoa(peer)}
+	e.reg.Gauge(MetricPeerLoad, "Profiled load of one peer in work units/s.", labels).Set(load)
+	e.reg.Gauge(MetricPeerUtil, "Profiled load of one peer relative to its speed.", labels).Set(util)
 }
 
 // Snapshot returns a copy safe to read while nodes are still running.

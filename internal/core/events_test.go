@@ -1,0 +1,141 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/proto"
+	"repro/internal/trace"
+)
+
+// TestEventsConcurrentMutation hammers every mutator from parallel
+// goroutines while readers snapshot, mirroring the live runtime where
+// each node is a goroutine sharing one Events. Run with -race.
+func TestEventsConcurrentMutation(t *testing.T) {
+	e := &Events{}
+	reg := metrics.NewRegistry()
+	e.AttachMetrics(reg)
+	e.AttachTracer(trace.New())
+
+	const writers, iters = 8, 200
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			d := proto.DomainID(g % 2)
+			for i := 0; i < iters; i++ {
+				e.submitted(d)
+				e.admitted(d)
+				e.rejected(d)
+				e.redirected(d)
+				e.report(d, proto.SessionReport{Chunks: 10, Missed: 1, StartupMicros: 1000})
+				e.repair(d, 50)
+				e.aborted(d)
+				e.preemption(d)
+				e.migration(d)
+				e.failover(d, 70)
+				e.domainCreated(d)
+				e.peerDead(d)
+				e.allocCost(d, 900)
+				e.peerLoad(d, g, float64(i), 0.5)
+			}
+		}(g)
+	}
+	// Concurrent readers must never race with the writers.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			e.Snapshot()
+			e.MissRate()
+			e.SessionsOnTime(5000)
+			reg.Snapshot()
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	total := writers * iters
+	s := e.Snapshot()
+	if s.Submitted != total || s.Admitted != total || s.Rejected != total ||
+		s.Redirected != total || s.Aborted != total || s.Preemptions != total ||
+		s.Migrations != total || s.DomainsCreated != total || s.PeersDeclaredDead != total {
+		t.Fatalf("lost counter updates: %+v", s)
+	}
+	if len(s.Reports) != total || s.Repairs != total || len(s.RepairMicros) != total ||
+		s.Failovers != total || len(s.FailoverMicros) != total || len(s.AllocNanos) != total {
+		t.Fatalf("lost slice appends: reports=%d repairs=%d failovers=%d allocs=%d",
+			len(s.Reports), len(s.RepairMicros), len(s.FailoverMicros), len(s.AllocNanos))
+	}
+	if got, want := e.MissRate(), 0.1; got != want {
+		t.Fatalf("MissRate = %g, want %g", got, want)
+	}
+	if got := e.SessionsOnTime(5000); got != 0 {
+		t.Fatalf("SessionsOnTime = %d (all reports miss chunks)", got)
+	}
+
+	// The labeled counters saw every increment too, split across the two
+	// domain labels.
+	var sub float64
+	for _, fam := range reg.Snapshot() {
+		if fam.Name == MetricSubmitted {
+			for _, m := range fam.Metrics {
+				sub += m.Value
+			}
+		}
+	}
+	if int(sub) != total {
+		t.Fatalf("registry submitted = %g, want %d", sub, total)
+	}
+}
+
+// TestEventsNilReceiver checks that a peer without an Events sink (nil)
+// can still run every mutator.
+func TestEventsNilReceiver(t *testing.T) {
+	var e *Events
+	e.submitted(0)
+	e.admitted(0)
+	e.rejected(0)
+	e.redirected(0)
+	e.report(0, proto.SessionReport{})
+	e.repair(0, 1)
+	e.aborted(0)
+	e.preemption(0)
+	e.migration(0)
+	e.failover(0, 1)
+	e.domainCreated(0)
+	e.peerDead(0)
+	e.allocCost(0, 1)
+	e.peerLoad(0, 0, 0, 0)
+	if e.Tracer() != nil || e.Registry() != nil {
+		t.Fatal("nil Events returned a sink")
+	}
+}
+
+// TestAttachMetricsPreRegisters checks a fresh registry already exposes
+// the domain-0 session counters at zero (so a scrape before any traffic
+// is meaningful).
+func TestAttachMetricsPreRegisters(t *testing.T) {
+	e := &Events{}
+	reg := metrics.NewRegistry()
+	e.AttachMetrics(reg)
+	want := map[string]bool{
+		MetricSubmitted: false, MetricAdmitted: false, MetricRejected: false,
+		MetricRedirected: false, MetricCompleted: false,
+	}
+	for _, fam := range reg.Snapshot() {
+		if _, ok := want[fam.Name]; ok {
+			want[fam.Name] = true
+			if len(fam.Metrics) != 1 || fam.Metrics[0].Value != 0 {
+				t.Fatalf("%s not pre-registered at zero: %+v", fam.Name, fam.Metrics)
+			}
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Fatalf("%s not pre-registered", name)
+		}
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"repro/internal/proto"
 	"repro/internal/sched"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Peer is one overlay node: Connection Manager, Profiler and Local
@@ -282,7 +283,11 @@ func (p *Peer) Receive(from env.NodeID, m env.Message) {
 	case proto.TaskReject:
 		if _, mine := p.submits[msg.TaskID]; mine {
 			p.resolveSubmit(msg.TaskID)
-			p.events.rejected()
+			p.events.rejected(p.domain)
+			if tr := p.events.Tracer(); tr != nil {
+				tr.EndSession(int64(p.ctx.Now()), msg.TaskID, int(p.ctx.Self()), int(p.domain), "rejected",
+					trace.A("reason", msg.Reason))
+			}
 		}
 
 	// --- data plane ---
@@ -415,7 +420,12 @@ func (p *Peer) SubmitTask(spec proto.TaskSpec) string {
 		spec.ChunkSec = p.cfg.DefaultChunkSec
 	}
 	p.submits[spec.ID] = p.ctx.Now()
-	p.events.submitted()
+	p.events.submitted(p.domain)
+	if tr := p.events.Tracer(); tr != nil {
+		tr.BeginSession(int64(p.ctx.Now()), spec.ID, int(p.ctx.Self()), int(p.domain),
+			trace.A("object", spec.ObjectName), trace.A("importance", spec.Importance),
+			trace.A("deadline_micros", spec.DeadlineMicros))
+	}
 	// Outcome watchdog: if neither an admission (our sink role composes)
 	// nor a rejection arrives — e.g. the RM crashed while holding the
 	// query, or a redirect landed on a stale address — the submission
@@ -425,7 +435,10 @@ func (p *Peer) SubmitTask(spec proto.TaskSpec) string {
 	p.submitTimers[taskID] = p.ctx.After(wait, func() {
 		if _, pending := p.submits[taskID]; pending && !p.submitAccepted(taskID) {
 			p.resolveSubmit(taskID)
-			p.events.rejected()
+			p.events.rejected(p.domain)
+			if tr := p.events.Tracer(); tr != nil {
+				tr.EndSession(int64(p.ctx.Now()), taskID, int(p.ctx.Self()), int(p.domain), "timeout")
+			}
 		}
 	})
 	target := p.rmID
@@ -433,7 +446,11 @@ func (p *Peer) SubmitTask(spec proto.TaskSpec) string {
 		target = p.ctx.Self()
 	}
 	if target == env.NoNode {
-		p.events.rejected()
+		p.events.rejected(p.domain)
+		if tr := p.events.Tracer(); tr != nil {
+			tr.EndSession(int64(p.ctx.Now()), spec.ID, int(p.ctx.Self()), int(p.domain), "rejected",
+				trace.A("reason", "no resource manager"))
+		}
 		return spec.ID
 	}
 	if target == p.ctx.Self() {

@@ -10,6 +10,7 @@ import (
 	"repro/internal/media"
 	"repro/internal/proto"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // rmState is the Resource-Manager role state (§3.1): full knowledge of
@@ -103,7 +104,7 @@ func (p *Peer) becomeFounder() {
 	p.startRM(0, nil, nil, nil)
 	p.joined = true
 	p.startMemberTimers()
-	p.events.domainCreated()
+	p.events.domainCreated(0)
 }
 
 // foundDomain starts a new domain after a BecomeRM promotion (§4.1).
@@ -111,7 +112,7 @@ func (p *Peer) foundDomain(id proto.DomainID, known []proto.RMRef) {
 	p.startRM(id, known, nil, nil)
 	p.joined = true
 	p.startMemberTimers()
-	p.events.domainCreated()
+	p.events.domainCreated(id)
 }
 
 // takeover promotes this backup to Resource Manager using the replicated
@@ -120,7 +121,11 @@ func (p *Peer) takeover() {
 	st := p.backupState
 	p.backupState = nil
 	detectionLag := p.ctx.Now() - p.lastRMContact
-	p.events.failover(int64(detectionLag))
+	p.events.failover(st.Domain, int64(detectionLag))
+	if tr := p.events.Tracer(); tr != nil {
+		tr.Instant(int64(p.ctx.Now()), "", "failover", int(p.ctx.Self()), int(st.Domain),
+			trace.A("detection_micros", int64(detectionLag)))
+	}
 	var known []proto.RMRef
 	for _, ref := range st.KnownRMs {
 		known = append(known, ref)
@@ -367,7 +372,11 @@ func (p *Peer) rmRemovePeer(id env.NodeID, reason string) {
 	if st.backup == id {
 		st.electBackup(p)
 	}
-	p.events.peerDead()
+	p.events.peerDead(p.domain)
+	if tr := p.events.Tracer(); tr != nil {
+		tr.Instant(int64(p.ctx.Now()), "", "peer-dead", int(id), int(p.domain),
+			trace.A("reason", reason))
+	}
 	p.ctx.Logf("peer n%d removed (%s)", id, reason)
 	// Repair every session whose pipeline used the peer (§4.1).
 	for _, sess := range sortedSessions(st.sessions) {
@@ -463,6 +472,7 @@ func (p *Peer) rmHandleProfile(from env.NodeID, msg proto.ProfileUpdate) {
 	rec.bw = msg.Report.BandwidthKbps
 	rec.lastReport = msg.Report.At
 	st.outstanding[from] = 0 // a report is as good as a heartbeat ack
+	p.events.peerLoad(st.domain, int(from), rec.load, rec.util())
 }
 
 // rmOwnProfileTick refreshes the RM's own record directly.
@@ -475,6 +485,7 @@ func (p *Peer) rmOwnProfileTick() {
 		rec.load = p.prof.Load()
 		rec.bw = p.prof.Bandwidth()
 		rec.lastReport = p.ctx.Now()
+		p.events.peerLoad(st.domain, int(p.ctx.Self()), rec.load, rec.util())
 	}
 }
 
@@ -602,7 +613,7 @@ func (p *Peer) rmHandleSubmit(from env.NodeID, msg proto.TaskSubmit) {
 	sess, why := p.rmAllocate(spec)
 	if sess != nil {
 		st.sessions[spec.ID] = sess
-		p.events.admitted()
+		p.events.admitted(p.domain)
 		p.composeSession(sess)
 		return
 	}
@@ -613,7 +624,7 @@ func (p *Peer) rmHandleSubmit(from env.NodeID, msg proto.TaskSubmit) {
 	if p.cfg.PreemptLowImportance {
 		if sess := p.tryPreemptFor(spec); sess != nil {
 			st.sessions[spec.ID] = sess
-			p.events.admitted()
+			p.events.admitted(p.domain)
 			p.composeSession(sess)
 			return
 		}
@@ -622,7 +633,11 @@ func (p *Peer) rmHandleSubmit(from env.NodeID, msg proto.TaskSubmit) {
 	// (§4.5), bounded by MaxRedirects.
 	if msg.Hops < p.cfg.MaxRedirects {
 		if target := st.pickObjectDomain(spec.ObjectName); target != env.NoNode {
-			p.events.redirected()
+			p.events.redirected(p.domain)
+			if tr := p.events.Tracer(); tr != nil {
+				tr.Instant(int64(p.ctx.Now()), spec.ID, "redirect", int(p.ctx.Self()), int(p.domain),
+					trace.A("target_rm", int(target)), trace.A("hops", msg.Hops+1))
+			}
 			p.ctx.Send(target, proto.TaskSubmit{Spec: spec, Hops: msg.Hops + 1})
 			return
 		}
@@ -728,7 +743,15 @@ func (p *Peer) rmSearch(spec proto.TaskSpec, pv *graph.PeerView) (searchResult, 
 			res.alloc, res.goal, found = alloc, g, true
 		}
 	}
-	p.events.allocCost(time.Since(started).Nanoseconds())
+	allocNanos := time.Since(started).Nanoseconds()
+	p.events.allocCost(p.domain, allocNanos)
+	if tr := p.events.Tracer(); tr != nil {
+		// ts is the virtual/wall clock of the run; dur is the real
+		// computation cost (virtual time does not advance while the
+		// allocator runs under simulation).
+		tr.Complete(int64(p.ctx.Now()), allocNanos/1e3, spec.ID, "allocate",
+			int(p.ctx.Self()), int(p.domain), trace.A("goals", len(goals)))
+	}
 	if !found {
 		return res, "no allocation satisfies the QoS requirements"
 	}
@@ -823,7 +846,11 @@ func (p *Peer) tryPreemptFor(spec proto.TaskSpec) *rmSession {
 			continue
 		}
 		p.abortSession(victim, "preempted", true)
-		p.events.preemption()
+		p.events.preemption(p.domain)
+		if tr := p.events.Tracer(); tr != nil {
+			tr.Instant(int64(p.ctx.Now()), victim.desc.TaskID, "preempt", int(p.ctx.Self()), int(p.domain),
+				trace.A("for_task", spec.ID))
+		}
 		p.ctx.Logf("preempted %s (importance %d) for %s (importance %d)",
 			victim.desc.TaskID, victim.desc.Importance, spec.ID, spec.Importance)
 		sess, _ := p.rmAllocate(spec)
@@ -849,6 +876,10 @@ func (p *Peer) applyLoads(deltas []loadDelta, sign float64) {
 func (p *Peer) composeSession(sess *rmSession) {
 	d := sess.desc
 	sess.state = sessComposing
+	if tr := p.events.Tracer(); tr != nil {
+		tr.BeginPhase(int64(p.ctx.Now()), d.TaskID, "compose", int(p.ctx.Self()), int(p.domain),
+			trace.A("stages", len(d.Stages)), trace.A("generation", d.Generation))
+	}
 	sess.pendingAcks = map[int]bool{proto.RoleSource: true, proto.RoleSink: true}
 	p.sendOrLoop(d.SourcePeer, proto.GraphCompose{Session: d, Role: proto.RoleSource})
 	p.sendOrLoop(d.Origin, proto.GraphCompose{Session: d, Role: proto.RoleSink})
@@ -902,7 +933,15 @@ func (p *Peer) abortSession(sess *rmSession, reason string, final bool) {
 	if !final {
 		// No sink report will ever exist for this task; account for it so
 		// submissions never silently vanish.
-		p.events.aborted()
+		p.events.aborted(p.domain)
+	}
+	if tr := p.events.Tracer(); tr != nil {
+		tr.Instant(int64(p.ctx.Now()), d.TaskID, "abort", int(p.ctx.Self()), int(p.domain),
+			trace.A("reason", reason), trace.A("final", final))
+		if !final {
+			tr.EndSession(int64(p.ctx.Now()), d.TaskID, int(p.ctx.Self()), int(p.domain), "aborted",
+				trace.A("reason", reason))
+		}
 	}
 	abort := proto.SessionAbort{TaskID: d.TaskID, Generation: d.Generation, Reason: reason, Final: final}
 	sent := map[env.NodeID]bool{}
@@ -920,7 +959,11 @@ func (p *Peer) rejectUpstream(taskID string, origin env.NodeID, reason string) {
 	if origin == p.ctx.Self() {
 		if _, mine := p.submits[taskID]; mine {
 			p.resolveSubmit(taskID)
-			p.events.rejected()
+			p.events.rejected(p.domain)
+			if tr := p.events.Tracer(); tr != nil {
+				tr.EndSession(int64(p.ctx.Now()), taskID, int(p.ctx.Self()), int(p.domain), "rejected",
+					trace.A("reason", reason))
+			}
 		}
 		return
 	}
@@ -958,9 +1001,20 @@ func (p *Peer) rmHandleComposeAck(from env.NodeID, msg proto.ComposeAck) {
 		sess.composeTimer = nil
 	}
 	sess.state = sessRunning
+	tr := p.events.Tracer()
+	if tr != nil {
+		tr.EndPhase(int64(p.ctx.Now()), msg.TaskID, "compose", int(p.ctx.Self()), int(p.domain))
+	}
 	if sess.repairStart > 0 {
-		p.events.repair(int64(p.ctx.Now() - sess.repairStart))
+		p.events.repair(p.domain, int64(p.ctx.Now()-sess.repairStart))
+		if tr != nil {
+			tr.EndPhase(int64(p.ctx.Now()), msg.TaskID, "repair", int(p.ctx.Self()), int(p.domain))
+		}
 		sess.repairStart = 0
+	}
+	if tr != nil {
+		tr.BeginPhase(int64(p.ctx.Now()), msg.TaskID, "stream", int(p.ctx.Self()), int(p.domain),
+			trace.A("generation", sess.desc.Generation))
 	}
 	p.sendOrLoop(sess.desc.SourcePeer, proto.SessionStart{TaskID: msg.TaskID, Generation: sess.desc.Generation})
 }
@@ -1082,8 +1136,16 @@ func (p *Peer) recompose(sess *rmSession, srcPeer env.NodeID, alloc graph.Alloca
 	p.applyLoads(applied, +1)
 	if isRepair {
 		sess.repairStart = p.ctx.Now()
+		if tr := p.events.Tracer(); tr != nil {
+			tr.BeginPhase(int64(p.ctx.Now()), d.TaskID, "repair", int(p.ctx.Self()), int(p.domain),
+				trace.A("generation", d.Generation))
+		}
 	} else {
-		p.events.migration()
+		p.events.migration(p.domain)
+		if tr := p.events.Tracer(); tr != nil {
+			tr.Instant(int64(p.ctx.Now()), d.TaskID, "migrate", int(p.ctx.Self()), int(p.domain),
+				trace.A("generation", d.Generation))
+		}
 	}
 
 	// Abort pipeline members of the old generation that are not reused.

@@ -1,0 +1,79 @@
+package live
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// DiagnosticsServer is the live runtime's HTTP side channel: Prometheus
+// and JSON metrics, a health probe, and net/http/pprof. It runs on its
+// own listener goroutine and never touches node state — everything it
+// reads is lock-free snapshots.
+type DiagnosticsServer struct {
+	srv  *http.Server
+	ln   net.Listener
+	addr string
+}
+
+// ServeDiagnostics starts the diagnostics endpoint on addr ("host:port",
+// ":0" picks a free port). The registry may be nil, in which case
+// /metrics serves an empty (but valid) exposition. Routes:
+//
+//	/metrics         Prometheus text format
+//	/metrics.json    the same registry as JSON
+//	/healthz         {"status":"ok","nodes":N,...}
+//	/debug/pprof/*   standard Go profiling endpoints
+func (rt *Runtime) ServeDiagnostics(addr string, reg *metrics.Registry) (*DiagnosticsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if reg != nil {
+			reg.WritePrometheus(w)
+		}
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if reg != nil {
+			reg.WriteJSON(w)
+		} else {
+			w.Write([]byte("{\"families\":[]}\n"))
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{
+			"status":         "ok",
+			"nodes":          rt.NodeCount(),
+			"uptime_seconds": rt.Uptime().Seconds(),
+			"dropped":        rt.Dropped(),
+		})
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ds := &DiagnosticsServer{
+		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		ln:   ln,
+		addr: ln.Addr().String(),
+	}
+	go ds.srv.Serve(ln)
+	return ds, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (ds *DiagnosticsServer) Addr() string { return ds.addr }
+
+// Close stops the HTTP server and its listener.
+func (ds *DiagnosticsServer) Close() error { return ds.srv.Close() }

@@ -1,0 +1,95 @@
+package live
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func TestServeDiagnostics(t *testing.T) {
+	rt := NewRuntime(1)
+	defer rt.Shutdown()
+	reg := metrics.NewRegistry()
+	reg.Counter("p2p_sessions_submitted_total", "help", metrics.Labels{"domain": "0"}).Add(5)
+	reg.Gauge("p2p_peer_load", "help", metrics.Labels{"domain": "0", "peer": "1"}).Set(2.5)
+
+	ds, err := rt.ServeDiagnostics("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	base := "http://" + ds.Addr()
+
+	get := func(path string) (string, string) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	prom, ctype := get("/metrics")
+	if !strings.HasPrefix(ctype, "text/plain") {
+		t.Fatalf("/metrics content type = %q", ctype)
+	}
+	if !strings.Contains(prom, `p2p_sessions_submitted_total{domain="0"} 5`) {
+		t.Fatalf("/metrics missing counter:\n%s", prom)
+	}
+	if !strings.Contains(prom, `p2p_peer_load{domain="0",peer="1"} 2.5`) {
+		t.Fatalf("/metrics missing gauge:\n%s", prom)
+	}
+
+	js, _ := get("/metrics.json")
+	var doc struct {
+		Families []metrics.FamilySnapshot `json:"families"`
+	}
+	if err := json.Unmarshal([]byte(js), &doc); err != nil {
+		t.Fatalf("/metrics.json invalid: %v", err)
+	}
+	if len(doc.Families) != 2 {
+		t.Fatalf("/metrics.json families = %d", len(doc.Families))
+	}
+
+	health, _ := get("/healthz")
+	var h map[string]any
+	if err := json.Unmarshal([]byte(health), &h); err != nil {
+		t.Fatalf("/healthz invalid: %v", err)
+	}
+	if h["status"] != "ok" {
+		t.Fatalf("/healthz = %v", h)
+	}
+
+	if idx, _ := get("/debug/pprof/"); !strings.Contains(idx, "goroutine") {
+		t.Fatal("/debug/pprof/ index missing profiles")
+	}
+}
+
+func TestServeDiagnosticsNilRegistry(t *testing.T) {
+	rt := NewRuntime(1)
+	defer rt.Shutdown()
+	ds, err := rt.ServeDiagnostics("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	resp, err := http.Get("http://" + ds.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}

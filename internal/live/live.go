@@ -8,7 +8,6 @@ package live
 
 import (
 	"fmt"
-	"log"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -43,8 +42,9 @@ type Runtime struct {
 	// here (the TCP transport).
 	remote func(from, to env.NodeID, m env.Message) error
 
-	// Logger receives node Logf output; nil silences it.
-	Logger *log.Logger
+	// Logger receives node Logf output as structured logfmt lines
+	// (see logger.go); nil silences it.
+	Logger *Logger
 
 	dropped atomic.Uint64
 }
@@ -161,6 +161,16 @@ func (rt *Runtime) Shutdown() {
 // Dropped reports messages discarded due to full mailboxes.
 func (rt *Runtime) Dropped() uint64 { return rt.dropped.Load() }
 
+// NodeCount reports how many nodes are currently hosted.
+func (rt *Runtime) NodeCount() int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return len(rt.nodes)
+}
+
+// Uptime reports how long the runtime has been running.
+func (rt *Runtime) Uptime() time.Duration { return time.Since(rt.start) }
+
 // Inject delivers a message to a hosted node from the outside world (the
 // TCP listener and tests use this).
 func (rt *Runtime) Inject(from, to env.NodeID, m env.Message) {
@@ -275,10 +285,3 @@ func (n *liveNode) Send(to env.NodeID, m env.Message) {
 
 // Rand implements env.Context.
 func (n *liveNode) Rand() *rng.Rand { return n.r }
-
-// Logf implements env.Context.
-func (n *liveNode) Logf(format string, args ...any) {
-	if n.rt.Logger != nil {
-		n.rt.Logger.Printf("[n%d %s] %s", n.id, time.Since(n.rt.start).Truncate(time.Millisecond), fmt.Sprintf(format, args...))
-	}
-}

@@ -1,0 +1,71 @@
+package live
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Logger writes structured key=value (logfmt) lines, one per call, with
+// the writes serialized so every node goroutine can share one instance.
+type Logger struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewLogger creates a logger writing logfmt lines to w.
+func NewLogger(w io.Writer) *Logger {
+	return &Logger{w: w}
+}
+
+// Log writes one line from alternating key, value pairs; a trailing
+// unpaired value gets the key "msg". Values that would be ambiguous bare
+// (spaces, quotes, '=') are quoted. A nil logger discards everything.
+func (l *Logger) Log(pairs ...any) {
+	if l == nil {
+		return
+	}
+	var b strings.Builder
+	for i := 0; i < len(pairs); i += 2 {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		if i+1 >= len(pairs) {
+			b.WriteString("msg=")
+			b.WriteString(quoteValue(pairs[i]))
+			break
+		}
+		fmt.Fprintf(&b, "%v", pairs[i])
+		b.WriteByte('=')
+		b.WriteString(quoteValue(pairs[i+1]))
+	}
+	b.WriteByte('\n')
+	l.mu.Lock()
+	io.WriteString(l.w, b.String())
+	l.mu.Unlock()
+}
+
+// quoteValue renders one logfmt value, quoting when needed.
+func quoteValue(v any) string {
+	s := fmt.Sprintf("%v", v)
+	if s == "" || strings.ContainsAny(s, " \t\n\"=") {
+		return fmt.Sprintf("%q", s)
+	}
+	return s
+}
+
+// Logf implements env.Context on liveNode: node diagnostics become logfmt
+// lines prefixed with uptime and node ID, e.g.
+//
+//	t=1.204s node=n3 msg="took over as RM of domain 0 (5 peers, 2 sessions)"
+func (n *liveNode) Logf(format string, args ...any) {
+	if lg := n.rt.Logger; lg != nil {
+		lg.Log(
+			"t", time.Since(n.rt.start).Truncate(time.Millisecond),
+			"node", fmt.Sprintf("n%d", n.id),
+			"msg", fmt.Sprintf(format, args...),
+		)
+	}
+}

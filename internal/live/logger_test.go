@@ -1,0 +1,67 @@
+package live
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+type syncBuf struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuf) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuf) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+func TestLoggerLogfmt(t *testing.T) {
+	var buf syncBuf
+	lg := NewLogger(&buf)
+	lg.Log("t", "1.2s", "node", "n3", "msg", "took over as RM")
+	lg.Log("k", 42, "empty", "", "quoted", `a"b`)
+	lg.Log("trailing value becomes msg")
+	got := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	want := []string{
+		`t=1.2s node=n3 msg="took over as RM"`,
+		`k=42 empty="" quoted="a\"b"`,
+		`msg="trailing value becomes msg"`,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("lines = %d: %q", len(got), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("line %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLoggerNilSafe(t *testing.T) {
+	var lg *Logger
+	lg.Log("msg", "discarded") // must not panic
+}
+
+func TestNodeLogfStructured(t *testing.T) {
+	var buf syncBuf
+	rt := NewRuntime(1)
+	rt.Logger = NewLogger(&buf)
+	defer rt.Shutdown()
+	n := &liveNode{rt: rt, id: 7}
+	n.Logf("peer n%d removed (%s)", 3, "crash")
+	line := strings.TrimRight(buf.String(), "\n")
+	if !strings.Contains(line, "node=n7") || !strings.Contains(line, `msg="peer n3 removed (crash)"`) {
+		t.Fatalf("line = %q", line)
+	}
+	if !strings.HasPrefix(line, "t=") {
+		t.Fatalf("missing uptime prefix: %q", line)
+	}
+}

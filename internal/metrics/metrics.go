@@ -1,10 +1,17 @@
 // Package metrics provides lightweight measurement primitives for the
-// simulator and the live runtime: counters, gauges, summaries with exact
-// quantiles, and fixed-resolution time series.
+// simulator and the live runtime: counters, gauges, histograms, summaries
+// with exact quantiles, and fixed-resolution time series — plus a labeled
+// Registry (registry.go) with Prometheus text-format and JSON encoders.
 //
-// The package has no global registry; components own their instruments and
-// experiments aggregate them explicitly, which keeps simulated runs
-// deterministic and avoids hidden cross-run state.
+// There is no package-global registry; components own their instruments
+// (or register them into an explicitly shared Registry), which keeps
+// simulated runs deterministic and avoids hidden cross-run state.
+//
+// Concurrency: Counter, Gauge and Histogram are safe for concurrent use
+// (sync/atomic) so live-runtime goroutines may share them. Summary,
+// Series and Table are NOT goroutine-safe; they are owned by a single
+// simulation/experiment thread, and callers that share them across
+// goroutines must serialize access externally.
 package metrics
 
 import (
@@ -12,28 +19,53 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
-// Counter is a monotonically increasing count.
-type Counter struct{ n uint64 }
+// Counter is a monotonically increasing count, safe for concurrent use.
+type Counter struct{ n atomic.Uint64 }
 
 // Inc adds one.
-func (c *Counter) Inc() { c.n++ }
+func (c *Counter) Inc() { c.n.Add(1) }
 
 // Add adds delta. Negative deltas panic: counters only go up.
 func (c *Counter) Add(delta int) {
 	if delta < 0 {
 		panic("metrics: Counter.Add with negative delta")
 	}
-	c.n += uint64(delta)
+	c.n.Add(uint64(delta))
 }
 
 // Value returns the current count.
-func (c *Counter) Value() uint64 { return c.n }
+func (c *Counter) Value() uint64 { return c.n.Load() }
+
+// Gauge is a value that may go up and down, safe for concurrent use.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
 // Summary accumulates float64 observations and reports exact order
 // statistics. Observations are kept; memory is proportional to the number
 // of samples, which is fine at simulation scale and keeps quantiles exact.
+//
+// Summary is not safe for concurrent use: even read-only accessors sort
+// lazily and so mutate internal state. Share one only behind external
+// synchronization; within the simulator the single event loop suffices.
 type Summary struct {
 	samples []float64
 	sum     float64
@@ -133,6 +165,10 @@ func (s *Summary) String() string {
 
 // Series is a time series sampled at the caller's cadence: pairs of
 // (t, value) appended in nondecreasing t order.
+//
+// Series is not safe for concurrent use; like Summary it belongs to one
+// goroutine (the simulation loop) and concurrent readers must coordinate
+// with the writer externally.
 type Series struct {
 	ts []float64
 	vs []float64

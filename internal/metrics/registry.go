@@ -1,0 +1,363 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// This file adds the labeled-metrics layer used by the live runtime's
+// /metrics endpoint and by instrumented simulations: components register
+// counters, gauges and histograms into a shared Registry under stable
+// names with per-domain/per-peer labels, and exporters snapshot it into
+// Prometheus text format or JSON. All instruments returned by a Registry
+// are safe for concurrent use.
+
+// Labels annotates one metric instance. Keys and values must be stable
+// for the lifetime of the instrument; the map is copied at registration.
+type Labels map[string]string
+
+// MetricType discriminates a family's instrument kind.
+type MetricType string
+
+// Family types.
+const (
+	TypeCounter   MetricType = "counter"
+	TypeGauge     MetricType = "gauge"
+	TypeHistogram MetricType = "histogram"
+)
+
+// DefLatencyBuckets are the default histogram bounds for latencies in
+// seconds, from 100µs to 10s.
+var DefLatencyBuckets = []float64{1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 0.1, 0.5, 1, 2.5, 5, 10}
+
+// Histogram counts observations into cumulative buckets, safe for
+// concurrent use. Create one through Registry.Histogram so the bucket
+// bounds are fixed and shared.
+type Histogram struct {
+	bounds  []float64 // sorted upper bounds, +Inf implicit
+	counts  []atomic.Uint64
+	sumBits atomic.Uint64
+	total   atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	return &Histogram{bounds: bs, counts: make([]atomic.Uint64, len(bs)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.total.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.total.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Buckets returns the upper bounds and the cumulative count at each bound
+// (the final element is the +Inf bucket, equal to Count).
+func (h *Histogram) Buckets() (bounds []float64, cumulative []uint64) {
+	bounds = append([]float64(nil), h.bounds...)
+	cumulative = make([]uint64, len(h.counts))
+	var acc uint64
+	for i := range h.counts {
+		acc += h.counts[i].Load()
+		cumulative[i] = acc
+	}
+	return bounds, cumulative
+}
+
+// metric is one labeled instance inside a family.
+type metric struct {
+	labels Labels
+	key    string // canonical label encoding, sort/export order
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// family groups all instances of one metric name.
+type family struct {
+	name    string
+	help    string
+	typ     MetricType
+	buckets []float64 // histograms only
+	mu      sync.Mutex
+	metrics map[string]*metric
+}
+
+// Registry is a labeled metrics namespace. The zero value is not usable;
+// call NewRegistry. All methods are safe for concurrent use, and a nil
+// *Registry ignores registrations gracefully via the package-level
+// helpers in core (a nil Registry itself must not be dereferenced).
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// canonical encodes labels deterministically for map keys and export
+// order.
+func canonical(labels Labels) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(labels[k])
+	}
+	return b.String()
+}
+
+// familyFor returns the named family, creating it with the given type on
+// first use. Re-registering a name under a different type panics: that is
+// a programming error the first scrape would otherwise hide.
+func (r *Registry) familyFor(name, help string, typ MetricType, buckets []float64) *family {
+	r.mu.RLock()
+	f := r.families[name]
+	r.mu.RUnlock()
+	if f == nil {
+		r.mu.Lock()
+		f = r.families[name]
+		if f == nil {
+			f = &family{name: name, help: help, typ: typ, buckets: buckets,
+				metrics: make(map[string]*metric)}
+			r.families[name] = f
+		}
+		r.mu.Unlock()
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("metrics: %s registered as %s, requested as %s", name, f.typ, typ))
+	}
+	return f
+}
+
+// instance returns the labeled metric in f, creating it on first use.
+func (f *family) instance(labels Labels) *metric {
+	key := canonical(labels)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	m, ok := f.metrics[key]
+	if !ok {
+		cp := make(Labels, len(labels))
+		for k, v := range labels {
+			cp[k] = v
+		}
+		m = &metric{labels: cp, key: key}
+		switch f.typ {
+		case TypeCounter:
+			m.c = &Counter{}
+		case TypeGauge:
+			m.g = &Gauge{}
+		case TypeHistogram:
+			m.h = newHistogram(f.buckets)
+		}
+		f.metrics[key] = m
+	}
+	return m
+}
+
+// Counter returns the labeled counter under name, registering the family
+// (with help text) and the instance on first use.
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	return r.familyFor(name, help, TypeCounter, nil).instance(labels).c
+}
+
+// Gauge returns the labeled gauge under name.
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	return r.familyFor(name, help, TypeGauge, nil).instance(labels).g
+}
+
+// Histogram returns the labeled histogram under name. The bucket bounds
+// of the first registration win for the whole family.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels Labels) *Histogram {
+	if len(buckets) == 0 {
+		buckets = DefLatencyBuckets
+	}
+	return r.familyFor(name, help, TypeHistogram, buckets).instance(labels).h
+}
+
+// MetricSnapshot is one labeled instance in a Snapshot.
+type MetricSnapshot struct {
+	Labels Labels `json:"labels,omitempty"`
+	// Counter/gauge value; for histograms the sum of observations.
+	Value float64 `json:"value"`
+	// Histogram-only fields.
+	Count   uint64    `json:"count,omitempty"`
+	Bounds  []float64 `json:"bounds,omitempty"`
+	Buckets []uint64  `json:"buckets,omitempty"` // cumulative, aligned with Bounds + Inf
+}
+
+// FamilySnapshot is one metric family in a Snapshot.
+type FamilySnapshot struct {
+	Name    string           `json:"name"`
+	Help    string           `json:"help,omitempty"`
+	Type    MetricType       `json:"type"`
+	Metrics []MetricSnapshot `json:"metrics"`
+}
+
+// Snapshot returns a consistent point-in-time copy of every family,
+// sorted by family name and label set. (Consistency is per-instrument:
+// counters touched during the snapshot may or may not include the last
+// increment, as with any scrape.)
+func (r *Registry) Snapshot() []FamilySnapshot {
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.RUnlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	out := make([]FamilySnapshot, 0, len(fams))
+	for _, f := range fams {
+		f.mu.Lock()
+		ms := make([]*metric, 0, len(f.metrics))
+		for _, m := range f.metrics {
+			ms = append(ms, m)
+		}
+		f.mu.Unlock()
+		sort.Slice(ms, func(i, j int) bool { return ms[i].key < ms[j].key })
+		fs := FamilySnapshot{Name: f.name, Help: f.help, Type: f.typ}
+		for _, m := range ms {
+			s := MetricSnapshot{Labels: m.labels}
+			switch f.typ {
+			case TypeCounter:
+				s.Value = float64(m.c.Value())
+			case TypeGauge:
+				s.Value = m.g.Value()
+			case TypeHistogram:
+				s.Value = m.h.Sum()
+				s.Count = m.h.Count()
+				s.Bounds, s.Buckets = m.h.Buckets()
+			}
+			fs.Metrics = append(fs.Metrics, s)
+		}
+		out = append(out, fs)
+	}
+	return out
+}
+
+// escapeLabel escapes a label value per the Prometheus text format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// formatLabels renders {k="v",...} with an optional extra le pair.
+func formatLabels(labels Labels, extraKey, extraVal string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var parts []string
+	for _, k := range keys {
+		parts = append(parts, k+`="`+escapeLabel(labels[k])+`"`)
+	}
+	if extraKey != "" {
+		parts = append(parts, extraKey+`="`+extraVal+`"`)
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus encodes the registry in the Prometheus text exposition
+// format (version 0.0.4), deterministically ordered.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, fs := range r.Snapshot() {
+		if fs.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", fs.Name, fs.Help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", fs.Name, fs.Type); err != nil {
+			return err
+		}
+		for _, m := range fs.Metrics {
+			switch fs.Type {
+			case TypeHistogram:
+				for i, b := range m.Bounds {
+					if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+						fs.Name, formatLabels(m.Labels, "le", formatFloat(b)), m.Buckets[i]); err != nil {
+						return err
+					}
+				}
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+					fs.Name, formatLabels(m.Labels, "le", "+Inf"), m.Buckets[len(m.Buckets)-1]); err != nil {
+					return err
+				}
+				if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", fs.Name,
+					formatLabels(m.Labels, "", ""), formatFloat(m.Value)); err != nil {
+					return err
+				}
+				if _, err := fmt.Fprintf(w, "%s_count%s %d\n", fs.Name,
+					formatLabels(m.Labels, "", ""), m.Count); err != nil {
+					return err
+				}
+			default:
+				if _, err := fmt.Fprintf(w, "%s%s %s\n", fs.Name,
+					formatLabels(m.Labels, "", ""), formatFloat(m.Value)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// WriteJSON encodes the Snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Families []FamilySnapshot `json:"families"`
+	}{r.Snapshot()})
+}

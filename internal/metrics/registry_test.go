@@ -1,0 +1,167 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "help", Labels{"domain": "0"})
+	b := r.Counter("x_total", "help", Labels{"domain": "0"})
+	if a != b {
+		t.Fatal("same name+labels must return the same counter")
+	}
+	c := r.Counter("x_total", "help", Labels{"domain": "1"})
+	if a == c {
+		t.Fatal("different labels must return different counters")
+	}
+	a.Inc()
+	if b.Value() != 1 || c.Value() != 0 {
+		t.Fatalf("values: %d %d", b.Value(), c.Value())
+	}
+}
+
+func TestRegistryTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "", nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on type mismatch")
+		}
+	}()
+	r.Gauge("x", "", nil)
+}
+
+func TestHistogram(t *testing.T) {
+	h := newHistogram([]float64{1, 10})
+	for _, v := range []float64{0.5, 0.7, 5, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if math.Abs(h.Sum()-106.2) > 1e-9 {
+		t.Fatalf("sum = %g", h.Sum())
+	}
+	bounds, cum := h.Buckets()
+	if len(bounds) != 2 || len(cum) != 3 {
+		t.Fatalf("buckets: %v %v", bounds, cum)
+	}
+	// Cumulative: le=1 → 2, le=10 → 3, +Inf → 4.
+	if cum[0] != 2 || cum[1] != 3 || cum[2] != 4 {
+		t.Fatalf("cumulative = %v", cum)
+	}
+}
+
+// buildSample fills a registry deterministically for the encoder tests.
+func buildSample() *Registry {
+	r := NewRegistry()
+	r.Counter("p2p_sessions_submitted_total", "Task queries issued by users.", Labels{"domain": "0"}).Add(12)
+	r.Counter("p2p_sessions_submitted_total", "Task queries issued by users.", Labels{"domain": "1"}).Add(3)
+	r.Counter("p2p_sessions_admitted_total", "Sessions composed.", Labels{"domain": "0"}).Add(10)
+	r.Gauge("p2p_peer_load", "Profiled load.", Labels{"domain": "0", "peer": "2"}).Set(3.5)
+	r.Gauge("p2p_peer_load", "Profiled load.", Labels{"domain": "0", "peer": "11"}).Set(0.25)
+	h := r.Histogram("p2p_alloc_seconds", "Allocation cost.", []float64{0.001, 0.01, 0.1}, Labels{"domain": "0"})
+	for _, v := range []float64{0.0004, 0.002, 0.05, 0.5} {
+		h.Observe(v)
+	}
+	// A label value needing escaping.
+	r.Counter("p2p_escapes_total", "Escape check.", Labels{"what": "a \"b\"\nc\\d"}).Inc()
+	return r
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildSample().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "sample.prom")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("prometheus output drifted from %s:\n--- got ---\n%s\n--- want ---\n%s",
+			golden, buf.String(), want)
+	}
+	// Encoding is deterministic: a second pass is byte-identical.
+	var again bytes.Buffer
+	buildSample().WritePrometheus(&again)
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("encoding not deterministic")
+	}
+}
+
+func TestWriteJSONRoundTrips(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildSample().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Families []FamilySnapshot `json:"families"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(doc.Families) != 5 {
+		t.Fatalf("families = %d", len(doc.Families))
+	}
+	byName := map[string]FamilySnapshot{}
+	for _, f := range doc.Families {
+		byName[f.Name] = f
+	}
+	sub := byName["p2p_sessions_submitted_total"]
+	if sub.Type != TypeCounter || len(sub.Metrics) != 2 || sub.Metrics[0].Value != 12 {
+		t.Fatalf("submitted family: %+v", sub)
+	}
+	alloc := byName["p2p_alloc_seconds"]
+	if alloc.Type != TypeHistogram || alloc.Metrics[0].Count != 4 {
+		t.Fatalf("alloc family: %+v", alloc)
+	}
+}
+
+func TestRegistryConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Counter("c_total", "", Labels{"domain": "0"}).Inc()
+				r.Gauge("g", "", Labels{"peer": "1"}).Add(1)
+				r.Histogram("h_seconds", "", nil, nil).Observe(0.001)
+				if i%100 == 0 {
+					r.Snapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if v := r.Counter("c_total", "", Labels{"domain": "0"}).Value(); v != 4000 {
+		t.Fatalf("counter = %d", v)
+	}
+	if v := r.Gauge("g", "", Labels{"peer": "1"}).Value(); v != 4000 {
+		t.Fatalf("gauge = %g", v)
+	}
+	if n := r.Histogram("h_seconds", "", nil, nil).Count(); n != 4000 {
+		t.Fatalf("histogram = %d", n)
+	}
+}

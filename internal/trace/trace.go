@@ -1,0 +1,354 @@
+// Package trace provides run-wide span tracing for the middleware: one
+// Tracer is shared by every peer of a run (like core.Events) and records
+// the end-to-end life of each task query — submit, allocation, session
+// composition, streaming, repair, preemption, failover — as causally
+// linked spans keyed by task ID.
+//
+// The tracer is clock-agnostic: callers stamp every record with their own
+// environment clock (virtual sim.Time under simulation, wall micros under
+// the live runtime), so traces from both substrates share one format.
+//
+// Cost model: every method on a nil *Tracer returns immediately, and hot
+// call sites additionally guard with an explicit nil check so the
+// disabled path costs one pointer comparison and allocates nothing (see
+// BenchmarkTraceDisabled). All methods are safe for concurrent use; the
+// live runtime's node goroutines share one tracer.
+//
+// Export is Chrome trace-event format
+// (chrome://tracing, https://ui.perfetto.dev): one JSON event object per
+// line (JSONL). Sessions are async spans (ph "b"/"e") whose id is the
+// task's span ID, so spans emitted by different peers and domains for the
+// same task link into one track; pid is the domain, tid the node.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// Attr is one key/value annotation on a span or event.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// A builds an Attr; it keeps call sites compact.
+func A(key string, value any) Attr { return Attr{Key: key, Value: value} }
+
+// Event is one trace record in Chrome trace-event form.
+type Event struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    int64          `json:"ts"`            // microseconds
+	Dur   int64          `json:"dur,omitempty"` // complete events only
+	PID   int            `json:"pid"`           // domain
+	TID   int            `json:"tid"`           // node
+	ID    string         `json:"id,omitempty"`  // async span id
+	Scope string         `json:"s,omitempty"`   // instant scope
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// DefaultMaxEvents bounds the in-memory buffer of a Tracer; beyond it new
+// records are counted as dropped rather than grown without limit (a live
+// deployment can run indefinitely).
+const DefaultMaxEvents = 1 << 20
+
+// session tracks the open/closed state of one task's trace.
+type session struct {
+	id     uint64
+	open   bool
+	phases []string // stack of open child phases, e.g. compose, stream
+}
+
+// Tracer buffers trace events for one run. The zero value is not usable;
+// call New. A nil *Tracer is a valid disabled tracer.
+type Tracer struct {
+	mu        sync.Mutex
+	events    []Event
+	sessions  map[string]*session
+	nextID    uint64
+	begun     int // sessions ever begun
+	dropped   int
+	maxEvents int
+}
+
+// New creates an enabled tracer with the default buffer bound.
+func New() *Tracer {
+	return &Tracer{sessions: make(map[string]*session), maxEvents: DefaultMaxEvents}
+}
+
+// SetMaxEvents adjusts the buffer bound (<= 0 means unlimited).
+func (t *Tracer) SetMaxEvents(n int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.maxEvents = n
+	t.mu.Unlock()
+}
+
+// record appends one event, honoring the buffer bound. Caller holds t.mu.
+func (t *Tracer) record(e Event) {
+	if t.maxEvents > 0 && len(t.events) >= t.maxEvents {
+		t.dropped++
+		return
+	}
+	t.events = append(t.events, e)
+}
+
+// attrMap converts attrs to the Args map (nil when empty).
+func attrMap(attrs []Attr) map[string]any {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]any, len(attrs))
+	for _, a := range attrs {
+		m[a.Key] = a.Value
+	}
+	return m
+}
+
+func spanID(id uint64) string { return fmt.Sprintf("0x%x", id) }
+
+// ensure returns the session record for task, creating it (closed) on
+// first sight. Caller holds t.mu.
+func (t *Tracer) ensure(task string) *session {
+	s, ok := t.sessions[task]
+	if !ok {
+		t.nextID++
+		s = &session{id: t.nextID}
+		t.sessions[task] = s
+	}
+	return s
+}
+
+// BeginSession opens the root span of one task query. Reopening an
+// already-open session is a no-op, so retry paths stay idempotent.
+func (t *Tracer) BeginSession(ts int64, task string, node, domain int, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := t.ensure(task)
+	if s.open {
+		return
+	}
+	s.open = true
+	t.begun++
+	args := attrMap(attrs)
+	if args == nil {
+		args = map[string]any{}
+	}
+	args["task"] = task
+	t.record(Event{Name: "session", Cat: "session", Phase: "b", TS: ts,
+		PID: domain, TID: node, ID: spanID(s.id), Args: args})
+}
+
+// EndSession closes a task's root span with an outcome (completed,
+// rejected, aborted, timeout). Any still-open child phases are closed
+// first so the trace stays well-formed. Ending a closed or unknown
+// session is a no-op: a task that is rejected by the RM, timed out at the
+// submitter and later aborted still ends exactly once, with the first
+// outcome observed.
+func (t *Tracer) EndSession(ts int64, task string, node, domain int, outcome string, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s, ok := t.sessions[task]
+	if !ok || !s.open {
+		return
+	}
+	for i := len(s.phases) - 1; i >= 0; i-- {
+		t.record(Event{Name: s.phases[i], Cat: "session", Phase: "e", TS: ts,
+			PID: domain, TID: node, ID: spanID(s.id)})
+	}
+	s.phases = nil
+	s.open = false
+	args := attrMap(attrs)
+	if args == nil {
+		args = map[string]any{}
+	}
+	args["task"] = task
+	args["outcome"] = outcome
+	t.record(Event{Name: "session", Cat: "session", Phase: "e", TS: ts,
+		PID: domain, TID: node, ID: spanID(s.id), Args: args})
+}
+
+// BeginPhase opens a named child span (compose, stream, repair) nested
+// under the task's session span. A phase already open for the task is not
+// reopened (repairs re-compose while streaming continues).
+func (t *Tracer) BeginPhase(ts int64, task, phase string, node, domain int, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := t.ensure(task)
+	for _, p := range s.phases {
+		if p == phase {
+			return
+		}
+	}
+	s.phases = append(s.phases, phase)
+	t.record(Event{Name: phase, Cat: "session", Phase: "b", TS: ts,
+		PID: domain, TID: node, ID: spanID(s.id), Args: attrMap(attrs)})
+}
+
+// EndPhase closes a child span opened by BeginPhase; unknown or closed
+// phases are ignored.
+func (t *Tracer) EndPhase(ts int64, task, phase string, node, domain int, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s, ok := t.sessions[task]
+	if !ok {
+		return
+	}
+	for i, p := range s.phases {
+		if p == phase {
+			s.phases = append(s.phases[:i], s.phases[i+1:]...)
+			t.record(Event{Name: phase, Cat: "session", Phase: "e", TS: ts,
+				PID: domain, TID: node, ID: spanID(s.id), Args: attrMap(attrs)})
+			return
+		}
+	}
+}
+
+// Instant records a point event (redirect, preemption, failover, late
+// chunk). task may be "" for events not tied to one query.
+func (t *Tracer) Instant(ts int64, task, name string, node, domain int, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e := Event{Name: name, Cat: "session", Phase: "i", TS: ts, PID: domain, TID: node,
+		Scope: "t", Args: attrMap(attrs)}
+	if task != "" {
+		e.ID = spanID(t.ensure(task).id)
+		if e.Args == nil {
+			e.Args = map[string]any{}
+		}
+		e.Args["task"] = task
+	}
+	t.record(e)
+}
+
+// Complete records a span with an explicit duration (e.g. one allocation
+// computation), both stamped by the caller's clock.
+func (t *Tracer) Complete(ts, dur int64, task, name string, node, domain int, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e := Event{Name: name, Cat: "session", Phase: "X", TS: ts, Dur: dur,
+		PID: domain, TID: node, Args: attrMap(attrs)}
+	if task != "" {
+		e.ID = spanID(t.ensure(task).id)
+		if e.Args == nil {
+			e.Args = map[string]any{}
+		}
+		e.Args["task"] = task
+	}
+	t.record(e)
+}
+
+// Len reports how many events are buffered.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Dropped reports events discarded by the buffer bound.
+func (t *Tracer) Dropped() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// SessionsBegun reports how many root session spans were ever opened.
+func (t *Tracer) SessionsBegun() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.begun
+}
+
+// OpenSessions reports sessions begun but not yet ended.
+func (t *Tracer) OpenSessions() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, s := range t.sessions {
+		if s.open {
+			n++
+		}
+	}
+	return n
+}
+
+// Snapshot returns a copy of the buffered events.
+func (t *Tracer) Snapshot() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Event(nil), t.events...)
+}
+
+// WriteJSONL writes the buffered events as Chrome trace-event JSONL: one
+// JSON object per line. `jq -s . out.jsonl` turns it into the JSON-array
+// form chrome://tracing loads directly; Perfetto reads the JSONL as is.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	events := append([]Event(nil), t.events...)
+	t.mu.Unlock()
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, e := range events {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteFile writes the trace to path via WriteJSONL.
+func (t *Tracer) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,11 +1,13 @@
 package p2prm
 
 import (
-	"log"
+	"io"
 
 	"repro/internal/core"
 	"repro/internal/live"
+	"repro/internal/metrics"
 	"repro/internal/proto"
+	"repro/internal/trace"
 )
 
 // Live hosts real-time peers in this process: each peer is a goroutine
@@ -17,6 +19,8 @@ type Live struct {
 	tr     *live.TCPTransport
 	addr   string
 	events *core.Events
+	reg    *metrics.Registry
+	diag   *live.DiagnosticsServer
 	cfg    Config
 	peers  map[NodeID]*core.Peer
 }
@@ -29,18 +33,32 @@ type LiveOptions struct {
 	// Listen, when non-empty, starts a TCP listener for inter-process
 	// messages ("host:port" or ":0").
 	Listen string
-	// Logger receives node diagnostics; nil silences them.
-	Logger *log.Logger
+	// LogTo receives node diagnostics as structured key=value lines;
+	// nil silences them.
+	LogTo io.Writer
+	// Tracer, when non-nil, records end-to-end session spans (see
+	// NewTracer). Must be set at creation; attaching later races with
+	// running nodes.
+	Tracer *trace.Tracer
 }
 
 // NewLive creates a live runtime.
 func NewLive(cfg Config, opts LiveOptions) (*Live, error) {
 	proto.RegisterMessages()
 	rt := live.NewRuntime(opts.Seed)
-	rt.Logger = opts.Logger
+	if opts.LogTo != nil {
+		rt.Logger = live.NewLogger(opts.LogTo)
+	}
+	events := &core.Events{}
+	reg := metrics.NewRegistry()
+	events.AttachMetrics(reg)
+	if opts.Tracer != nil {
+		events.AttachTracer(opts.Tracer)
+	}
 	l := &Live{
 		rt:     rt,
-		events: &core.Events{},
+		events: events,
+		reg:    reg,
 		cfg:    cfg,
 		peers:  make(map[NodeID]*core.Peer),
 	}
@@ -127,6 +145,22 @@ func (l *Live) IsRM(id NodeID) bool {
 // Events returns a snapshot of run outcomes.
 func (l *Live) Events() EventsData { return l.events.Snapshot() }
 
+// Metrics returns the runtime's labeled metrics registry (always
+// non-nil); the same registry backs the /metrics endpoint.
+func (l *Live) Metrics() *metrics.Registry { return l.reg }
+
+// ServeDiagnostics starts the HTTP diagnostics endpoint (/metrics,
+// /metrics.json, /healthz, /debug/pprof) on addr and returns the bound
+// address. It is shut down by Close.
+func (l *Live) ServeDiagnostics(addr string) (string, error) {
+	ds, err := l.rt.ServeDiagnostics(addr, l.reg)
+	if err != nil {
+		return "", err
+	}
+	l.diag = ds
+	return ds.Addr(), nil
+}
+
 // StopPeer gracefully stops one hosted peer.
 func (l *Live) StopPeer(id NodeID) {
 	l.rt.Stop(id)
@@ -138,5 +172,8 @@ func (l *Live) Close() {
 	l.rt.Shutdown()
 	if l.tr != nil {
 		l.tr.Close()
+	}
+	if l.diag != nil {
+		l.diag.Close()
 	}
 }

@@ -26,8 +26,10 @@ import (
 	"repro/internal/core"
 	"repro/internal/env"
 	"repro/internal/media"
+	"repro/internal/metrics"
 	"repro/internal/proto"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Re-exported domain types. These aliases form the public vocabulary of
@@ -51,6 +53,13 @@ type (
 	NodeID = env.NodeID
 	// Time is a timestamp/duration in microseconds.
 	Time = sim.Time
+
+	// Tracer records end-to-end session spans, exportable as Chrome
+	// trace-event JSONL (chrome://tracing, Perfetto).
+	Tracer = trace.Tracer
+	// MetricsRegistry is a labeled metrics namespace with Prometheus
+	// text-format and JSON encoders.
+	MetricsRegistry = metrics.Registry
 
 	// Format is a concrete media presentation (codec, resolution,
 	// bitrate).
@@ -87,3 +96,13 @@ const NoNode = env.NoNode
 // DefaultConfig returns the baseline configuration used throughout the
 // paper reproduction.
 func DefaultConfig() Config { return core.DefaultConfig() }
+
+// NewTracer creates an enabled session tracer; pass it via
+// SimOptions.Tracer or LiveOptions.Tracer, then export with
+// Tracer.WriteFile / Tracer.WriteJSONL after the run.
+func NewTracer() *Tracer { return trace.New() }
+
+// NewMetricsRegistry creates an empty labeled metrics registry; pass it
+// via SimOptions.Metrics to instrument a simulation (Live creates its
+// own, see Live.Metrics).
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }

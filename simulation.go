@@ -3,9 +3,11 @@ package p2prm
 import (
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/rng"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -20,6 +22,12 @@ type SimOptions struct {
 	JitterFrac float64
 	// LossRate drops messages independently with this probability.
 	LossRate float64
+	// Tracer, when non-nil, records end-to-end session spans stamped
+	// with virtual time (see NewTracer and Tracer.WriteFile).
+	Tracer *trace.Tracer
+	// Metrics, when non-nil, receives labeled counters/gauges/histograms
+	// as the run progresses.
+	Metrics *metrics.Registry
 }
 
 // Simulation is a deterministic overlay under virtual time.
@@ -39,8 +47,11 @@ func NewSimulation(cfg Config, opts SimOptions) *Simulation {
 		JitterFrac: opts.JitterFrac,
 		LossRate:   opts.LossRate,
 	}
+	c := cluster.New(cfg, netCfg, opts.Seed)
+	c.Events.AttachTracer(opts.Tracer)
+	c.Events.AttachMetrics(opts.Metrics)
 	return &Simulation{
-		c:   cluster.New(cfg, netCfg, opts.Seed),
+		c:   c,
 		cat: cluster.StandardCatalog(),
 	}
 }
