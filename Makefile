@@ -1,21 +1,33 @@
 GO ?= go
 
-.PHONY: check vet fmt build test race bench-trace
+.PHONY: check vet fmt build lint test race bench-trace
 
 # check is the pre-commit gate referenced from README: static checks,
-# full build, race-enabled tests, and the disabled-tracing overhead
-# benchmark (EXPERIMENTS.md "Tracing overhead microbenchmark").
-check: vet fmt build race bench-trace
+# project lint, full build, race-enabled tests, and the disabled-tracing
+# overhead benchmark (EXPERIMENTS.md "Tracing overhead microbenchmark").
+check: vet fmt build lint race bench-trace
 
 vet:
 	$(GO) vet ./...
 
 fmt:
-	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
-		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	@diff=$$(gofmt -d .); if [ -n "$$diff" ]; then \
+		echo "gofmt needed:"; echo "$$diff"; exit 1; fi
 
 build:
 	$(GO) build ./...
+
+# lint runs the project-specific go/analysis suite (clockcheck,
+# eventguard, lockfield, metriclabel) over the whole module via the
+# go vet -vettool driver. See README "Static analysis".
+lint: bin/p2plint
+	$(GO) vet -vettool=$(CURDIR)/bin/p2plint ./...
+
+bin/p2plint: FORCE
+	$(GO) build -o bin/p2plint ./cmd/p2plint
+
+.PHONY: FORCE
+FORCE:
 
 test:
 	$(GO) test ./...

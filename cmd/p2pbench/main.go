@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/live"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/rng"
@@ -95,6 +96,7 @@ func main() {
 
 func runCell(seed uint64, n int, rate, churnPerMin float64, domainCap int, horizon sim.Time, reg *metrics.Registry) string {
 	cfg := core.DefaultConfig()
+	cfg.Nanotime = live.Nanotime // benchmark cells report real allocator CPU cost
 	cfg.MaxDomainPeers = domainCap
 	r := rng.New(seed ^ uint64(n)<<20 ^ uint64(rate*1000) ^ uint64(churnPerMin*7))
 	infos := cluster.PeerSpecs(r, n, cfg.Qualify, 0.4)

@@ -1,0 +1,31 @@
+// Command p2plint is the project's static-analysis gate: a
+// go/analysis unitchecker bundling the four repo-specific analyzers
+// (clockcheck, eventguard, lockfield, metriclabel). It is built to be
+// driven by the go command:
+//
+//	go build -o bin/p2plint ./cmd/p2plint
+//	go vet -vettool=$(pwd)/bin/p2plint ./...
+//
+// which is what `make lint` (and therefore `make check` and CI) runs.
+// Each analyzer documents its invariant and its //lint:allow escape
+// hatch; see internal/lint and the "Static analysis" section of
+// README.md.
+package main
+
+import (
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"repro/internal/lint/clockcheck"
+	"repro/internal/lint/eventguard"
+	"repro/internal/lint/lockfield"
+	"repro/internal/lint/metriclabel"
+)
+
+func main() {
+	unitchecker.Main(
+		clockcheck.Analyzer,
+		eventguard.Analyzer,
+		lockfield.Analyzer,
+		metriclabel.Analyzer,
+	)
+}

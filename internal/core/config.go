@@ -86,6 +86,15 @@ type Config struct {
 
 	// EWMAAlpha smooths profiler measurements.
 	EWMAAlpha float64
+
+	// Nanotime, when set, supplies a monotonic nanosecond reading used
+	// to cost allocator computations (Events.AllocNanos, E4/E11). Nil
+	// means "derive from the injected env.Clock": under simulation the
+	// virtual clock does not advance while the allocator runs, so the
+	// cost reads as zero and runs stay bit-reproducible. The live
+	// runtime injects the real monotonic clock here — wall time is an
+	// input of the deployment, not of the simulation.
+	Nanotime func() int64
 }
 
 // DefaultConfig returns the baseline configuration.

@@ -6,6 +6,9 @@ import "repro/internal/env"
 // overlay connections the peer holds — to its Resource Manager and to the
 // adjacent peers of every pipeline it participates in. Connections are
 // reference-counted because two sessions may share an adjacency.
+//
+// Concurrency audit: no mutex by design — a ConnManager belongs to one
+// peer and is touched only from that peer's serialized actor loop.
 type ConnManager struct {
 	refs   map[env.NodeID]int
 	opened uint64

@@ -21,8 +21,8 @@ import (
 // endpoint). The mutators below are thin emitters into all three; with no
 // sinks attached they cost what they always did.
 type Events struct {
-	mu sync.Mutex
-	EventsData
+	mu         sync.Mutex
+	EventsData // guarded by mu
 
 	// tr and reg are set once by AttachTracer/AttachMetrics before any
 	// node runs (the goroutine/simulation start provides the
@@ -128,6 +128,8 @@ func domainLabels(d proto.DomainID) metrics.Labels {
 
 func (e *Events) count(name, help string, d proto.DomainID) {
 	if e.reg != nil {
+		// Funnel helper: every caller passes Metric* constants.
+		//lint:allow metriclabel name/help are constant at all call sites
 		e.reg.Counter(name, help, domainLabels(d)).Inc()
 	}
 }
@@ -296,6 +298,9 @@ func (e *Events) peerLoad(d proto.DomainID, peer int, load, util float64) {
 
 // Snapshot returns a copy safe to read while nodes are still running.
 func (e *Events) Snapshot() EventsData {
+	if e == nil {
+		return EventsData{}
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	cp := e.EventsData
@@ -308,6 +313,9 @@ func (e *Events) Snapshot() EventsData {
 
 // MissRate aggregates chunk misses across all session reports.
 func (e *Events) MissRate() float64 {
+	if e == nil {
+		return 0
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	var chunks, missed int
@@ -324,6 +332,9 @@ func (e *Events) MissRate() float64 {
 // SessionsOnTime counts sessions whose startup met the given budget and
 // that missed no chunks.
 func (e *Events) SessionsOnTime(startupBudgetMicros int64) int {
+	if e == nil {
+		return 0
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	n := 0

@@ -14,6 +14,11 @@ import (
 // "updated lazily using a gossiping protocol". The protocol is a classic
 // push-pull anti-entropy: digest -> missing summaries -> wanted
 // summaries.
+//
+// Concurrency audit: the gossip state (rmState.summaries et al.) is
+// actor-confined like the rest of rmState — handlers here run only on
+// the owning peer's serialized loop, so no mutex or "guarded by mu"
+// annotation is warranted.
 
 // buildOwnSummary constructs this domain's current summary.
 func (p *Peer) buildOwnSummary() proto.DomainSummary {

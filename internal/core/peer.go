@@ -111,6 +111,17 @@ func (p *Peer) RMID() env.NodeID { return p.rmID }
 // Joined reports whether the peer is a member of a domain.
 func (p *Peer) Joined() bool { return p.joined }
 
+// nanotime returns a monotonic nanosecond reading for costing local
+// computations. With no Config.Nanotime hook it derives from the
+// injected clock (microseconds), which under simulation does not
+// advance mid-handler — the cost reads as zero and stays deterministic.
+func (p *Peer) nanotime() int64 {
+	if p.cfg.Nanotime != nil {
+		return p.cfg.Nanotime()
+	}
+	return int64(p.ctx.Now()) * 1000
+}
+
 // Processor exposes the local scheduler (tests and experiments).
 func (p *Peer) Processor() *sched.Processor { return p.proc }
 

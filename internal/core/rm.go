@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"sort"
-	"time"
 
 	"repro/internal/env"
 	"repro/internal/graph"
@@ -16,6 +15,13 @@ import (
 // rmState is the Resource-Manager role state (§3.1): full knowledge of
 // the domain's peers, objects, services, resource graph and running
 // sessions, plus gossiped summaries of other domains.
+//
+// Concurrency audit: rmState carries no mutex on purpose. It is owned by
+// the peer's actor loop — every read and write happens inside a Receive
+// or timer callback serialized by the hosting runtime (sim engine or
+// live mailbox) — so the lockfield discipline does not apply here; the
+// mutex-guarded shared state lives in Events, trace.Tracer, and
+// metrics.Registry.
 type rmState struct {
 	domain proto.DomainID
 
@@ -729,7 +735,7 @@ func (p *Peer) rmSearch(spec proto.TaskSpec, pv *graph.PeerView) (searchResult, 
 		DeadlineMicros: spec.DeadlineMicros,
 		ChunkSeconds:   spec.ChunkSec,
 	}
-	started := time.Now()
+	started := p.nanotime()
 	res.goal = graph.VertexID(-1)
 	found := false
 	for _, g := range goals {
@@ -743,7 +749,7 @@ func (p *Peer) rmSearch(spec proto.TaskSpec, pv *graph.PeerView) (searchResult, 
 			res.alloc, res.goal, found = alloc, g, true
 		}
 	}
-	allocNanos := time.Since(started).Nanoseconds()
+	allocNanos := p.nanotime() - started
 	p.events.allocCost(p.domain, allocNanos)
 	if tr := p.events.Tracer(); tr != nil {
 		// ts is the virtual/wall clock of the run; dur is the real

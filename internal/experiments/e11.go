@@ -3,6 +3,7 @@ package experiments
 import (
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/live"
 	"repro/internal/metrics"
 	"repro/internal/rng"
 	"repro/internal/sim"
@@ -40,6 +41,7 @@ func E11Decentralization(opt Options) Result {
 
 func runTopologyCell(seed uint64, n, domainCap int) []any {
 	cfg := core.DefaultConfig()
+	cfg.Nanotime = live.Nanotime // alloc_p95_us is a real CPU-cost column, not simulated time
 	cfg.MaxDomainPeers = domainCap
 	r := rng.New(seed ^ uint64(n*domainCap)*977)
 	infos := cluster.PeerSpecs(r, n, cfg.Qualify, 0.4)

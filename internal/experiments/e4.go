@@ -3,6 +3,7 @@ package experiments
 import (
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/live"
 	"repro/internal/metrics"
 	"repro/internal/rng"
 	"repro/internal/sim"
@@ -39,6 +40,7 @@ func E4Scalability(opt Options) Result {
 
 func runScaleCell(seed uint64, n int) []any {
 	cfg := core.DefaultConfig()
+	cfg.Nanotime = live.Nanotime // alloc_p95_us is a real CPU-cost column, not simulated time
 	cfg.MaxDomainPeers = 32
 	r := rng.New(seed ^ uint64(n)*2654435761)
 	infos := cluster.PeerSpecs(r, n, cfg.Qualify, 0.4)

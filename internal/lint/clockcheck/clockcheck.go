@@ -1,0 +1,98 @@
+// Package clockcheck defines an analyzer enforcing the repo's
+// determinism contract: packages that run under the discrete-event
+// simulation must take time from the injected env.Clock and randomness
+// from the injected per-node rng stream, never from the process
+// environment. A time.Now() on a sim-reachable path silently breaks
+// bit-reproducibility of runs (ROADMAP: "runs with equal seeds and
+// schedules are bit-identical") in a way -race and code review do not
+// catch.
+package clockcheck
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/types/typeutil"
+
+	"repro/internal/lint/lintutil"
+)
+
+const doc = `forbid wall-clock and global randomness in deterministic packages
+
+Packages listed in -deterministic (path suffixes) form the simulated
+core: all time must come from the injected clock (env.Clock / sim
+engine) and all randomness from the injected rng stream. Calls to
+time.Now, time.Since, time.Sleep, timer constructors, and package-level
+math/rand functions are reported. Suppress a deliberate crossing with
+//lint:allow clockcheck <reason>.`
+
+const name = "clockcheck"
+
+// Analyzer is the clockcheck pass.
+var Analyzer = &analysis.Analyzer{
+	Name:     name,
+	Doc:      doc,
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+// deterministic lists the package-path suffixes the analyzer applies to.
+var deterministic = "internal/core,internal/sim,internal/sched,internal/graph,internal/experiments"
+
+func init() {
+	Analyzer.Flags.StringVar(&deterministic, "deterministic", deterministic,
+		"comma-separated package path suffixes that must stay deterministic")
+}
+
+// forbiddenTime are the time package functions that read or wait on the
+// wall clock. Conversions and constructors like time.Duration or
+// time.Unix are fine: they do not observe the environment.
+var forbiddenTime = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+	"AfterFunc": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !lintutil.PkgMatch(pass.Pkg.Path(), strings.Split(deterministic, ",")) {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		fn := typeutil.StaticCallee(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil {
+			return
+		}
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return // methods are fine; only package-level funcs observe globals
+		}
+		var what string
+		switch fn.Pkg().Path() {
+		case "time":
+			if forbiddenTime[fn.Name()] {
+				what = "wall clock (use the injected env.Clock)"
+			}
+		case "math/rand", "math/rand/v2":
+			// Constructors (New, NewSource, ...) build an explicitly
+			// seeded stream; only the package-level funcs that draw
+			// from the hidden global source are nondeterministic.
+			if !strings.HasPrefix(fn.Name(), "New") {
+				what = "global randomness (use the injected rng stream)"
+			}
+		}
+		if what == "" {
+			return
+		}
+		if lintutil.InTestFile(pass, call.Pos()) || lintutil.Allowed(pass, call.Pos(), name) {
+			return
+		}
+		pass.Reportf(call.Pos(), "%s.%s reads %s in deterministic package %s",
+			fn.Pkg().Name(), fn.Name(), what, pass.Pkg.Path())
+	})
+	return nil, nil
+}

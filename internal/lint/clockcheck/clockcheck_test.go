@@ -1,0 +1,29 @@
+package clockcheck_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/clockcheck"
+	"repro/internal/lint/linttest"
+)
+
+var deps = map[string]string{
+	"time":      "testdata/src/faketime",
+	"math/rand": "testdata/src/fakerand",
+}
+
+func TestDeterministicPackage(t *testing.T) {
+	linttest.Run(t, clockcheck.Analyzer, linttest.Target{
+		Dir:  "testdata/src/detpkg",
+		Path: "p2plint.example/internal/core",
+		Deps: deps,
+	})
+}
+
+func TestNonDeterministicPackageIgnored(t *testing.T) {
+	linttest.Run(t, clockcheck.Analyzer, linttest.Target{
+		Dir:  "testdata/src/livepkg",
+		Path: "p2plint.example/internal/live",
+		Deps: deps,
+	})
+}

@@ -1,0 +1,14 @@
+// Package rand is a hermetic stand-in for math/rand.
+package rand
+
+type Rand struct{ seed uint64 }
+
+func New(seed uint64) *Rand { return &Rand{seed: seed} }
+
+func (r *Rand) Intn(n int) int { return int(r.seed) % n }
+
+func Intn(n int) int                     { return n - 1 }
+func Float64() float64                   { return 0.5 }
+func Seed(seed int64)                    {}
+func Perm(n int) []int                   { return nil }
+func Shuffle(n int, swap func(i, j int)) {}

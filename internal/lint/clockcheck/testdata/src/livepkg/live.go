@@ -1,0 +1,7 @@
+// Package live is a non-deterministic fixture: its import path does not
+// match the -deterministic list, so wall-clock reads are fine here.
+package live
+
+import "time"
+
+func uptime() time.Duration { return time.Since(time.Now()) }

@@ -1,0 +1,26 @@
+package eventguard_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/eventguard"
+	"repro/internal/lint/linttest"
+)
+
+func TestDeclarations(t *testing.T) {
+	linttest.Run(t, eventguard.Analyzer, linttest.Target{
+		Dir:  "testdata/src/faketrace",
+		Path: "p2plint.example/internal/trace",
+	})
+}
+
+func TestCallSites(t *testing.T) {
+	linttest.Run(t, eventguard.Analyzer, linttest.Target{
+		Dir:  "testdata/src/hotpkg",
+		Path: "p2plint.example/internal/core",
+		Deps: map[string]string{
+			"p2plint.example/internal/trace":   "testdata/src/faketrace",
+			"p2plint.example/internal/metrics": "testdata/src/fakemetrics",
+		},
+	})
+}

@@ -1,0 +1,19 @@
+// Package metrics is a hermetic stand-in for repro/internal/metrics.
+package metrics
+
+type Labels map[string]string
+
+type Counter struct{ v int64 }
+
+func (c *Counter) Inc() { c.v++ }
+
+type Registry struct{ families map[string]*Counter }
+
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	c, ok := r.families[name]
+	if !ok {
+		c = &Counter{}
+		r.families[name] = c
+	}
+	return c
+}

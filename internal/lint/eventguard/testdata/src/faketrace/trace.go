@@ -1,0 +1,43 @@
+// Package trace is a hermetic stand-in for repro/internal/trace: its
+// import path ends in internal/trace, so eventguard treats *Tracer as a
+// guarded sink and checks the nil-receiver contract of its exported
+// methods.
+package trace
+
+type Attr struct {
+	Key   string
+	Value any
+}
+
+func A(key string, value any) Attr { return Attr{Key: key, Value: value} }
+
+type Tracer struct{ events []Attr }
+
+// Instant follows the contract: nil receiver returns immediately.
+func (t *Tracer) Instant(name string, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	t.events = append(t.events, attrs...)
+}
+
+// Stats also follows it, building its zero result first.
+func (t *Tracer) Stats() (n int) {
+	if t == nil {
+		n = 0
+		return
+	}
+	return len(t.events)
+}
+
+// Broken violates the contract. // want is on the declaration below.
+func (t *Tracer) Broken(name string) { // want `exported method Tracer\.Broken must begin with a nil-receiver guard`
+	t.events = append(t.events, Attr{Key: name})
+}
+
+// record is unexported: helpers called on a known-live tracer are
+// exempt from the declaration rule.
+func (t *Tracer) record(a Attr) { t.events = append(t.events, a) }
+
+// Len has a value receiver, which can never be nil.
+func (t Tracer) Len() int { return len(t.events) }

@@ -1,0 +1,224 @@
+// Package linttest is a minimal analysistest-style driver for the
+// p2plint analyzers. The real analysistest needs go/packages (and a
+// build cache warm enough to load the standard library); this harness
+// instead type-checks a testdata package hermetically, resolving its
+// imports from caller-supplied fake packages, then runs one analyzer
+// and compares its diagnostics against "// want" expectations.
+//
+// Expectation syntax, as in analysistest: a comment
+//
+//	// want "regexp" "another regexp"
+//
+// on a line means the analyzer must report exactly those diagnostics on
+// that line (each matched by its regexp). Diagnostics on lines without
+// a matching expectation, and expectations never matched, both fail the
+// test.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// Target describes the package a test analyzes.
+type Target struct {
+	// Dir holds the package's .go files.
+	Dir string
+	// Path is the import path the package is type-checked as; the
+	// analyzers' package scoping matches on its suffix.
+	Path string
+	// Deps maps import paths to directories of fake dependency
+	// packages (e.g. "time" -> "testdata/src/faketime"). Imports not
+	// listed here and not provided by the host resolve through the
+	// standard library source importer.
+	Deps map[string]string
+}
+
+// Run type-checks the target and asserts the analyzer's diagnostics
+// against the target's "// want" comments.
+func Run(t *testing.T, a *analysis.Analyzer, tgt Target) {
+	t.Helper()
+	fset := token.NewFileSet()
+	ld := &loader{
+		fset: fset,
+		deps: tgt.Deps,
+		std:  importer.ForCompiler(fset, "source", nil),
+		pkgs: map[string]*types.Package{},
+	}
+	files, info, pkg, err := ld.check(tgt.Path, tgt.Dir)
+	if err != nil {
+		t.Fatalf("loading %s: %v", tgt.Dir, err)
+	}
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:          a,
+		Fset:              fset,
+		Files:             files,
+		Pkg:               pkg,
+		TypesInfo:         info,
+		TypesSizes:        types.SizesFor("gc", "amd64"),
+		ResultOf:          map[*analysis.Analyzer]any{},
+		Report:            func(d analysis.Diagnostic) { diags = append(diags, d) },
+		ImportObjectFact:  func(types.Object, analysis.Fact) bool { return false },
+		ImportPackageFact: func(*types.Package, analysis.Fact) bool { return false },
+		ExportObjectFact:  func(types.Object, analysis.Fact) {},
+		ExportPackageFact: func(analysis.Fact) {},
+	}
+	for _, req := range a.Requires {
+		if req != inspect.Analyzer {
+			t.Fatalf("linttest only supports the inspect dependency, analyzer requires %s", req.Name)
+		}
+		pass.ResultOf[req] = inspector.New(files)
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("%s: %v", a.Name, err)
+	}
+	compare(t, fset, files, diags)
+}
+
+// --- hermetic loading ---
+
+// loader resolves imports from fake local packages first, then the
+// standard library's source importer.
+type loader struct {
+	fset *token.FileSet
+	deps map[string]string
+	std  types.Importer
+	pkgs map[string]*types.Package
+}
+
+// Import implements types.Importer.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	dir, ok := l.deps[path]
+	if !ok {
+		return l.std.Import(path)
+	}
+	_, _, pkg, err := l.check(path, dir)
+	if err != nil {
+		return nil, fmt.Errorf("dep %s: %w", path, err)
+	}
+	return pkg, nil
+}
+
+// check parses and type-checks one package directory.
+func (l *loader) check(path, dir string) ([]*ast.File, *types.Info, *types.Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil, nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	l.pkgs[path] = pkg
+	return files, info, pkg, nil
+}
+
+// --- expectation matching ---
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+var quoted = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+// wants extracts the expectations from the files' comments.
+func wants(t *testing.T, fset *token.FileSet, files []*ast.File) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, q := range quoted.FindAllString(rest, -1) {
+					s, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: bad want string %s: %v", pos, q, err)
+					}
+					re, err := regexp.Compile(s)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, s, err)
+					}
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// compare reconciles diagnostics with expectations.
+func compare(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	exps := wants(t, fset, files)
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, e := range exps {
+			if !e.hit && e.file == pos.Filename && e.line == pos.Line && e.re.MatchString(d.Message) {
+				e.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, e := range exps {
+		if !e.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.re)
+		}
+	}
+}

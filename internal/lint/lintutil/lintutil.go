@@ -1,0 +1,114 @@
+// Package lintutil holds the small pieces shared by the p2plint
+// analyzers: the //lint:allow escape-hatch convention, package-path
+// matching for scoped analyzers, and comment lookup by source line.
+//
+// Escape hatch: a comment of the form
+//
+//	//lint:allow <analyzer> [reason...]
+//
+// on the offending line, or alone on the line directly above it,
+// suppresses that analyzer's diagnostics for the line. It is meant for
+// the handful of places where the invariant is intentionally crossed
+// (e.g. the live-runtime boundary reading the wall clock); the reason
+// should say why.
+package lintutil
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// AllowPrefix introduces an escape-hatch comment.
+const AllowPrefix = "//lint:allow "
+
+// fileFor returns the *ast.File of pass containing pos.
+func fileFor(pass *analysis.Pass, pos token.Pos) *ast.File {
+	for _, f := range pass.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// Allowed reports whether the diagnostic of the named analyzer at pos is
+// suppressed by a //lint:allow comment on the same line or the line
+// immediately above.
+func Allowed(pass *analysis.Pass, pos token.Pos, analyzer string) bool {
+	f := fileFor(pass, pos)
+	if f == nil {
+		return false
+	}
+	line := pass.Fset.Position(pos).Line
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(c.Text, AllowPrefix)
+			if !ok {
+				continue
+			}
+			name, _, _ := strings.Cut(strings.TrimSpace(rest), " ")
+			if name != analyzer {
+				continue
+			}
+			cl := pass.Fset.Position(c.Pos()).Line
+			if cl == line || cl == line-1 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// InTestFile reports whether pos lies in a _test.go file. The p2plint
+// invariants target production code; tests routinely construct the
+// guarded objects directly.
+func InTestFile(pass *analysis.Pass, pos token.Pos) bool {
+	return strings.HasSuffix(pass.Fset.Position(pos).Filename, "_test.go")
+}
+
+// PkgMatch reports whether path is, or ends with, one of the patterns
+// (each pattern a slash-separated path suffix like "internal/core").
+// Suffix matching keeps the analyzers usable from testdata modules whose
+// package paths only share the tail with the real tree.
+func PkgMatch(path string, patterns []string) bool {
+	for _, p := range patterns {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		if path == p || strings.HasSuffix(path, "/"+p) {
+			return true
+		}
+	}
+	return false
+}
+
+// NamedPointee returns the named type T when typ is T or *T (looking
+// through aliases), else nil.
+func NamedPointee(typ types.Type) *types.Named {
+	typ = types.Unalias(typ)
+	if p, ok := typ.(*types.Pointer); ok {
+		typ = types.Unalias(p.Elem())
+	}
+	n, _ := typ.(*types.Named)
+	return n
+}
+
+// IsNamed reports whether typ is the named type (or pointer to it) with
+// the given name declared in a package whose path matches pkgSuffix.
+func IsNamed(typ types.Type, pkgSuffix, name string) bool {
+	n := NamedPointee(typ)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Name() == name && PkgMatch(n.Obj().Pkg().Path(), []string{pkgSuffix})
+}
+
+// ExprString renders an expression the way types.ExprString does; the
+// analyzers compare receiver expressions textually when deciding whether
+// a nil-guard or a lock statement refers to the same value.
+func ExprString(e ast.Expr) string { return types.ExprString(e) }

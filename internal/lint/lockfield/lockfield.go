@@ -1,0 +1,190 @@
+// Package lockfield defines a heuristic analyzer for the repo's
+// documented locking discipline: a struct field whose declaration
+// carries a "guarded by mu" comment may only be read or written after
+// the struct's mutex is acquired.
+//
+// The check is lexical, not a happens-before proof: an access to an
+// annotated field (including fields promoted through an annotated
+// embedded struct, as in core.Events) is accepted when, inside the
+// enclosing function, a <recv>.mu.Lock() or <recv>.mu.RLock() call on
+// the same receiver expression appears before the access, or when the
+// enclosing function's name ends in "Locked" (the convention for
+// helpers whose callers hold the mutex). Anything else is reported.
+// Suppress a deliberate exception with //lint:allow lockfield <reason>.
+//
+// The analyzer also reports annotations it cannot honor: a
+// "guarded by mu" comment on a field of a struct that has no mu field.
+package lockfield
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"repro/internal/lint/lintutil"
+)
+
+const doc = `check that fields annotated "guarded by mu" are accessed under the mutex
+
+See package documentation. Suppress with //lint:allow lockfield <reason>.`
+
+// Annotation is the comment marker, matched case-insensitively anywhere
+// in the field's trailing or doc comment.
+const Annotation = "guarded by mu"
+
+const name = "lockfield"
+
+// Analyzer is the lockfield pass.
+var Analyzer = &analysis.Analyzer{
+	Name:     name,
+	Doc:      doc,
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+// guardedField identifies one annotated field as (struct type, field
+// index) in the struct's field order.
+type guardedField struct {
+	typ   *types.Named
+	index int
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	guardedSet := collect(pass, ins)
+	if len(guardedSet) == 0 {
+		return nil, nil
+	}
+	checkAccesses(pass, ins, guardedSet)
+	return nil, nil
+}
+
+// hasComment reports whether the field's doc or trailing comment
+// contains the annotation.
+func hasComment(f *ast.Field) bool {
+	for _, cg := range []*ast.CommentGroup{f.Doc, f.Comment} {
+		if cg != nil && strings.Contains(strings.ToLower(cg.Text()), Annotation) {
+			return true
+		}
+	}
+	return false
+}
+
+// collect finds annotated fields and validates that their structs carry
+// a mu field to be guarded by.
+func collect(pass *analysis.Pass, ins *inspector.Inspector) map[guardedField]bool {
+	out := map[guardedField]bool{}
+	ins.Preorder([]ast.Node{(*ast.TypeSpec)(nil)}, func(n ast.Node) {
+		ts := n.(*ast.TypeSpec)
+		st, ok := ts.Type.(*ast.StructType)
+		if !ok {
+			return
+		}
+		obj, ok := pass.TypesInfo.Defs[ts.Name]
+		if !ok {
+			return
+		}
+		named, ok := types.Unalias(obj.Type()).(*types.Named)
+		if !ok {
+			return
+		}
+		hasMu := false
+		idx := 0
+		for _, f := range st.Fields.List {
+			n := len(f.Names)
+			if n == 0 {
+				n = 1 // embedded field
+			}
+			for _, name := range f.Names {
+				if name.Name == "mu" {
+					hasMu = true
+				}
+			}
+			if hasComment(f) {
+				for k := 0; k < n; k++ {
+					out[guardedField{named, idx + k}] = true
+				}
+				if !hasMu { // mu must precede the fields it guards
+					pass.Reportf(f.Pos(),
+						"field of %s is annotated %q but no mu field precedes it in the struct",
+						named.Obj().Name(), Annotation)
+				}
+			}
+			idx += n
+		}
+	})
+	return out
+}
+
+// checkAccesses walks every selector that resolves to an annotated field
+// (directly or through promotion) and verifies the lock discipline.
+func checkAccesses(pass *analysis.Pass, ins *inspector.Inspector, guardedSet map[guardedField]bool) {
+	ins.WithStack([]ast.Node{(*ast.SelectorExpr)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return true
+		}
+		se := n.(*ast.SelectorExpr)
+		selection, ok := pass.TypesInfo.Selections[se]
+		if !ok || selection.Kind() != types.FieldVal || len(selection.Index()) == 0 {
+			return true
+		}
+		recvType := types.Unalias(selection.Recv())
+		if p, isPtr := recvType.(*types.Pointer); isPtr {
+			recvType = types.Unalias(p.Elem())
+		}
+		named, ok := recvType.(*types.Named)
+		if !ok || !guardedSet[guardedField{named, selection.Index()[0]}] {
+			return true
+		}
+		if lockHeld(pass, stack, lintutil.ExprString(se.X)) {
+			return true
+		}
+		if lintutil.InTestFile(pass, se.Pos()) || lintutil.Allowed(pass, se.Pos(), name) {
+			return true
+		}
+		pass.Reportf(se.Pos(),
+			"%s.%s is guarded by mu but accessed without %s.mu held (lock first, or name the helper *Locked)",
+			named.Obj().Name(), se.Sel.Name, lintutil.ExprString(se.X))
+		return true
+	})
+}
+
+// lockHeld applies the heuristic: the enclosing function locked
+// <recv>.mu (Lock or RLock) before this position, or is a *Locked
+// helper.
+func lockHeld(pass *analysis.Pass, stack []ast.Node, recv string) bool {
+	var fn ast.Node
+	for _, n := range stack {
+		switch n.(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			fn = n // innermost function wins
+		}
+	}
+	if fn == nil {
+		return false
+	}
+	if fd, ok := fn.(*ast.FuncDecl); ok && strings.HasSuffix(fd.Name.Name, "Locked") {
+		return true
+	}
+	pos := stack[len(stack)-1].Pos()
+	held := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if held {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() >= pos {
+			return true
+		}
+		fun := lintutil.ExprString(call.Fun)
+		if fun == recv+".mu.Lock" || fun == recv+".mu.RLock" {
+			held = true
+		}
+		return true
+	})
+	return held
+}

@@ -1,0 +1,16 @@
+package lockfield_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/lockfield"
+)
+
+func TestLockField(t *testing.T) {
+	linttest.Run(t, lockfield.Analyzer, linttest.Target{
+		Dir:  "testdata/src/lockpkg",
+		Path: "p2plint.example/lockpkg",
+		Deps: map[string]string{"sync": "testdata/src/fakesync"},
+	})
+}

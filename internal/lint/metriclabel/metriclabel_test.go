@@ -1,0 +1,18 @@
+package metriclabel_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/metriclabel"
+)
+
+func TestMetricLabel(t *testing.T) {
+	linttest.Run(t, metriclabel.Analyzer, linttest.Target{
+		Dir:  "testdata/src/callpkg",
+		Path: "p2plint.example/callpkg",
+		Deps: map[string]string{
+			"p2plint.example/internal/metrics": "testdata/src/fakemetrics",
+		},
+	})
+}

@@ -1,0 +1,41 @@
+// Package callpkg exercises the metric name/label cardinality checker.
+package callpkg
+
+import (
+	"p2plint.example/internal/metrics"
+)
+
+// MetricAdmitted mirrors the repo convention: names are package-level
+// constants.
+const MetricAdmitted = "p2p_sessions_admitted_total"
+
+func constantNames(r *metrics.Registry, domain string) {
+	r.Counter(MetricAdmitted, "Sessions composed.", metrics.Labels{"domain": domain}).Inc()
+	r.Gauge("p2p_peer_load", "Profiled load.", metrics.Labels{"domain": domain, "peer": "1"}).Set(1)
+	r.Histogram("p2p_alloc_seconds", "Alloc cost.", nil, nil).Observe(0.1)
+}
+
+func dynamicName(r *metrics.Registry, taskID string) {
+	r.Counter("p2p_task_"+taskID, "per-task counter", nil).Inc() // want `metric name argument to Registry\.Counter must be a compile-time constant`
+}
+
+func dynamicHelp(r *metrics.Registry, help string) {
+	r.Counter(MetricAdmitted, help, nil).Inc() // want `metric help argument to Registry\.Counter must be a compile-time constant`
+}
+
+func badCharset(r *metrics.Registry) {
+	r.Gauge("p2p peer load", "spaces are not a charset", nil).Set(0) // want `metric name "p2p peer load" is not a valid Prometheus metric name`
+}
+
+func unboundedKey(r *metrics.Registry, taskID string) {
+	r.Counter(MetricAdmitted, "help", metrics.Labels{"task": taskID}).Inc() // want `metrics\.Labels key "task" is outside the bounded label set`
+}
+
+func dynamicKey(r *metrics.Registry, k, v string) {
+	_ = metrics.Labels{k: v} // want `metrics\.Labels key must be a compile-time string constant`
+}
+
+func funnel(r *metrics.Registry, name, help string) {
+	//lint:allow metriclabel fixture: funnel whose callers pass constants
+	r.Counter(name, help, nil).Inc()
+}

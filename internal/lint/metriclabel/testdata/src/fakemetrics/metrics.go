@@ -1,0 +1,26 @@
+// Package metrics is a hermetic stand-in for repro/internal/metrics.
+package metrics
+
+type Labels map[string]string
+
+type Counter struct{ v int64 }
+
+func (c *Counter) Inc() { c.v++ }
+
+type Gauge struct{ v float64 }
+
+func (g *Gauge) Set(v float64) { g.v = v }
+
+type Histogram struct{ n uint64 }
+
+func (h *Histogram) Observe(v float64) { h.n++ }
+
+type Registry struct{ n int }
+
+func (r *Registry) Counter(name, help string, labels Labels) *Counter { return &Counter{} }
+
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge { return &Gauge{} }
+
+func (r *Registry) Histogram(name, help string, buckets []float64, labels Labels) *Histogram {
+	return &Histogram{}
+}

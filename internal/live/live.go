@@ -34,13 +34,13 @@ type Runtime struct {
 	start time.Time
 
 	mu     sync.Mutex
-	nodes  map[env.NodeID]*liveNode
-	nextID env.NodeID
-	seed   *rng.Rand
+	nodes  map[env.NodeID]*liveNode // guarded by mu
+	nextID env.NodeID               // guarded by mu
+	seed   *rng.Rand                // guarded by mu
 
 	// remote, when set, carries messages addressed to nodes not hosted
 	// here (the TCP transport).
-	remote func(from, to env.NodeID, m env.Message) error
+	remote func(from, to env.NodeID, m env.Message) error // guarded by mu
 
 	// Logger receives node Logf output as structured logfmt lines
 	// (see logger.go); nil silences it.
@@ -170,6 +170,15 @@ func (rt *Runtime) NodeCount() int {
 
 // Uptime reports how long the runtime has been running.
 func (rt *Runtime) Uptime() time.Duration { return time.Since(rt.start) }
+
+// epoch anchors Nanotime; only differences are meaningful.
+var epoch = time.Now()
+
+// Nanotime returns the real monotonic clock in nanoseconds. Live
+// deployments inject it as core.Config.Nanotime so allocator costing
+// (Events.AllocNanos) reflects actual CPU time; the simulation leaves
+// the hook nil and stays on the virtual clock.
+func Nanotime() int64 { return time.Since(epoch).Nanoseconds() }
 
 // Inject delivers a message to a hosted node from the outside world (the
 // TCP listener and tests use this).

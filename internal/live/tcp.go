@@ -25,12 +25,12 @@ type TCPTransport struct {
 	rt *Runtime
 
 	mu       sync.Mutex
-	book     map[env.NodeID]string // remote node -> "host:port"
-	conns    map[string]*gobConn   // addr -> outbound connection
-	accepted map[net.Conn]bool     // inbound connections being read
+	book     map[env.NodeID]string // remote node -> "host:port"; guarded by mu
+	conns    map[string]*gobConn   // addr -> outbound connection; guarded by mu
+	accepted map[net.Conn]bool     // inbound connections being read; guarded by mu
 	ln       net.Listener
 	wg       sync.WaitGroup
-	closed   bool
+	closed   bool // guarded by mu
 }
 
 type gobConn struct {

@@ -102,7 +102,7 @@ type family struct {
 	typ     MetricType
 	buckets []float64 // histograms only
 	mu      sync.Mutex
-	metrics map[string]*metric
+	metrics map[string]*metric // guarded by mu
 }
 
 // Registry is a labeled metrics namespace. The zero value is not usable;
@@ -111,7 +111,7 @@ type family struct {
 // helpers in core (a nil Registry itself must not be dereferenced).
 type Registry struct {
 	mu       sync.RWMutex
-	families map[string]*family
+	families map[string]*family // guarded by mu
 }
 
 // NewRegistry creates an empty registry.

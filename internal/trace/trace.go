@@ -68,13 +68,15 @@ type session struct {
 // Tracer buffers trace events for one run. The zero value is not usable;
 // call New. A nil *Tracer is a valid disabled tracer.
 type Tracer struct {
-	mu        sync.Mutex
-	events    []Event
-	sessions  map[string]*session
-	nextID    uint64
-	begun     int // sessions ever begun
-	dropped   int
-	maxEvents int
+	mu sync.Mutex
+
+	// All fields below are guarded by mu.
+	events    []Event             // guarded by mu
+	sessions  map[string]*session // guarded by mu
+	nextID    uint64              // guarded by mu
+	begun     int                 // sessions ever begun; guarded by mu
+	dropped   int                 // guarded by mu
+	maxEvents int                 // guarded by mu
 }
 
 // New creates an enabled tracer with the default buffer bound.
@@ -92,8 +94,9 @@ func (t *Tracer) SetMaxEvents(n int) {
 	t.mu.Unlock()
 }
 
-// record appends one event, honoring the buffer bound. Caller holds t.mu.
-func (t *Tracer) record(e Event) {
+// recordLocked appends one event, honoring the buffer bound. Caller
+// holds t.mu.
+func (t *Tracer) recordLocked(e Event) {
 	if t.maxEvents > 0 && len(t.events) >= t.maxEvents {
 		t.dropped++
 		return
@@ -115,9 +118,9 @@ func attrMap(attrs []Attr) map[string]any {
 
 func spanID(id uint64) string { return fmt.Sprintf("0x%x", id) }
 
-// ensure returns the session record for task, creating it (closed) on
-// first sight. Caller holds t.mu.
-func (t *Tracer) ensure(task string) *session {
+// ensureLocked returns the session record for task, creating it
+// (closed) on first sight. Caller holds t.mu.
+func (t *Tracer) ensureLocked(task string) *session {
 	s, ok := t.sessions[task]
 	if !ok {
 		t.nextID++
@@ -135,7 +138,7 @@ func (t *Tracer) BeginSession(ts int64, task string, node, domain int, attrs ...
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	s := t.ensure(task)
+	s := t.ensureLocked(task)
 	if s.open {
 		return
 	}
@@ -146,7 +149,7 @@ func (t *Tracer) BeginSession(ts int64, task string, node, domain int, attrs ...
 		args = map[string]any{}
 	}
 	args["task"] = task
-	t.record(Event{Name: "session", Cat: "session", Phase: "b", TS: ts,
+	t.recordLocked(Event{Name: "session", Cat: "session", Phase: "b", TS: ts,
 		PID: domain, TID: node, ID: spanID(s.id), Args: args})
 }
 
@@ -167,7 +170,7 @@ func (t *Tracer) EndSession(ts int64, task string, node, domain int, outcome str
 		return
 	}
 	for i := len(s.phases) - 1; i >= 0; i-- {
-		t.record(Event{Name: s.phases[i], Cat: "session", Phase: "e", TS: ts,
+		t.recordLocked(Event{Name: s.phases[i], Cat: "session", Phase: "e", TS: ts,
 			PID: domain, TID: node, ID: spanID(s.id)})
 	}
 	s.phases = nil
@@ -178,7 +181,7 @@ func (t *Tracer) EndSession(ts int64, task string, node, domain int, outcome str
 	}
 	args["task"] = task
 	args["outcome"] = outcome
-	t.record(Event{Name: "session", Cat: "session", Phase: "e", TS: ts,
+	t.recordLocked(Event{Name: "session", Cat: "session", Phase: "e", TS: ts,
 		PID: domain, TID: node, ID: spanID(s.id), Args: args})
 }
 
@@ -191,14 +194,14 @@ func (t *Tracer) BeginPhase(ts int64, task, phase string, node, domain int, attr
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	s := t.ensure(task)
+	s := t.ensureLocked(task)
 	for _, p := range s.phases {
 		if p == phase {
 			return
 		}
 	}
 	s.phases = append(s.phases, phase)
-	t.record(Event{Name: phase, Cat: "session", Phase: "b", TS: ts,
+	t.recordLocked(Event{Name: phase, Cat: "session", Phase: "b", TS: ts,
 		PID: domain, TID: node, ID: spanID(s.id), Args: attrMap(attrs)})
 }
 
@@ -217,7 +220,7 @@ func (t *Tracer) EndPhase(ts int64, task, phase string, node, domain int, attrs 
 	for i, p := range s.phases {
 		if p == phase {
 			s.phases = append(s.phases[:i], s.phases[i+1:]...)
-			t.record(Event{Name: phase, Cat: "session", Phase: "e", TS: ts,
+			t.recordLocked(Event{Name: phase, Cat: "session", Phase: "e", TS: ts,
 				PID: domain, TID: node, ID: spanID(s.id), Args: attrMap(attrs)})
 			return
 		}
@@ -235,13 +238,13 @@ func (t *Tracer) Instant(ts int64, task, name string, node, domain int, attrs ..
 	e := Event{Name: name, Cat: "session", Phase: "i", TS: ts, PID: domain, TID: node,
 		Scope: "t", Args: attrMap(attrs)}
 	if task != "" {
-		e.ID = spanID(t.ensure(task).id)
+		e.ID = spanID(t.ensureLocked(task).id)
 		if e.Args == nil {
 			e.Args = map[string]any{}
 		}
 		e.Args["task"] = task
 	}
-	t.record(e)
+	t.recordLocked(e)
 }
 
 // Complete records a span with an explicit duration (e.g. one allocation
@@ -255,13 +258,13 @@ func (t *Tracer) Complete(ts, dur int64, task, name string, node, domain int, at
 	e := Event{Name: name, Cat: "session", Phase: "X", TS: ts, Dur: dur,
 		PID: domain, TID: node, Args: attrMap(attrs)}
 	if task != "" {
-		e.ID = spanID(t.ensure(task).id)
+		e.ID = spanID(t.ensureLocked(task).id)
 		if e.Args == nil {
 			e.Args = map[string]any{}
 		}
 		e.Args["task"] = task
 	}
-	t.record(e)
+	t.recordLocked(e)
 }
 
 // Len reports how many events are buffered.
@@ -342,6 +345,9 @@ func (t *Tracer) WriteJSONL(w io.Writer) error {
 
 // WriteFile writes the trace to path via WriteJSONL.
 func (t *Tracer) WriteFile(path string) error {
+	if t == nil {
+		return nil
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err

@@ -45,6 +45,9 @@ type LiveOptions struct {
 // NewLive creates a live runtime.
 func NewLive(cfg Config, opts LiveOptions) (*Live, error) {
 	proto.RegisterMessages()
+	if cfg.Nanotime == nil {
+		cfg.Nanotime = live.Nanotime // cost allocations on real CPU time
+	}
 	rt := live.NewRuntime(opts.Seed)
 	if opts.LogTo != nil {
 		rt.Logger = live.NewLogger(opts.LogTo)

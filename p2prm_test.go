@@ -1,6 +1,7 @@
 package p2prm_test
 
 import (
+	"bytes"
 	"testing"
 	"time"
 
@@ -107,6 +108,48 @@ func TestSimulationDeterminism(t *testing.T) {
 	a, b := run(), run()
 	if a.Submitted != b.Submitted || a.Admitted != b.Admitted || len(a.Reports) != len(b.Reports) {
 		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+// TestTraceDeterminism is the strong form of the reproducibility
+// contract: two runs with equal seeds must produce byte-identical trace
+// event logs, not just equal aggregate counters. Any wall-clock reading
+// on a sim-reachable path (e.g. costing the allocator with time.Now
+// instead of the injected clock) shows up here as a diff in span
+// durations even when every counter still matches.
+func TestTraceDeterminism(t *testing.T) {
+	run := func() []byte {
+		tr := p2prm.NewTracer()
+		sim := p2prm.NewSimulation(p2prm.DefaultConfig(),
+			p2prm.SimOptions{Seed: 424242, JitterFrac: 0.3, LossRate: 0.01, Tracer: tr})
+		sim.GrowStandard(12, 4, 8, 2, 0.5)
+		sim.RunFor(10 * p2prm.Second)
+		start := sim.Now()
+		sim.StandardWorkload(start, start+20*p2prm.Second, 1.5, 8)
+		sim.StandardChurn(start, start+20*p2prm.Second, 4)
+		sim.RunFor(60 * p2prm.Second)
+		var buf bytes.Buffer
+		if err := tr.WriteJSONL(&buf); err != nil {
+			t.Fatalf("WriteJSONL: %v", err)
+		}
+		return buf.Bytes()
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("trace is empty; scenario produced no spans")
+	}
+	if !bytes.Equal(a, b) {
+		line := 1
+		for i := range a {
+			if i >= len(b) || a[i] != b[i] {
+				break
+			}
+			if a[i] == '\n' {
+				line++
+			}
+		}
+		t.Fatalf("event logs differ (lengths %d vs %d, first divergence near line %d)",
+			len(a), len(b), line)
 	}
 }
 
