@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet fmt build lint test race bench-trace
+.PHONY: check vet fmt build lint test race chaos fuzz-wire bench-trace
 
 # check is the pre-commit gate referenced from README: static checks,
 # project lint, full build, race-enabled tests, and the disabled-tracing
@@ -34,6 +34,17 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# chaos runs the fault-injection tests: severed RM links across real TCP
+# transports, blackholed dial targets, circuit-breaker recovery. Always
+# race-enabled; these tests exist to catch cross-goroutine bugs.
+chaos:
+	$(GO) test -race -run 'Chaos|Failover' -count=1 ./internal/live/...
+
+# fuzz-wire exercises the live transport's inbound framing with random
+# byte streams (CI runs the seed corpus via plain go test).
+fuzz-wire:
+	$(GO) test -run '^$$' -fuzz FuzzWireFrame -fuzztime 30s ./internal/live/
 
 bench-trace:
 	$(GO) test -run '^$$' -bench 'SimulatedSession|TraceDisabled' \

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"repro"
+)
+
+func TestParseFaultSpec(t *testing.T) {
+	cases := []struct {
+		in   string
+		want faultSpec
+	}{
+		{"1->2:drop=0.2", faultSpec{from: 1, to: 2, rule: p2prm.FaultRule{Drop: 0.2}}},
+		{"*->2:sever", faultSpec{from: p2prm.NoNode, to: 2, rule: p2prm.FaultRule{Sever: true}}},
+		{"0->*:drop=0.1,dup=0.5,delay=50ms", faultSpec{
+			from: 0, to: p2prm.NoNode,
+			rule: p2prm.FaultRule{Drop: 0.1, Dup: 0.5, Delay: 50 * time.Millisecond},
+		}},
+		{"3->4:delay=1s,sever", faultSpec{
+			from: 3, to: 4,
+			rule: p2prm.FaultRule{Delay: time.Second, Sever: true},
+		}},
+		{" 1 -> 2 :drop=1", faultSpec{from: 1, to: 2, rule: p2prm.FaultRule{Drop: 1}}},
+	}
+	for _, c := range cases {
+		got, err := parseFaultSpec(c.in)
+		if err != nil {
+			t.Errorf("parseFaultSpec(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("parseFaultSpec(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseFaultSpecErrors(t *testing.T) {
+	for _, in := range []string{
+		"",                  // no pair
+		"1->2",              // no options
+		"1=2:drop=0.2",      // bad separator
+		"1->2:drop=1.5",     // probability out of range
+		"1->2:drop=x",       // unparsable probability
+		"1->2:dup=-0.1",     // negative probability
+		"1->2:delay=fast",   // bad duration
+		"1->2:delay=-50ms",  // negative duration
+		"1->2:jitter=50ms",  // unknown option
+		"a->2:sever",        // bad node
+		"-1->2:sever",       // negative node
+		"1->2:",             // rule with no effect
+		"1->2:drop=0,dup=0", // still no effect
+	} {
+		if _, err := parseFaultSpec(in); err == nil {
+			t.Errorf("parseFaultSpec(%q) accepted", in)
+		}
+	}
+}
+
+func TestFaultFlagAccumulates(t *testing.T) {
+	var f faultFlag
+	if err := f.Set("1->2:drop=0.5"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Set("*->1:sever"); err != nil {
+		t.Fatal(err)
+	}
+	if len(f) != 2 {
+		t.Fatalf("len = %d", len(f))
+	}
+	if s := f.String(); s != "1->2:drop=0.5 *->1:sever" {
+		t.Fatalf("String() = %q", s)
+	}
+}

@@ -46,6 +46,9 @@ func main() {
 		verbose   = flag.Bool("v", false, "log node diagnostics (structured key=value lines)")
 		httpAddr  = flag.String("http", "", "HTTP diagnostics address, e.g. :9090 (/metrics, /healthz, /debug/pprof)")
 	)
+	var faults faultFlag
+	flag.Var(&faults, "fault",
+		"fault-injection rule 'FROM->TO:drop=0.2,dup=0.1,delay=50ms,sever' ('*' = any node); repeatable")
 	flag.Parse()
 
 	cfg := p2prm.DefaultConfig()
@@ -97,6 +100,11 @@ func main() {
 			log.Fatalf("bad -book id %q", kv[0])
 		}
 		l.Register(p2prm.NodeID(rid), kv[1])
+	}
+
+	for _, f := range faults {
+		l.Fault(f.from, f.to, f.rule)
+		log.Printf("node %d fault rule installed: %s", *id, f)
 	}
 
 	self := p2prm.NodeID(*id)
@@ -153,6 +161,121 @@ func main() {
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
 	log.Printf("node %d shutting down", *id)
+}
+
+// faultSpec is one parsed -fault rule.
+type faultSpec struct {
+	from, to p2prm.NodeID
+	rule     p2prm.FaultRule
+}
+
+// String renders the spec back in flag syntax (for logs).
+func (f faultSpec) String() string {
+	node := func(id p2prm.NodeID) string {
+		if id == p2prm.NoNode {
+			return "*"
+		}
+		return strconv.Itoa(int(id))
+	}
+	parts := []string{}
+	if f.rule.Sever {
+		parts = append(parts, "sever")
+	}
+	if f.rule.Drop > 0 {
+		parts = append(parts, fmt.Sprintf("drop=%g", f.rule.Drop))
+	}
+	if f.rule.Dup > 0 {
+		parts = append(parts, fmt.Sprintf("dup=%g", f.rule.Dup))
+	}
+	if f.rule.Delay > 0 {
+		parts = append(parts, "delay="+f.rule.Delay.String())
+	}
+	return node(f.from) + "->" + node(f.to) + ":" + strings.Join(parts, ",")
+}
+
+// faultFlag collects repeated -fault values.
+type faultFlag []faultSpec
+
+func (f *faultFlag) String() string {
+	specs := make([]string, len(*f))
+	for i, s := range *f {
+		specs[i] = s.String()
+	}
+	return strings.Join(specs, " ")
+}
+
+func (f *faultFlag) Set(v string) error {
+	spec, err := parseFaultSpec(v)
+	if err != nil {
+		return err
+	}
+	*f = append(*f, spec)
+	return nil
+}
+
+// parseFaultSpec parses 'FROM->TO:drop=0.2,dup=0.1,delay=50ms,sever'
+// where FROM/TO are node IDs or '*' for any node.
+func parseFaultSpec(s string) (faultSpec, error) {
+	var spec faultSpec
+	pair, opts, ok := strings.Cut(s, ":")
+	if !ok {
+		return spec, fmt.Errorf("fault %q: want 'FROM->TO:opts'", s)
+	}
+	from, to, ok := strings.Cut(pair, "->")
+	if !ok {
+		return spec, fmt.Errorf("fault %q: want 'FROM->TO' before ':'", s)
+	}
+	node := func(v string) (p2prm.NodeID, error) {
+		v = strings.TrimSpace(v)
+		if v == "*" || v == "" {
+			return p2prm.NoNode, nil
+		}
+		id, err := strconv.Atoi(v)
+		if err != nil || id < 0 {
+			return p2prm.NoNode, fmt.Errorf("fault %q: bad node %q", s, v)
+		}
+		return p2prm.NodeID(id), nil
+	}
+	var err error
+	if spec.from, err = node(from); err != nil {
+		return spec, err
+	}
+	if spec.to, err = node(to); err != nil {
+		return spec, err
+	}
+	for _, opt := range strings.Split(opts, ",") {
+		opt = strings.TrimSpace(opt)
+		if opt == "" {
+			continue
+		}
+		key, val, _ := strings.Cut(opt, "=")
+		switch key {
+		case "sever":
+			spec.rule.Sever = true
+		case "drop", "dup":
+			p, err := strconv.ParseFloat(val, 64)
+			if err != nil || p < 0 || p > 1 {
+				return spec, fmt.Errorf("fault %q: %s wants a probability in [0,1], got %q", s, key, val)
+			}
+			if key == "drop" {
+				spec.rule.Drop = p
+			} else {
+				spec.rule.Dup = p
+			}
+		case "delay":
+			d, err := time.ParseDuration(val)
+			if err != nil || d < 0 {
+				return spec, fmt.Errorf("fault %q: delay wants a duration, got %q", s, val)
+			}
+			spec.rule.Delay = d
+		default:
+			return spec, fmt.Errorf("fault %q: unknown option %q (want drop, dup, delay, sever)", s, key)
+		}
+	}
+	if spec.rule == (p2prm.FaultRule{}) {
+		return spec, fmt.Errorf("fault %q: no effect; set drop, dup, delay, or sever", s)
+	}
+	return spec, nil
 }
 
 // standardLadder returns the default transcoder set every node offers.

@@ -43,7 +43,8 @@ var Analyzer = &analysis.Analyzer{
 }
 
 // labelKeys is the registry-wide bounded set of permitted label keys.
-var labelKeys = "domain,peer,node,result"
+// "reason" labels the live transport's drop-reason counters.
+var labelKeys = "domain,peer,node,result,reason"
 
 func init() {
 	Analyzer.Flags.StringVar(&labelKeys, "labels", labelKeys,

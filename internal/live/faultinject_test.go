@@ -1,0 +1,190 @@
+package live
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/rng"
+)
+
+func TestFaultRulePrecedence(t *testing.T) {
+	fi := NewFaultInjector(rng.New(1))
+	// Wildcard severs everything; a specific rule must still win.
+	fi.Set(AnyNode, AnyNode, FaultRule{Sever: true})
+	fi.Set(1, 2, FaultRule{Delay: 5 * time.Millisecond})
+	fi.Set(1, AnyNode, FaultRule{Sever: true})
+	fi.Set(AnyNode, 4, FaultRule{Delay: time.Millisecond})
+
+	if d := fi.decide(1, 2); d.drop || d.delay != 5*time.Millisecond {
+		t.Fatalf("(1,2) should hit the exact rule, got %+v", d)
+	}
+	if d := fi.decide(1, 9); !d.drop {
+		t.Fatalf("(1,9) should hit (1,*) sever, got %+v", d)
+	}
+	if d := fi.decide(3, 4); d.drop || d.delay != time.Millisecond {
+		t.Fatalf("(3,4) should hit (*,4) delay, got %+v", d)
+	}
+	if d := fi.decide(8, 9); !d.drop {
+		t.Fatalf("(8,9) should hit the (*,*) sever, got %+v", d)
+	}
+
+	fi.Heal(1, 2)
+	if d := fi.decide(1, 2); !d.drop {
+		t.Fatalf("(1,2) after heal should fall through to (1,*) sever, got %+v", d)
+	}
+	fi.Reset()
+	if d := fi.decide(8, 9); d.drop || d.dup || d.delay != 0 {
+		t.Fatalf("after Reset nothing should be impaired, got %+v", d)
+	}
+}
+
+func TestFaultInjectorDropDupDelayStats(t *testing.T) {
+	fi := NewFaultInjector(rng.New(2))
+	fi.Set(1, 2, FaultRule{Drop: 1})
+	fi.Set(3, 4, FaultRule{Dup: 1, Delay: time.Millisecond})
+	for i := 0; i < 10; i++ {
+		if d := fi.decide(1, 2); !d.drop {
+			t.Fatal("Drop=1 must always drop")
+		}
+		d := fi.decide(3, 4)
+		if d.drop || !d.dup || d.delay != time.Millisecond {
+			t.Fatalf("Dup=1+Delay rule gave %+v", d)
+		}
+	}
+	st := fi.Stats()
+	if st.Dropped != 10 || st.Duplicated != 10 || st.Delayed != 10 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestFaultInjectorNilSafe(t *testing.T) {
+	var fi *FaultInjector
+	if d := fi.decide(1, 2); d.drop || d.dup || d.delay != 0 {
+		t.Fatalf("nil injector impaired traffic: %+v", d)
+	}
+	if fi.Rules() != nil {
+		t.Fatal("nil injector has rules")
+	}
+	if fi.Stats() != (FaultStats{}) {
+		t.Fatal("nil injector has stats")
+	}
+}
+
+func TestRuntimeFaultInjectorLocalDelivery(t *testing.T) {
+	rt := NewRuntime(31)
+	defer rt.Shutdown()
+	a := &collector{}
+	b := &collector{}
+	ida := rt.AddNode(a)
+	idb := rt.AddNode(b)
+
+	rt.EnsureFaultInjector().Sever(ida, idb)
+	rt.Call(ida, func() { a.ctx.Send(idb, note{S: "lost"}) })
+	time.Sleep(50 * time.Millisecond)
+	if b.count() != 0 {
+		t.Fatal("severed in-process delivery got through")
+	}
+
+	rt.FaultInjector().Heal(ida, idb)
+	rt.FaultInjector().Heal(idb, ida)
+	rt.Call(ida, func() { a.ctx.Send(idb, note{S: "ok"}) })
+	waitFor(t, time.Second, func() bool { return b.count() == 1 })
+
+	// Duplication: exactly two copies per send.
+	rt.FaultInjector().Set(ida, idb, FaultRule{Dup: 1})
+	rt.Call(ida, func() { a.ctx.Send(idb, note{S: "twice"}) })
+	waitFor(t, time.Second, func() bool { return b.count() == 3 })
+
+	// Delay: delivery happens, later.
+	rt.FaultInjector().Set(ida, idb, FaultRule{Delay: 30 * time.Millisecond})
+	rt.Call(ida, func() { a.ctx.Send(idb, note{S: "late"}) })
+	if b.count() != 3 {
+		t.Fatal("delayed message arrived immediately")
+	}
+	waitFor(t, time.Second, func() bool { return b.count() == 4 })
+}
+
+func TestFaultsEndpoint(t *testing.T) {
+	rt := NewRuntime(32)
+	defer rt.Shutdown()
+	ds, err := rt.ServeDiagnostics("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	base := "http://" + ds.Addr() + "/faults"
+
+	do := func(method, query string) (int, string) {
+		t.Helper()
+		req, err := http.NewRequest(method, base+query, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	// Empty to start.
+	if code, body := do(http.MethodGet, ""); code != 200 {
+		t.Fatalf("GET = %d %s", code, body)
+	}
+
+	// Install a rule, read it back.
+	if code, body := do(http.MethodPost, "?from=1&to=2&drop=0.5&delay=10ms"); code != 200 {
+		t.Fatalf("POST = %d %s", code, body)
+	}
+	_, body := do(http.MethodGet, "")
+	var doc struct {
+		Rules []FaultRuleEntry `json:"rules"`
+		Stats FaultStats       `json:"stats"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("GET body %q: %v", body, err)
+	}
+	if len(doc.Rules) != 1 || doc.Rules[0].From != 1 || doc.Rules[0].To != 2 ||
+		doc.Rules[0].Rule.Drop != 0.5 || doc.Rules[0].Rule.Delay != 10*time.Millisecond {
+		t.Fatalf("rules = %+v", doc.Rules)
+	}
+
+	// Wildcard sever, then heal one pair, then reset everything.
+	if code, _ := do(http.MethodPost, "?from=*&to=3&sever=true"); code != 200 {
+		t.Fatal("POST wildcard failed")
+	}
+	if code, _ := do(http.MethodDelete, "?from=1&to=2"); code != 200 {
+		t.Fatal("DELETE pair failed")
+	}
+	_, body = do(http.MethodGet, "")
+	doc.Rules = nil
+	json.Unmarshal([]byte(body), &doc)
+	if len(doc.Rules) != 1 || doc.Rules[0].To != 3 {
+		t.Fatalf("after heal rules = %+v", doc.Rules)
+	}
+	if code, _ := do(http.MethodDelete, ""); code != 200 {
+		t.Fatal("DELETE all failed")
+	}
+	_, body = do(http.MethodGet, "")
+	doc.Rules = nil
+	json.Unmarshal([]byte(body), &doc)
+	if len(doc.Rules) != 0 {
+		t.Fatalf("after reset rules = %+v", doc.Rules)
+	}
+
+	// Malformed requests are rejected.
+	if code, _ := do(http.MethodPost, "?drop=1.5"); code != http.StatusBadRequest {
+		t.Fatal("out-of-range probability accepted")
+	}
+	if code, _ := do(http.MethodPost, "?from=xyz"); code != http.StatusBadRequest {
+		t.Fatal("bad node id accepted")
+	}
+	if code, _ := do(http.MethodPost, "?delay=fast"); code != http.StatusBadRequest {
+		t.Fatal("bad delay accepted")
+	}
+}

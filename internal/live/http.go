@@ -2,11 +2,15 @@ package live
 
 import (
 	"encoding/json"
+	"errors"
+	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"time"
 
+	"repro/internal/env"
 	"repro/internal/metrics"
 )
 
@@ -27,6 +31,9 @@ type DiagnosticsServer struct {
 //	/metrics         Prometheus text format
 //	/metrics.json    the same registry as JSON
 //	/healthz         {"status":"ok","nodes":N,...}
+//	/faults          live fault injection: GET lists rules+stats,
+//	                 POST sets a rule (?from=&to=&drop=&dup=&delay=&sever=),
+//	                 DELETE heals one pair or, without params, all
 //	/debug/pprof/*   standard Go profiling endpoints
 func (rt *Runtime) ServeDiagnostics(addr string, reg *metrics.Registry) (*DiagnosticsServer, error) {
 	ln, err := net.Listen("tcp", addr)
@@ -57,6 +64,7 @@ func (rt *Runtime) ServeDiagnostics(addr string, reg *metrics.Registry) (*Diagno
 			"dropped":        rt.Dropped(),
 		})
 	})
+	mux.HandleFunc("/faults", rt.handleFaults)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -70,6 +78,94 @@ func (rt *Runtime) ServeDiagnostics(addr string, reg *metrics.Registry) (*Diagno
 	}
 	go ds.srv.Serve(ln)
 	return ds, nil
+}
+
+// handleFaults is the live fault-injection control surface. GET returns
+// the installed rules and impairment stats; POST installs one rule from
+// query parameters (from/to default to the AnyNode wildcard, delay is a
+// Go duration string); DELETE heals one pair, or every rule when no
+// parameters are given.
+func (rt *Runtime) handleFaults(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	switch r.Method {
+	case http.MethodGet:
+		fi := rt.FaultInjector()
+		rules := fi.Rules()
+		if rules == nil {
+			rules = []FaultRuleEntry{}
+		}
+		json.NewEncoder(w).Encode(map[string]any{
+			"rules": rules,
+			"stats": fi.Stats(),
+		})
+	case http.MethodPost, http.MethodPut:
+		q := r.URL.Query()
+		from, err1 := faultQueryNode(q.Get("from"))
+		to, err2 := faultQueryNode(q.Get("to"))
+		drop, err3 := faultQueryFloat(q.Get("drop"))
+		dup, err4 := faultQueryFloat(q.Get("dup"))
+		var delay time.Duration
+		var err5 error
+		if s := q.Get("delay"); s != "" {
+			delay, err5 = time.ParseDuration(s)
+		}
+		sever := q.Get("sever") == "true" || q.Get("sever") == "1"
+		if err := errors.Join(err1, err2, err3, err4, err5); err != nil {
+			w.WriteHeader(http.StatusBadRequest)
+			json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+			return
+		}
+		rt.EnsureFaultInjector().Set(from, to,
+			FaultRule{Drop: drop, Dup: dup, Delay: delay, Sever: sever})
+		json.NewEncoder(w).Encode(map[string]string{"status": "ok"})
+	case http.MethodDelete:
+		fi := rt.FaultInjector()
+		if fi == nil {
+			json.NewEncoder(w).Encode(map[string]string{"status": "ok"})
+			return
+		}
+		q := r.URL.Query()
+		if q.Get("from") == "" && q.Get("to") == "" {
+			fi.Reset()
+		} else {
+			from, err1 := faultQueryNode(q.Get("from"))
+			to, err2 := faultQueryNode(q.Get("to"))
+			if err := errors.Join(err1, err2); err != nil {
+				w.WriteHeader(http.StatusBadRequest)
+				json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+				return
+			}
+			fi.Heal(from, to)
+		}
+		json.NewEncoder(w).Encode(map[string]string{"status": "ok"})
+	default:
+		w.WriteHeader(http.StatusMethodNotAllowed)
+	}
+}
+
+// faultQueryNode parses a node ID query value; empty or "*" is the
+// AnyNode wildcard.
+func faultQueryNode(s string) (env.NodeID, error) {
+	if s == "" || s == "*" {
+		return AnyNode, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return AnyNode, fmt.Errorf("bad node id %q", s)
+	}
+	return env.NodeID(n), nil
+}
+
+// faultQueryFloat parses a probability query value; empty means zero.
+func faultQueryFloat(s string) (float64, error) {
+	if s == "" {
+		return 0, nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil || v < 0 || v > 1 {
+		return 0, fmt.Errorf("bad probability %q", s)
+	}
+	return v, nil
 }
 
 // Addr returns the bound address (useful with ":0").

@@ -46,6 +46,11 @@ type Runtime struct {
 	// (see logger.go); nil silences it.
 	Logger *Logger
 
+	// faults, when set, impairs in-process deliveries (drop, delay,
+	// duplicate, sever) — the live mirror of netsim's loss knobs. The
+	// TCP transport consults the same injector for outbound traffic.
+	faults atomic.Pointer[FaultInjector]
+
 	dropped atomic.Uint64
 }
 
@@ -158,8 +163,44 @@ func (rt *Runtime) Shutdown() {
 	}
 }
 
-// Dropped reports messages discarded due to full mailboxes.
+// Dropped reports messages discarded by the runtime: full mailboxes,
+// sends without a route, and injections for un-hosted node IDs.
 func (rt *Runtime) Dropped() uint64 { return rt.dropped.Load() }
+
+// SetFaultInjector installs (or, with nil, removes) the fault-injection
+// layer for in-process deliveries and the attached transport.
+func (rt *Runtime) SetFaultInjector(fi *FaultInjector) { rt.faults.Store(fi) }
+
+// FaultInjector returns the installed fault injector, nil when none.
+func (rt *Runtime) FaultInjector() *FaultInjector { return rt.faults.Load() }
+
+// EnsureFaultInjector returns the installed fault injector, creating
+// one (seeded from the runtime's rng stream) on first use — the /faults
+// diagnostics endpoint activates injection this way.
+func (rt *Runtime) EnsureFaultInjector() *FaultInjector {
+	if fi := rt.faults.Load(); fi != nil {
+		return fi
+	}
+	fi := NewFaultInjector(rt.splitRand())
+	if rt.faults.CompareAndSwap(nil, fi) {
+		return fi
+	}
+	return rt.faults.Load()
+}
+
+// splitRand derives an independent rng stream from the runtime's seed
+// (transport supervisors and the fault injector draw jitter from it).
+func (rt *Runtime) splitRand() *rng.Rand {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.seed.Split()
+}
+
+// nowMicros is elapsed wall time since the runtime started, in the
+// microsecond unit trace events use.
+func (rt *Runtime) nowMicros() int64 {
+	return time.Since(rt.start).Microseconds()
+}
 
 // NodeCount reports how many nodes are currently hosted.
 func (rt *Runtime) NodeCount() int {
@@ -181,11 +222,17 @@ var epoch = time.Now()
 func Nanotime() int64 { return time.Since(epoch).Nanoseconds() }
 
 // Inject delivers a message to a hosted node from the outside world (the
-// TCP listener and tests use this).
+// TCP listener and tests use this). Messages addressed to node IDs not
+// hosted here are counted as dropped, not silently discarded: a stale
+// address-book entry or a just-stopped node shows up in Dropped and
+// /healthz instead of vanishing.
 func (rt *Runtime) Inject(from, to env.NodeID, m env.Message) {
-	if n := rt.node(to); n != nil {
-		n.enqueue(envelope{from: from, msg: m})
+	n := rt.node(to)
+	if n == nil {
+		rt.dropped.Add(1)
+		return
 	}
+	n.enqueue(envelope{from: from, msg: m})
 }
 
 // Call runs fn on the node's event loop and waits for it to finish —
@@ -277,7 +324,7 @@ func (n *liveNode) Send(to env.NodeID, m env.Message) {
 		return
 	}
 	if dst := n.rt.node(to); dst != nil {
-		dst.enqueue(envelope{from: n.id, msg: m})
+		n.rt.deliverLocal(n.id, to, dst, m)
 		return
 	}
 	n.rt.mu.Lock()
@@ -294,3 +341,41 @@ func (n *liveNode) Send(to env.NodeID, m env.Message) {
 
 // Rand implements env.Context.
 func (n *liveNode) Rand() *rng.Rand { return n.r }
+
+// deliverLocal enqueues m onto dst's mailbox, applying the in-process
+// fault-injection hook (the Runtime-level mirror of the transport's):
+// severed or dropped pairs lose the message, delayed ones re-enter
+// through a timer, duplicated ones enqueue twice.
+func (rt *Runtime) deliverLocal(from, to env.NodeID, dst *liveNode, m env.Message) {
+	fi := rt.FaultInjector()
+	if fi == nil {
+		dst.enqueue(envelope{from: from, msg: m})
+		return
+	}
+	d := fi.decide(from, to)
+	if d.drop {
+		return
+	}
+	copies := 1
+	if d.dup {
+		copies = 2
+	}
+	if d.delay <= 0 {
+		for i := 0; i < copies; i++ {
+			dst.enqueue(envelope{from: from, msg: m})
+		}
+		return
+	}
+	time.AfterFunc(d.delay, func() {
+		// Re-resolve: the destination may have stopped while the
+		// message was in flight (delayed delivery mirrors a real link).
+		cur := rt.node(to)
+		if cur == nil {
+			rt.dropped.Add(1)
+			return
+		}
+		for i := 0; i < copies; i++ {
+			cur.enqueue(envelope{from: from, msg: m})
+		}
+	})
+}

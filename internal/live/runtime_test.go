@@ -1,0 +1,99 @@
+package live
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/env"
+)
+
+// gatedActor blocks in Init until released, so its mailbox fills while
+// the loop is stuck — the only way to overflow a mailbox deterministically.
+type gatedActor struct {
+	gate chan struct{}
+}
+
+func (g *gatedActor) Init(env.Context) { <-g.gate }
+func (g *gatedActor) Stop()            {}
+func (g *gatedActor) Receive(from env.NodeID, m env.Message) {
+}
+
+func TestMailboxOverflowCounted(t *testing.T) {
+	rt := NewRuntime(70)
+	defer rt.Shutdown()
+	g := &gatedActor{gate: make(chan struct{})}
+	id := rt.AddNode(g)
+
+	// With the loop parked in Init, exactly MailboxDepth envelopes fit;
+	// everything beyond that must be counted, not silently lost.
+	const extra = 50
+	for i := 0; i < MailboxDepth+extra; i++ {
+		rt.Inject(99, id, note{S: "flood"})
+	}
+	if got := rt.Dropped(); got != extra {
+		t.Fatalf("dropped = %d, want %d", got, extra)
+	}
+	close(g.gate)
+}
+
+func TestInjectUnknownNodeCounted(t *testing.T) {
+	rt := NewRuntime(71)
+	defer rt.Shutdown()
+	rt.Inject(0, 42, note{S: "nobody home"})
+	if got := rt.Dropped(); got != 1 {
+		t.Fatalf("dropped = %d, want 1 (injection for un-hosted ID)", got)
+	}
+}
+
+func TestKillRacesCall(t *testing.T) {
+	// Call racing Kill must always return — false if the node died first,
+	// true if the closure ran — and never hang on a discarded mailbox.
+	for i := 0; i < 200; i++ {
+		rt := NewRuntime(uint64(72 + i))
+		a := &collector{}
+		id := rt.AddNode(a)
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			rt.Call(id, func() {}) // either outcome is fine; it must return
+		}()
+		go func() {
+			defer wg.Done()
+			rt.Kill(id)
+			// Kill has completed, so a fresh Call must report false.
+			if rt.Call(id, func() {}) {
+				t.Errorf("iteration %d: Call after Kill returned true", i)
+			}
+		}()
+		done := make(chan struct{})
+		go func() { wg.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("iteration %d: Call racing Kill hung", i)
+		}
+		rt.Shutdown()
+	}
+}
+
+func TestStopRacesCall(t *testing.T) {
+	for i := 0; i < 100; i++ {
+		rt := NewRuntime(uint64(300 + i))
+		a := &collector{}
+		id := rt.AddNode(a)
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			rt.Call(id, func() {})
+		}()
+		rt.Stop(id)
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("iteration %d: Call racing Stop hung", i)
+		}
+		rt.Shutdown()
+	}
+}

@@ -1,0 +1,157 @@
+package live
+
+import (
+	"net"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// supervisor owns all outbound traffic to one remote address. Senders
+// only ever enqueue onto its bounded queue (TCPTransport.send), so an
+// actor's Send never dials, never touches a socket, and never blocks on
+// a slow peer. The supervisor goroutine dials with a timeout, writes
+// frames under a write deadline, and on failure reconnects with
+// exponential backoff + jitter; after CircuitThreshold consecutive dial
+// failures it opens the circuit — sends drop immediately with reason
+// circuit_open — and keeps probing at the cooldown cadence (half-open)
+// until the peer answers again.
+type supervisor struct {
+	tr   *TCPTransport
+	addr string
+
+	queue chan wireMsg
+	quit  chan struct{}
+	done  chan struct{}
+
+	// state is supHealthy or supOpen; senders read it lock-free to fail
+	// fast while the circuit is broken.
+	state atomic.Int32
+
+	// The fields below are owned by the run goroutine.
+	r             *rng.Rand // jitter stream, split from the runtime's seed
+	conn          net.Conn
+	everConnected bool
+}
+
+// Supervisor circuit states.
+const (
+	supHealthy int32 = iota
+	supOpen
+)
+
+func newSupervisor(t *TCPTransport, addr string, r *rng.Rand) *supervisor {
+	return &supervisor{
+		tr:    t,
+		addr:  addr,
+		queue: make(chan wireMsg, t.cfg.QueueDepth),
+		quit:  make(chan struct{}),
+		done:  make(chan struct{}),
+		r:     r,
+	}
+}
+
+// run is the supervisor's event loop: drain the queue, keeping the
+// connection alive across failures.
+func (s *supervisor) run() {
+	defer s.tr.wg.Done()
+	defer close(s.done)
+	defer s.dropConn()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case wm := <-s.queue:
+			if !s.deliver(wm) {
+				return
+			}
+		}
+	}
+}
+
+// deliver writes one message, (re)establishing the connection as
+// needed. It reports false when the supervisor was told to quit.
+func (s *supervisor) deliver(wm wireMsg) bool {
+	frame, err := encodeFrame(wm, s.tr.cfg.MaxFrame)
+	if err != nil {
+		s.tr.countDrop(DropEncodeError)
+		s.tr.logTransport(s.addr, "encode failed: "+err.Error())
+		return true
+	}
+	for attempt := 0; ; attempt++ {
+		if s.conn == nil {
+			if !s.connect() {
+				return false
+			}
+		}
+		s.conn.SetWriteDeadline(time.Now().Add(s.tr.cfg.WriteTimeout))
+		if _, err := s.conn.Write(frame); err == nil {
+			s.tr.countSent()
+			return true
+		}
+		// The connection went bad mid-write; retry once on a fresh
+		// connection, then give the message up (best-effort transport).
+		s.dropConn()
+		if attempt >= 1 {
+			s.tr.countDrop(DropWriteError)
+			return true
+		}
+	}
+}
+
+// connect dials until a connection is up, backing off exponentially
+// with jitter from the supervisor's rng stream. It returns false when
+// the supervisor was told to quit. Once the circuit opens, retries slow
+// to the cooldown cadence; each retry is the half-open probe.
+func (s *supervisor) connect() bool {
+	cfg := s.tr.cfg
+	backoff := cfg.BackoffBase
+	fails := 0
+	for {
+		conn, err := cfg.Dial(s.addr, cfg.DialTimeout)
+		if err == nil {
+			s.conn = conn
+			reconnect := s.everConnected || fails > 0
+			s.everConnected = true
+			wasOpen := s.state.Swap(supHealthy) == supOpen
+			s.tr.noteConnected(s.addr, reconnect, wasOpen)
+			return true
+		}
+		fails++
+		if fails >= cfg.CircuitThreshold && s.state.CompareAndSwap(supHealthy, supOpen) {
+			s.tr.noteCircuitOpen(s.addr, err)
+		}
+		// Full jitter over the upper half keeps a fleet of supervisors
+		// from thundering back in lock-step after a peer restart.
+		wait := backoff/2 + time.Duration(s.r.Float64()*float64(backoff/2))
+		if backoff < cfg.BackoffMax {
+			backoff *= 2
+			if backoff > cfg.BackoffMax {
+				backoff = cfg.BackoffMax
+			}
+		}
+		if s.state.Load() == supOpen && wait < cfg.CircuitCooldown {
+			wait = cfg.CircuitCooldown
+		}
+		timer := time.NewTimer(wait)
+		select {
+		case <-s.quit:
+			timer.Stop()
+			return false
+		case <-timer.C:
+		}
+	}
+}
+
+// dropConn closes and forgets the current connection.
+func (s *supervisor) dropConn() {
+	if s.conn != nil {
+		s.conn.Close()
+		s.conn = nil
+		s.tr.noteDisconnected()
+	}
+}
+
+// circuitOpen reports whether sends to this peer should fail fast.
+func (s *supervisor) circuitOpen() bool { return s.state.Load() == supOpen }

@@ -1,52 +1,243 @@
 package live
 
 import (
-	"encoding/gob"
+	"bufio"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/env"
+	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
-// wireMsg is the gob frame carried over TCP. Payload types must be
-// registered via proto.RegisterMessages.
+// wireMsg is the unit carried over TCP (see wire.go for the framing).
+// Payload types must be registered via proto.RegisterMessages.
 type wireMsg struct {
 	From    env.NodeID
 	To      env.NodeID
 	Payload any
 }
 
+// DropReason classifies outbound messages the transport discarded; each
+// reason is a labeled series of live_transport_dropped_total.
+type DropReason int
+
+// Drop reasons.
+const (
+	DropQueueFull   DropReason = iota // supervisor queue at capacity
+	DropCircuitOpen                   // peer circuit-broken after repeated dial failures
+	DropEncodeError                   // message would not gob-encode or exceeded MaxFrame
+	DropWriteError                    // connection broke mid-write, retry failed
+	DropNoRoute                       // destination not in the address book
+	DropFault                         // discarded by the fault-injection layer
+	numDropReasons
+)
+
+// String returns the metric label value for the reason.
+func (r DropReason) String() string {
+	switch r {
+	case DropQueueFull:
+		return "queue_full"
+	case DropCircuitOpen:
+		return "circuit_open"
+	case DropEncodeError:
+		return "encode_error"
+	case DropWriteError:
+		return "write_error"
+	case DropNoRoute:
+		return "no_route"
+	case DropFault:
+		return "fault"
+	}
+	return "unknown"
+}
+
+// Transport metric families (registered when a Registry is attached).
+const (
+	MetricTransportSent         = "live_transport_sent_total"
+	MetricTransportDropped      = "live_transport_dropped_total"
+	MetricTransportConnects     = "live_transport_connects_total"
+	MetricTransportReconnects   = "live_transport_reconnects_total"
+	MetricTransportCircuitOpens = "live_transport_circuit_opens_total"
+	MetricTransportFramesRx     = "live_transport_frames_rx_total"
+	MetricTransportDecodeErrors = "live_transport_decode_errors_total"
+	MetricTransportFrameErrors  = "live_transport_frame_errors_total"
+	MetricTransportConnsOut     = "live_transport_conns_out"
+	MetricTransportConnsIn      = "live_transport_conns_in"
+)
+
+// TransportConfig tunes the supervised transport. The zero value maps
+// every field to a production default (see withDefaults).
+type TransportConfig struct {
+	// DialTimeout bounds one connection attempt. Default 3s.
+	DialTimeout time.Duration
+	// WriteTimeout is the per-frame write deadline. Default 5s.
+	WriteTimeout time.Duration
+	// ReadIdleTimeout closes an inbound connection with no traffic for
+	// this long (the sender's supervisor redials on demand). Heartbeats
+	// keep healthy links well under it. Default 2m; negative disables.
+	ReadIdleTimeout time.Duration
+	// MaxFrame bounds one frame's payload in bytes, on both the encode
+	// and decode side. Default DefaultMaxFrame; negative disables.
+	MaxFrame int
+	// QueueDepth bounds each peer supervisor's send queue; sends beyond
+	// it drop with reason queue_full. Default 512.
+	QueueDepth int
+	// BackoffBase and BackoffMax bound the exponential reconnect
+	// backoff (jittered). Defaults 25ms and 3s.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// CircuitThreshold is the number of consecutive dial failures after
+	// which a peer's circuit opens (sends fail fast with reason
+	// circuit_open). Default 5.
+	CircuitThreshold int
+	// CircuitCooldown is the probe cadence while a circuit is open.
+	// Default 2s.
+	CircuitCooldown time.Duration
+	// Dial overrides the dialer (tests inject blackholed or failing
+	// dialers). Default net.DialTimeout("tcp", addr, timeout).
+	Dial func(addr string, timeout time.Duration) (net.Conn, error)
+}
+
+// withDefaults fills unset fields.
+func (c TransportConfig) withDefaults() TransportConfig {
+	if c.DialTimeout == 0 {
+		c.DialTimeout = 3 * time.Second
+	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = 5 * time.Second
+	}
+	if c.ReadIdleTimeout == 0 {
+		c.ReadIdleTimeout = 2 * time.Minute
+	} else if c.ReadIdleTimeout < 0 {
+		c.ReadIdleTimeout = 0
+	}
+	if c.MaxFrame == 0 {
+		c.MaxFrame = DefaultMaxFrame
+	} else if c.MaxFrame < 0 {
+		c.MaxFrame = 0
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 512
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 25 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 3 * time.Second
+	}
+	if c.CircuitThreshold <= 0 {
+		c.CircuitThreshold = 5
+	}
+	if c.CircuitCooldown <= 0 {
+		c.CircuitCooldown = 2 * time.Second
+	}
+	if c.Dial == nil {
+		c.Dial = func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
+	}
+	return c
+}
+
+// Transport send errors (sent back to liveNode.Send, which folds them
+// into the runtime's dropped counter).
+var (
+	errTransportClosed = errors.New("live: transport closed")
+	errCircuitOpen     = errors.New("live: peer circuit open")
+	errQueueFull       = errors.New("live: send queue full")
+)
+
 // TCPTransport connects live runtimes across processes. Each process
 // hosts some node IDs locally and routes the rest through the address
-// book. Connections are dialed lazily and kept open.
+// book. Every remote address is owned by a connection supervisor
+// (supervisor.go); inbound connections are read through the
+// length-prefixed framing in wire.go.
 type TCPTransport struct {
-	rt *Runtime
+	rt  *Runtime
+	cfg TransportConfig
 
 	mu       sync.Mutex
-	book     map[env.NodeID]string // remote node -> "host:port"; guarded by mu
-	conns    map[string]*gobConn   // addr -> outbound connection; guarded by mu
-	accepted map[net.Conn]bool     // inbound connections being read; guarded by mu
-	ln       net.Listener
+	book     map[env.NodeID]string  // remote node -> "host:port"; guarded by mu
+	sups     map[string]*supervisor // addr -> owning supervisor; guarded by mu
+	accepted map[net.Conn]bool      // inbound connections being read; guarded by mu
+	ln       net.Listener           // guarded by mu
+	closed   bool                   // guarded by mu
 	wg       sync.WaitGroup
-	closed   bool // guarded by mu
+
+	// Always-on atomic stats (Stats); mirrored into m when attached.
+	sent         atomic.Uint64
+	framesRx     atomic.Uint64
+	decodeErrors atomic.Uint64
+	frameErrors  atomic.Uint64
+	connects     atomic.Uint64
+	reconnects   atomic.Uint64
+	circuitOpens atomic.Uint64
+	drops        [numDropReasons]atomic.Uint64
+
+	m      *transportMetrics
+	tracer *trace.Tracer
 }
 
-type gobConn struct {
-	mu  sync.Mutex
-	c   net.Conn
-	enc *gob.Encoder
+// transportMetrics holds the pre-registered registry instruments; nil
+// when no registry is attached.
+type transportMetrics struct {
+	sent, connects, reconnects, circuitOpens *metrics.Counter
+	framesRx, decodeErrors, frameErrors      *metrics.Counter
+	drops                                    [numDropReasons]*metrics.Counter
+	connsOut, connsIn                        *metrics.Gauge
 }
 
-// NewTCPTransport attaches a TCP transport to rt: messages to IDs not
-// hosted locally are routed through the address book.
+// newTransportMetrics registers the transport families into reg.
+func newTransportMetrics(reg *metrics.Registry) *transportMetrics {
+	if reg == nil {
+		return nil
+	}
+	m := &transportMetrics{
+		sent:         reg.Counter(MetricTransportSent, "Frames written to remote peers.", nil),
+		connects:     reg.Counter(MetricTransportConnects, "Outbound connections established.", nil),
+		reconnects:   reg.Counter(MetricTransportReconnects, "Outbound connections re-established after a failure or loss.", nil),
+		circuitOpens: reg.Counter(MetricTransportCircuitOpens, "Peer circuits opened after repeated dial failures.", nil),
+		framesRx:     reg.Counter(MetricTransportFramesRx, "Frames received and injected into the runtime.", nil),
+		decodeErrors: reg.Counter(MetricTransportDecodeErrors, "Inbound frames whose payload failed to decode (connection kept).", nil),
+		frameErrors:  reg.Counter(MetricTransportFrameErrors, "Inbound framing violations (oversized or truncated; connection closed).", nil),
+		connsOut:     reg.Gauge(MetricTransportConnsOut, "Open outbound connections.", nil),
+		connsIn:      reg.Gauge(MetricTransportConnsIn, "Open inbound connections.", nil),
+	}
+	for r := DropReason(0); r < numDropReasons; r++ {
+		m.drops[r] = reg.Counter(MetricTransportDropped,
+			"Outbound messages dropped by the transport, by reason.",
+			metrics.Labels{"reason": r.String()})
+	}
+	return m
+}
+
+// NewTCPTransport attaches a TCP transport with default configuration
+// and no metrics to rt: messages to IDs not hosted locally are routed
+// through the address book.
 func NewTCPTransport(rt *Runtime) *TCPTransport {
+	return NewTCPTransportOpts(rt, TransportConfig{}, nil, nil)
+}
+
+// NewTCPTransportOpts attaches a TCP transport to rt with explicit
+// configuration. reg (may be nil) receives the live_transport_* metric
+// families; tracer (may be nil) receives reconnect/circuit instants.
+func NewTCPTransportOpts(rt *Runtime, cfg TransportConfig, reg *metrics.Registry, tracer *trace.Tracer) *TCPTransport {
 	t := &TCPTransport{
 		rt:       rt,
+		cfg:      cfg.withDefaults(),
 		book:     make(map[env.NodeID]string),
-		conns:    make(map[string]*gobConn),
+		sups:     make(map[string]*supervisor),
 		accepted: make(map[net.Conn]bool),
+		tracer:   tracer,
+	}
+	if reg != nil {
+		t.m = newTransportMetrics(reg)
 	}
 	rt.mu.Lock()
 	rt.remote = t.send
@@ -69,9 +260,14 @@ func (t *TCPTransport) Listen(addr string) (string, error) {
 		return "", err
 	}
 	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		ln.Close()
+		return "", errTransportClosed
+	}
 	t.ln = ln
-	t.mu.Unlock()
 	t.wg.Add(1)
+	t.mu.Unlock()
 	go t.acceptLoop(ln)
 	return ln.Addr().String(), nil
 }
@@ -83,6 +279,9 @@ func (t *TCPTransport) acceptLoop(ln net.Listener) {
 		if err != nil {
 			return
 		}
+		// Bookkeeping and wg.Add happen under one lock hold with the
+		// closed check, so Close cannot begin its wg.Wait between the
+		// check and the reader being accounted for.
 		t.mu.Lock()
 		if t.closed {
 			t.mu.Unlock()
@@ -90,12 +289,19 @@ func (t *TCPTransport) acceptLoop(ln net.Listener) {
 			return
 		}
 		t.accepted[c] = true
-		t.mu.Unlock()
 		t.wg.Add(1)
+		t.mu.Unlock()
+		if t.m != nil {
+			t.m.connsIn.Inc()
+		}
 		go t.readLoop(c)
 	}
 }
 
+// readLoop reads length-prefixed frames from one inbound connection.
+// Payload decode errors are counted and skipped — the framing keeps the
+// stream in sync — while framing violations and read-deadline expiry
+// close the connection (the sender's supervisor redials on demand).
 func (t *TCPTransport) readLoop(c net.Conn) {
 	defer t.wg.Done()
 	defer func() {
@@ -103,86 +309,224 @@ func (t *TCPTransport) readLoop(c net.Conn) {
 		t.mu.Lock()
 		delete(t.accepted, c)
 		t.mu.Unlock()
+		if t.m != nil {
+			t.m.connsIn.Dec()
+		}
 	}()
-	dec := gob.NewDecoder(c)
+	br := bufio.NewReader(c)
 	for {
-		var wm wireMsg
-		if err := dec.Decode(&wm); err != nil {
+		if t.cfg.ReadIdleTimeout > 0 {
+			c.SetReadDeadline(time.Now().Add(t.cfg.ReadIdleTimeout))
+		}
+		payload, err := readFrame(br, t.cfg.MaxFrame)
+		if err != nil {
+			if err != io.EOF && !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, net.ErrClosed) {
+				t.frameErrors.Add(1)
+				if t.m != nil {
+					t.m.frameErrors.Inc()
+				}
+				t.logTransport(c.RemoteAddr().String(), "framing error: "+err.Error())
+			}
 			return
+		}
+		wm, err := decodeFrame(payload)
+		if err != nil {
+			t.decodeErrors.Add(1)
+			if t.m != nil {
+				t.m.decodeErrors.Inc()
+			}
+			t.logTransport(c.RemoteAddr().String(), "decode error: "+err.Error())
+			continue
+		}
+		t.framesRx.Add(1)
+		if t.m != nil {
+			t.m.framesRx.Inc()
 		}
 		t.rt.Inject(wm.From, wm.To, wm.Payload)
 	}
 }
 
 // send routes one outbound message; it is installed as Runtime.remote.
+// It never dials and never blocks on a socket: the message is enqueued
+// onto the destination supervisor's bounded queue (or dropped, with the
+// reason counted).
 func (t *TCPTransport) send(from, to env.NodeID, m env.Message) error {
+	if fi := t.rt.FaultInjector(); fi != nil {
+		d := fi.decide(from, to)
+		if d.drop {
+			t.countDrop(DropFault)
+			return nil // impaired on purpose; not a routing failure
+		}
+		if d.delay > 0 {
+			time.AfterFunc(d.delay, func() {
+				t.enqueue(from, to, m)
+				if d.dup {
+					t.enqueue(from, to, m)
+				}
+			})
+			return nil
+		}
+		if d.dup {
+			t.enqueue(from, to, m)
+		}
+	}
+	return t.enqueue(from, to, m)
+}
+
+// enqueue hands one message to the destination's supervisor, creating
+// it on first use.
+func (t *TCPTransport) enqueue(from, to env.NodeID, m env.Message) error {
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
-		return errors.New("live: transport closed")
+		return errTransportClosed
 	}
 	addr, ok := t.book[to]
-	t.mu.Unlock()
 	if !ok {
+		t.mu.Unlock()
+		t.countDrop(DropNoRoute)
 		return fmt.Errorf("live: no address for node %d", to)
 	}
-	conn, err := t.conn(addr)
-	if err != nil {
-		return err
-	}
-	conn.mu.Lock()
-	defer conn.mu.Unlock()
-	if err := conn.enc.Encode(wireMsg{From: from, To: to, Payload: m}); err != nil {
-		// Connection went bad: drop it so the next send redials.
-		t.mu.Lock()
-		if t.conns[addr] == conn {
-			delete(t.conns, addr)
-		}
-		t.mu.Unlock()
-		conn.c.Close()
-		return err
-	}
-	return nil
-}
-
-// conn returns (dialing if needed) the pooled connection to addr.
-func (t *TCPTransport) conn(addr string) (*gobConn, error) {
-	t.mu.Lock()
-	if c, ok := t.conns[addr]; ok {
-		t.mu.Unlock()
-		return c, nil
+	s := t.sups[addr]
+	if s == nil {
+		s = newSupervisor(t, addr, t.rt.splitRand())
+		t.sups[addr] = s
+		t.wg.Add(1)
+		go s.run()
 	}
 	t.mu.Unlock()
-	raw, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, err
+	if s.circuitOpen() {
+		t.countDrop(DropCircuitOpen)
+		return errCircuitOpen
 	}
-	c := &gobConn{c: raw, enc: gob.NewEncoder(raw)}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if existing, ok := t.conns[addr]; ok {
-		raw.Close()
-		return existing, nil
+	select {
+	case s.queue <- wireMsg{From: from, To: to, Payload: m}:
+		return nil
+	default:
+		t.countDrop(DropQueueFull)
+		return errQueueFull
 	}
-	t.conns[addr] = c
-	return c, nil
 }
 
-// Close shuts the listener and every connection (outbound and inbound)
-// down, then waits for the reader goroutines to drain.
+// countSent records one frame written.
+func (t *TCPTransport) countSent() {
+	t.sent.Add(1)
+	if t.m != nil {
+		t.m.sent.Inc()
+	}
+}
+
+// countDrop records one outbound drop under its reason.
+func (t *TCPTransport) countDrop(r DropReason) {
+	t.drops[r].Add(1)
+	if t.m != nil {
+		t.m.drops[r].Inc()
+	}
+}
+
+// noteConnected records a successful outbound dial.
+func (t *TCPTransport) noteConnected(addr string, reconnect, wasOpen bool) {
+	t.connects.Add(1)
+	if reconnect {
+		t.reconnects.Add(1)
+	}
+	if t.m != nil {
+		t.m.connects.Inc()
+		t.m.connsOut.Inc()
+		if reconnect {
+			t.m.reconnects.Inc()
+		}
+	}
+	if reconnect || wasOpen {
+		if tr := t.tracer; tr != nil {
+			tr.TransportInstant(t.rt.nowMicros(), trace.TransportReconnect, addr,
+				trace.A("circuit_was_open", wasOpen))
+		}
+		t.logTransport(addr, "reconnected")
+	}
+}
+
+// noteDisconnected records an outbound connection loss.
+func (t *TCPTransport) noteDisconnected() {
+	if t.m != nil {
+		t.m.connsOut.Dec()
+	}
+}
+
+// noteCircuitOpen records a peer's circuit opening.
+func (t *TCPTransport) noteCircuitOpen(addr string, cause error) {
+	t.circuitOpens.Add(1)
+	if t.m != nil {
+		t.m.circuitOpens.Inc()
+	}
+	if tr := t.tracer; tr != nil {
+		tr.TransportInstant(t.rt.nowMicros(), trace.TransportCircuitOpen, addr,
+			trace.A("cause", cause.Error()))
+	}
+	t.logTransport(addr, "circuit open: "+cause.Error())
+}
+
+// logTransport emits one transport diagnostic line (nil-safe).
+func (t *TCPTransport) logTransport(addr, msg string) {
+	t.rt.Logger.Log(
+		"t", time.Since(t.rt.start).Truncate(time.Millisecond),
+		"transport", addr,
+		"msg", msg,
+	)
+}
+
+// TransportStats is a point-in-time snapshot of the transport counters.
+type TransportStats struct {
+	Sent         uint64
+	FramesRx     uint64
+	DecodeErrors uint64
+	FrameErrors  uint64
+	Connects     uint64
+	Reconnects   uint64
+	CircuitOpens uint64
+	Drops        map[string]uint64 // reason -> count; zero reasons omitted
+}
+
+// Stats snapshots the transport counters (available with or without an
+// attached metrics registry).
+func (t *TCPTransport) Stats() TransportStats {
+	st := TransportStats{
+		Sent:         t.sent.Load(),
+		FramesRx:     t.framesRx.Load(),
+		DecodeErrors: t.decodeErrors.Load(),
+		FrameErrors:  t.frameErrors.Load(),
+		Connects:     t.connects.Load(),
+		Reconnects:   t.reconnects.Load(),
+		CircuitOpens: t.circuitOpens.Load(),
+		Drops:        make(map[string]uint64),
+	}
+	for r := DropReason(0); r < numDropReasons; r++ {
+		if n := t.drops[r].Load(); n > 0 {
+			st.Drops[r.String()] = n
+		}
+	}
+	return st
+}
+
+// Close shuts the listener, every supervisor, and every inbound
+// connection down, then waits for all transport goroutines to drain.
 func (t *TCPTransport) Close() {
 	t.mu.Lock()
 	t.closed = true
-	if t.ln != nil {
-		t.ln.Close()
-	}
-	for _, c := range t.conns {
-		c.c.Close()
+	ln := t.ln
+	sups := make([]*supervisor, 0, len(t.sups))
+	for _, s := range t.sups {
+		sups = append(sups, s)
 	}
 	for c := range t.accepted {
 		c.Close()
 	}
-	t.conns = make(map[string]*gobConn)
 	t.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, s := range sups {
+		close(s.quit)
+	}
 	t.wg.Wait()
 }

@@ -1,0 +1,258 @@
+package live
+
+import (
+	"encoding/binary"
+	"errors"
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fastTransport returns a config with short timeouts for tests that
+// exercise reconnect and circuit-breaker paths.
+func fastTransport() TransportConfig {
+	return TransportConfig{
+		DialTimeout:      500 * time.Millisecond,
+		WriteTimeout:     500 * time.Millisecond,
+		BackoffBase:      2 * time.Millisecond,
+		BackoffMax:       20 * time.Millisecond,
+		CircuitThreshold: 3,
+		CircuitCooldown:  20 * time.Millisecond,
+	}
+}
+
+func TestSupervisorReconnectsAfterPeerRestart(t *testing.T) {
+	rtA := NewRuntime(40)
+	rtB := NewRuntime(41)
+	defer rtA.Shutdown()
+	defer rtB.Shutdown()
+	cfg := fastTransport()
+	cfg.CircuitThreshold = 100 // keep the circuit closed across the restart window
+	trA := NewTCPTransportOpts(rtA, cfg, nil, nil)
+	defer trA.Close()
+	trB := NewTCPTransport(rtB)
+	addrB, err := trB.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := &collector{}
+	b := &collector{}
+	rtA.AddNodeWithID(0, a)
+	rtB.AddNodeWithID(1, b)
+	trA.Register(1, addrB)
+
+	rtA.Call(0, func() { a.ctx.Send(1, note{S: "before"}) })
+	waitFor(t, 2*time.Second, func() bool { return b.count() == 1 })
+
+	// Kill the peer's transport, then bring a new one up on the same
+	// address: the supervisor must notice the dead connection and redial.
+	trB.Close()
+	trB2 := NewTCPTransport(rtB)
+	defer trB2.Close()
+	if _, err := trB2.Listen(addrB); err != nil {
+		t.Fatalf("rebind %s: %v", addrB, err)
+	}
+
+	// The first sends after the restart may be consumed by the dead
+	// connection's kernel buffer; keep sending until one lands.
+	waitFor(t, 5*time.Second, func() bool {
+		rtA.Call(0, func() { a.ctx.Send(1, note{S: "after"}) })
+		return b.count() >= 2
+	})
+	if st := trA.Stats(); st.Reconnects < 1 {
+		t.Fatalf("stats after restart = %+v, want >= 1 reconnect", st)
+	}
+}
+
+func TestCircuitBreakerOpensAndRecovers(t *testing.T) {
+	rtA := NewRuntime(42)
+	rtB := NewRuntime(43)
+	defer rtA.Shutdown()
+	defer rtB.Shutdown()
+	trB := NewTCPTransport(rtB)
+	defer trB.Close()
+	addrB, err := trB.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var healthy atomic.Bool
+	cfg := fastTransport()
+	cfg.Dial = func(addr string, timeout time.Duration) (net.Conn, error) {
+		if !healthy.Load() {
+			return nil, errors.New("synthetic dial failure")
+		}
+		return net.DialTimeout("tcp", addr, timeout)
+	}
+	trA := NewTCPTransportOpts(rtA, cfg, nil, nil)
+	defer trA.Close()
+	a := &collector{}
+	b := &collector{}
+	rtA.AddNodeWithID(0, a)
+	rtB.AddNodeWithID(1, b)
+	trA.Register(1, addrB)
+
+	// First send parks in the supervisor, which fails CircuitThreshold
+	// dials and opens the circuit.
+	rtA.Call(0, func() { a.ctx.Send(1, note{S: "held"}) })
+	waitFor(t, 5*time.Second, func() bool { return trA.Stats().CircuitOpens == 1 })
+
+	// While open, new sends fail fast with reason circuit_open.
+	waitFor(t, 5*time.Second, func() bool {
+		rtA.Call(0, func() { a.ctx.Send(1, note{S: "shed"}) })
+		return trA.Stats().Drops["circuit_open"] >= 1
+	})
+	if b.count() != 0 {
+		t.Fatal("messages arrived while the peer was unreachable")
+	}
+
+	// Heal the link: the next probe reconnects, the held message is the
+	// probe payload, and traffic flows again.
+	healthy.Store(true)
+	waitFor(t, 5*time.Second, func() bool { return b.count() >= 1 })
+	waitFor(t, 5*time.Second, func() bool {
+		rtA.Call(0, func() { a.ctx.Send(1, note{S: "resumed"}) })
+		return b.count() >= 2
+	})
+	if st := trA.Stats(); st.Connects < 1 {
+		t.Fatalf("stats after recovery = %+v", st)
+	}
+}
+
+func TestTransportEncodeErrorDropsMessage(t *testing.T) {
+	rt := NewRuntime(44)
+	defer rt.Shutdown()
+	cfg := fastTransport()
+	cfg.MaxFrame = 64 // anything real exceeds this
+	tr := NewTCPTransportOpts(rt, cfg, nil, nil)
+	defer tr.Close()
+	a := &collector{}
+	rt.AddNodeWithID(0, a)
+	tr.Register(1, "127.0.0.1:1") // never dialed: encode fails first
+
+	rt.Call(0, func() { a.ctx.Send(1, note{S: strings.Repeat("x", 4096)}) })
+	waitFor(t, 2*time.Second, func() bool { return tr.Stats().Drops["encode_error"] == 1 })
+}
+
+func TestTransportNoRouteDrop(t *testing.T) {
+	rt := NewRuntime(45)
+	defer rt.Shutdown()
+	tr := NewTCPTransport(rt)
+	defer tr.Close()
+	a := &collector{}
+	rt.AddNodeWithID(0, a)
+
+	rt.Call(0, func() { a.ctx.Send(99, note{S: "nowhere"}) })
+	waitFor(t, 2*time.Second, func() bool { return tr.Stats().Drops["no_route"] == 1 })
+	if rt.Dropped() != 1 {
+		t.Fatalf("runtime dropped = %d, want 1", rt.Dropped())
+	}
+}
+
+func TestInboundDecodeErrorKeepsConnection(t *testing.T) {
+	rt := NewRuntime(46)
+	defer rt.Shutdown()
+	tr := NewTCPTransport(rt)
+	defer tr.Close()
+	addr, err := tr.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &collector{}
+	rt.AddNodeWithID(1, b)
+
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// A well-framed frame whose payload is garbage must cost exactly one
+	// message — the next frame on the same connection still delivers.
+	if _, err := c.Write([]byte{0, 0, 0, 4, 0xde, 0xad, 0xbe, 0xef}); err != nil {
+		t.Fatal(err)
+	}
+	frame, err := encodeFrame(wireMsg{From: 0, To: 1, Payload: note{S: "alive"}}, DefaultMaxFrame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 2*time.Second, func() bool { return b.count() == 1 })
+	if st := tr.Stats(); st.DecodeErrors != 1 || st.FramesRx != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestInboundOversizedFrameClosesConnection(t *testing.T) {
+	rt := NewRuntime(47)
+	defer rt.Shutdown()
+	cfg := fastTransport()
+	cfg.MaxFrame = 1024
+	tr := NewTCPTransportOpts(rt, cfg, nil, nil)
+	defer tr.Close()
+	addr, err := tr.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var hdr [frameHeaderLen]byte
+	binary.BigEndian.PutUint32(hdr[:], 1<<30)
+	if _, err := c.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 2*time.Second, func() bool { return tr.Stats().FrameErrors == 1 })
+	// The reader must have hung up rather than trying to resync.
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := c.Read(make([]byte, 1)); err == nil {
+		t.Fatal("connection still open after framing violation")
+	}
+}
+
+func TestTransportClosedRejectsSends(t *testing.T) {
+	rt := NewRuntime(48)
+	defer rt.Shutdown()
+	tr := NewTCPTransport(rt)
+	a := &collector{}
+	rt.AddNodeWithID(0, a)
+	tr.Register(1, "127.0.0.1:1")
+	tr.Close()
+	before := rt.Dropped()
+	rt.Call(0, func() { a.ctx.Send(1, note{S: "too late"}) })
+	waitFor(t, 2*time.Second, func() bool { return rt.Dropped() == before+1 })
+}
+
+func TestTransportCloseRacesAccept(t *testing.T) {
+	// Regression for the acceptLoop/Close race: connections arriving
+	// while Close runs must never wg.Add after wg.Wait started. Run a
+	// burst of dial-while-close rounds; -race verifies the rest.
+	for i := 0; i < 20; i++ {
+		rt := NewRuntime(uint64(49 + i))
+		tr := NewTCPTransport(rt)
+		addr, err := tr.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for j := 0; j < 10; j++ {
+				c, err := net.DialTimeout("tcp", addr, 100*time.Millisecond)
+				if err != nil {
+					return
+				}
+				c.Close()
+			}
+		}()
+		tr.Close()
+		<-done
+		rt.Shutdown()
+	}
+}

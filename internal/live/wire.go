@@ -1,0 +1,74 @@
+package live
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// This file is the live transport's wire format: a 4-byte big-endian
+// length prefix followed by a self-contained gob encoding of one wireMsg.
+// The prefix lets the reader bound every allocation before touching the
+// gob decoder (a bare gob stream happily allocates whatever a hostile or
+// corrupt peer declares), and making each frame a fresh gob stream keeps
+// frames independently decodable: a corrupt payload costs one message,
+// not the decoder state of the whole connection.
+
+// DefaultMaxFrame bounds one frame's payload; frames larger than the
+// limit are refused on both the encode and decode side. The largest
+// legitimate messages (backup-sync snapshots) are a few hundred KB at
+// paper scale, so 8 MiB leaves generous headroom.
+const DefaultMaxFrame = 8 << 20
+
+// frameHeaderLen is the length-prefix size.
+const frameHeaderLen = 4
+
+// errFrameTooLarge marks a frame whose declared payload exceeds the
+// transport's limit. The connection cannot be resynchronized past it.
+var errFrameTooLarge = errors.New("live: frame exceeds size limit")
+
+// encodeFrame renders wm as one length-prefixed frame ready to write.
+func encodeFrame(wm wireMsg, maxFrame int) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.Write(make([]byte, frameHeaderLen)) // reserve the prefix
+	if err := gob.NewEncoder(&buf).Encode(wm); err != nil {
+		return nil, err
+	}
+	b := buf.Bytes()
+	n := len(b) - frameHeaderLen
+	if maxFrame > 0 && n > maxFrame {
+		return nil, fmt.Errorf("%w: %d > %d bytes", errFrameTooLarge, n, maxFrame)
+	}
+	binary.BigEndian.PutUint32(b[:frameHeaderLen], uint32(n))
+	return b, nil
+}
+
+// readFrame reads one length-prefixed payload from r. Frame-level errors
+// (short reads, oversized declarations) are unrecoverable for the
+// stream; payload corruption is left for decodeFrame to report so the
+// caller can keep the connection.
+func readFrame(r io.Reader, maxFrame int) ([]byte, error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if maxFrame > 0 && n > uint32(maxFrame) {
+		return nil, fmt.Errorf("%w: declared %d > %d bytes", errFrameTooLarge, n, maxFrame)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// decodeFrame decodes one frame payload produced by encodeFrame.
+func decodeFrame(payload []byte) (wireMsg, error) {
+	var wm wireMsg
+	err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&wm)
+	return wm, err
+}

@@ -56,6 +56,12 @@ func (g *Gauge) Add(delta float64) {
 	}
 }
 
+// Inc adds one — the common case for open-connection style gauges.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
 // Value returns the current value.
 func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 

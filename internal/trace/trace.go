@@ -227,6 +227,35 @@ func (t *Tracer) EndPhase(ts int64, task, phase string, node, domain int, attrs 
 	}
 }
 
+// Transport instant names recorded by the live transport's connection
+// supervisors (internal/live): connectivity changes that explain a
+// failover when read next to the session spans.
+const (
+	TransportReconnect   = "transport.reconnect"
+	TransportCircuitOpen = "transport.circuit_open"
+	TransportFault       = "transport.fault"
+)
+
+// TransportInstant records a connectivity instant from the live
+// transport (reconnects, circuit state changes, injected faults). addr
+// is the remote address; transport events belong to no node or domain,
+// so they land on pid/tid -1 and stay visually separate from session
+// tracks.
+func (t *Tracer) TransportInstant(ts int64, name, addr string, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	args := attrMap(attrs)
+	if args == nil {
+		args = map[string]any{}
+	}
+	args["addr"] = addr
+	t.recordLocked(Event{Name: name, Cat: "transport", Phase: "i", TS: ts,
+		PID: -1, TID: -1, Scope: "t", Args: args})
+}
+
 // Instant records a point event (redirect, preemption, failover, late
 // chunk). task may be "" for events not tied to one query.
 func (t *Tracer) Instant(ts int64, task, name string, node, domain int, attrs ...Attr) {

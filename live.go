@@ -25,6 +25,16 @@ type Live struct {
 	peers  map[NodeID]*core.Peer
 }
 
+// TransportConfig tunes the live TCP transport's supervision: dial and
+// write deadlines, per-peer queue depth, reconnect backoff, circuit
+// breaking, and the frame-size limit. The zero value uses production
+// defaults.
+type TransportConfig = live.TransportConfig
+
+// FaultRule describes live fault injection for one directed peer pair:
+// drop/duplicate probabilities, added delay, or a full sever.
+type FaultRule = live.FaultRule
+
 // LiveOptions configures a live runtime.
 type LiveOptions struct {
 	// Seed initializes per-node randomness (live runs are not
@@ -33,6 +43,9 @@ type LiveOptions struct {
 	// Listen, when non-empty, starts a TCP listener for inter-process
 	// messages ("host:port" or ":0").
 	Listen string
+	// Transport tunes the supervised TCP transport; the zero value uses
+	// production defaults. Only meaningful together with Listen.
+	Transport TransportConfig
 	// LogTo receives node diagnostics as structured key=value lines;
 	// nil silences them.
 	LogTo io.Writer
@@ -66,7 +79,7 @@ func NewLive(cfg Config, opts LiveOptions) (*Live, error) {
 		peers:  make(map[NodeID]*core.Peer),
 	}
 	if opts.Listen != "" {
-		l.tr = live.NewTCPTransport(rt)
+		l.tr = live.NewTCPTransportOpts(rt, opts.Transport, reg, opts.Tracer)
 		addr, err := l.tr.Listen(opts.Listen)
 		if err != nil {
 			return nil, err
@@ -143,6 +156,40 @@ func (l *Live) IsRM(id NodeID) bool {
 	var is bool
 	l.rt.Call(id, func() { is = p.IsRM() })
 	return is
+}
+
+// Fault installs (or, with a zero rule, removes) a fault-injection rule
+// for the directed pair from -> to. NoNode acts as a wildcard on either
+// side. Rules impair both in-process deliveries and the TCP transport's
+// outbound traffic.
+func (l *Live) Fault(from, to NodeID, rule FaultRule) {
+	l.rt.EnsureFaultInjector().Set(from, to, rule)
+}
+
+// Sever cuts both directions between two nodes, as if their link died.
+func (l *Live) Sever(a, b NodeID) { l.rt.EnsureFaultInjector().Sever(a, b) }
+
+// Heal removes the fault rules between a pair in both directions.
+func (l *Live) Heal(a, b NodeID) {
+	if fi := l.rt.FaultInjector(); fi != nil {
+		fi.Heal(a, b)
+	}
+}
+
+// HealAll removes every fault-injection rule.
+func (l *Live) HealAll() {
+	if fi := l.rt.FaultInjector(); fi != nil {
+		fi.Reset()
+	}
+}
+
+// TransportStats snapshots the TCP transport's counters; the zero value
+// is returned when the runtime has no transport.
+func (l *Live) TransportStats() live.TransportStats {
+	if l.tr == nil {
+		return live.TransportStats{}
+	}
+	return l.tr.Stats()
 }
 
 // Events returns a snapshot of run outcomes.
