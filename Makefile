@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet fmt build lint test race chaos fuzz-wire bench-trace
+.PHONY: check vet fmt build lint test race chaos fuzz-wire bench-trace bench bench-all
 
 # check is the pre-commit gate referenced from README: static checks,
 # project lint, full build, race-enabled tests, and the disabled-tracing
@@ -49,3 +49,18 @@ fuzz-wire:
 bench-trace:
 	$(GO) test -run '^$$' -bench 'SimulatedSession|TraceDisabled' \
 		-benchmem -benchtime 50x .
+
+# bench is the Quick regression gate (CI smoke job): the Figure-3
+# allocation hot path, min of 3 runs, compared against the latest
+# committed snapshot in bench/. Fails on >20% ns/op or allocs/op
+# regression; writes bench/BENCH_<today>.json on success.
+bench: bin/p2pbench
+	./bin/p2pbench -regress -regress-bench AllocationFigure3 -regress-count 3
+
+# bench-all snapshots every root benchmark (min of 5 runs); use this to
+# refresh the committed baseline after intentional performance changes.
+bench-all: bin/p2pbench
+	./bin/p2pbench -regress -regress-count 5 -regress-benchtime 1s
+
+bin/p2pbench: FORCE
+	$(GO) build -o bin/p2pbench ./cmd/p2pbench

@@ -118,6 +118,17 @@ func BenchmarkAllocationFigure3(b *testing.B) {
 	f := graph.Figure1Example(10_000)
 	pv := f.IdlePeers(10)
 	req := graph.Request{Init: f.VInit, Goal: f.VSol, ChunkSeconds: 1, DeadlineMicros: 60_000_000}
+	// Steady-state admissions must stay near-zero-alloc: the pooled search
+	// scratch leaves only the returned path itself on the heap. The ceiling
+	// is a hard regression gate, not a report.
+	const allocCeiling = 2
+	if allocs := testing.AllocsPerRun(100, func() {
+		if _, err := (graph.FairnessBFS{}).Allocate(f.G, req, pv); err != nil {
+			b.Fatal(err)
+		}
+	}); allocs > allocCeiling {
+		b.Fatalf("FairnessBFS.Allocate: %.1f allocs/op, ceiling %d", allocs, allocCeiling)
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

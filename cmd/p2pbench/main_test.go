@@ -2,8 +2,10 @@ package main
 
 import (
 	"strings"
+	"sync"
 	"testing"
 
+	"repro/internal/benchcmp"
 	"repro/internal/metrics"
 	"repro/internal/sim"
 )
@@ -22,6 +24,46 @@ func TestParseHelpers(t *testing.T) {
 	}
 	if _, err := parseFloats("a"); err == nil {
 		t.Fatal("bad float accepted")
+	}
+}
+
+// TestRunCellIndependentUnderConcurrency backs the -parallel flag: cells
+// derive all state from their own (seed, params) rng, so concurrent
+// execution must yield the same CSV rows as sequential.
+func TestRunCellIndependentUnderConcurrency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs four simulated cells")
+	}
+	type cell struct {
+		n    int
+		rate float64
+	}
+	grid := []cell{{12, 0.5}, {16, 1.0}}
+	seq := make([]string, len(grid))
+	for i, g := range grid {
+		seq[i] = runCell(7, g.n, g.rate, 0, 16, 15*sim.Second, nil)
+	}
+	par := make([]string, len(grid))
+	var wg sync.WaitGroup
+	for i, g := range grid {
+		wg.Add(1)
+		go func(i int, g cell) {
+			defer wg.Done()
+			par[i] = runCell(7, g.n, g.rate, 0, 16, 15*sim.Second, nil)
+		}(i, g)
+	}
+	wg.Wait()
+	for i := range grid {
+		if par[i] != seq[i] {
+			t.Errorf("cell %d diverged under concurrency:\npar %s\nseq %s", i, par[i], seq[i])
+		}
+	}
+}
+
+func TestSortedNames(t *testing.T) {
+	names := sortedNames(map[string]benchcmp.Metrics{"B": {}, "A": {}, "C": {}})
+	if len(names) != 3 || names[0] != "A" || names[2] != "C" {
+		t.Fatalf("sortedNames = %v", names)
 	}
 }
 

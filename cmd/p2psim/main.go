@@ -3,94 +3,135 @@
 //
 // Usage:
 //
-//	p2psim [-exp all|E1,...|A2] [-seed N] [-quick] [-md]
+//	p2psim [-exp all|E1,...|A2] [-seed N] [-quick] [-md] [-parallel N]
 //	p2psim -trace out.jsonl [-seed N] [-quick]
 //
 // Examples:
 //
-//	p2psim -exp all                # full suite (minutes)
+//	p2psim -exp all                # full suite, parallel across cores
+//	p2psim -exp all -parallel 1    # sequential (identical output)
 //	p2psim -exp E3,E5 -quick       # two experiments, small sweeps
 //	p2psim -exp E1 -md             # markdown output for EXPERIMENTS.md
 //	p2psim -trace out.jsonl        # traced standard run, Chrome trace JSONL
+//	p2psim -exp all -cpuprofile cpu.pb.gz   # profile the suite
+//
+// Experiments are deterministic given (seed, quick): -parallel changes
+// wall-clock time, never table content or order.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"repro"
 	"repro/internal/experiments"
+	"repro/internal/profutil"
 )
 
 func main() {
 	var (
-		expFlag  = flag.String("exp", "all", "comma-separated experiment IDs (E1..E10, A1, A2) or 'all'")
+		expFlag  = flag.String("exp", "all", "comma-separated experiment IDs (E1..E11, A1..A3) or 'all'")
 		seed     = flag.Uint64("seed", 42, "deterministic run seed")
 		quick    = flag.Bool("quick", false, "shrink sweeps for a fast pass")
 		markdown = flag.Bool("md", false, "emit tables as markdown")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "experiment worker pool size (1 = sequential)")
 		traceOut = flag.String("trace", "", "run a traced standard scenario and write Chrome trace-event JSONL here (skips -exp)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopCPU, err := profutil.StartCPU(*cpuProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	exit := func(code int) {
+		if err := stopCPU(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			code = 1
+		}
+		if err := profutil.WriteHeap(*memProf); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			code = 1
+		}
+		os.Exit(code)
+	}
 
 	if *traceOut != "" {
 		if err := runTraced(*traceOut, *seed, *quick); err != nil {
 			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
-			os.Exit(1)
+			exit(1)
 		}
-		return
+		exit(0)
 	}
 
-	opt := experiments.Options{Seed: *seed, Quick: *quick}
-	runners := map[string]func(experiments.Options) experiments.Result{
-		"E1":  experiments.E1Figure1,
-		"E2":  experiments.E2TaskAssignment,
-		"E3":  experiments.E3AllocatorComparison,
-		"E4":  experiments.E4Scalability,
-		"E5":  experiments.E5SchedulerComparison,
-		"E6":  experiments.E6Churn,
-		"E7":  experiments.E7AdmissionRedirect,
-		"E8":  experiments.E8GossipBloom,
-		"E9":  experiments.E9Adaptation,
-		"E10": experiments.E10UpdatePeriod,
-		"E11": experiments.E11Decentralization,
-		"A1":  experiments.A1ObjectiveAblation,
-		"A2":  experiments.A2BackupSync,
-		"A3":  experiments.A3Preemption,
+	suite := experiments.Suite()
+	byID := make(map[string]experiments.NamedRunner, len(suite))
+	var order []string
+	for _, nr := range suite {
+		byID[nr.ID] = nr
+		order = append(order, nr.ID)
 	}
-	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "A1", "A2", "A3"}
 
-	var selected []string
+	var selected []experiments.NamedRunner
 	if *expFlag == "all" {
-		selected = order
+		selected = suite
 	} else {
 		for _, id := range strings.Split(*expFlag, ",") {
 			id = strings.TrimSpace(strings.ToUpper(id))
-			if _, ok := runners[id]; !ok {
+			nr, ok := byID[id]
+			if !ok {
 				fmt.Fprintf(os.Stderr, "unknown experiment %q (valid: %s)\n", id, strings.Join(order, " "))
-				os.Exit(2)
+				exit(2)
 			}
-			selected = append(selected, id)
+			selected = append(selected, nr)
 		}
 	}
 
-	for _, id := range selected {
-		start := time.Now()
-		res := runners[id](opt)
-		elapsed := time.Since(start).Round(time.Millisecond)
+	// Wrap each runner to record its own elapsed wall time, then run the
+	// set across the worker pool. Results come back in selection order.
+	elapsed := make([]time.Duration, len(selected))
+	timed := make([]experiments.NamedRunner, len(selected))
+	for i, nr := range selected {
+		i, run := i, nr.Run
+		timed[i] = experiments.NamedRunner{ID: nr.ID, Run: func(opt experiments.Options) experiments.Result {
+			start := time.Now()
+			res := run(opt)
+			elapsed[i] = time.Since(start).Round(time.Millisecond)
+			return res
+		}}
+	}
+	opt := experiments.Options{Seed: *seed, Quick: *quick}
+	results := experiments.RunParallel(timed, opt, *parallel)
+
+	failed := false
+	for i, res := range results {
+		if res.Err != "" {
+			failed = true
+		}
 		if *markdown {
 			fmt.Printf("### %s: %s\n\n*Claim:* %s\n\n%s\n", res.ID, res.Title, res.Claim, res.Table.Markdown())
+			if res.Err != "" {
+				fmt.Printf("*Error:* %s\n\n", res.Err)
+			}
 			for _, n := range res.Notes {
 				fmt.Printf("*Note:* %s\n\n", n)
 			}
-			fmt.Printf("_(generated in %v, seed %d%s)_\n\n", elapsed, *seed, quickTag(*quick))
+			fmt.Printf("_(generated in %v, seed %d%s)_\n\n", elapsed[i], *seed, quickTag(*quick))
 		} else {
 			fmt.Print(res.String())
-			fmt.Printf("(%v, seed %d%s)\n\n", elapsed, *seed, quickTag(*quick))
+			fmt.Printf("(%v, seed %d%s)\n\n", elapsed[i], *seed, quickTag(*quick))
 		}
 	}
+	if failed {
+		exit(1)
+	}
+	exit(0)
 }
 
 func quickTag(q bool) string {

@@ -6,36 +6,20 @@ import (
 	"repro/internal/experiments"
 )
 
-// TestRunnerRegistryComplete keeps the CLI's experiment registry in sync
-// with the suite: everything All() runs must be individually invocable,
-// with matching IDs, and the order list must cover the registry exactly.
-func TestRunnerRegistryComplete(t *testing.T) {
-	runners := map[string]func(experiments.Options) experiments.Result{
-		"E1":  experiments.E1Figure1,
-		"E2":  experiments.E2TaskAssignment,
-		"E3":  experiments.E3AllocatorComparison,
-		"E4":  experiments.E4Scalability,
-		"E5":  experiments.E5SchedulerComparison,
-		"E6":  experiments.E6Churn,
-		"E7":  experiments.E7AdmissionRedirect,
-		"E8":  experiments.E8GossipBloom,
-		"E9":  experiments.E9Adaptation,
-		"E10": experiments.E10UpdatePeriod,
-		"E11": experiments.E11Decentralization,
-		"A1":  experiments.A1ObjectiveAblation,
-		"A2":  experiments.A2BackupSync,
-		"A3":  experiments.A3Preemption,
-	}
+// TestSuiteRegistryComplete keeps the shared suite registry honest:
+// everything All() runs must be individually invocable through Suite(),
+// with matching IDs in matching order.
+func TestSuiteRegistryComplete(t *testing.T) {
+	suite := experiments.Suite()
 	all := experiments.All(experiments.Options{Seed: 1, Quick: true})
-	if len(all) != len(runners) {
-		t.Fatalf("All() returns %d results, registry has %d", len(all), len(runners))
+	if len(all) != len(suite) {
+		t.Fatalf("All() returns %d results, Suite() has %d", len(all), len(suite))
 	}
-	for _, res := range all {
-		fn, ok := runners[res.ID]
-		if !ok {
-			t.Fatalf("suite result %q missing from CLI registry", res.ID)
+	for i, res := range all {
+		if suite[i].ID != res.ID {
+			t.Fatalf("suite entry %d is %q, All() produced %q", i, suite[i].ID, res.ID)
 		}
-		single := fn(experiments.Options{Seed: 1, Quick: true})
+		single := suite[i].Run(experiments.Options{Seed: 1, Quick: true})
 		if single.ID != res.ID {
 			t.Fatalf("runner for %q returns ID %q", res.ID, single.ID)
 		}

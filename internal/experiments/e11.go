@@ -31,17 +31,18 @@ func E11Decentralization(opt Options) Result {
 		sizes = []int{48}
 	}
 	for _, n := range sizes {
-		res.Table.AddRow(runTopologyCell(opt.Seed, n, n+1)...) // cap > n: single domain
-		res.Table.AddRow(runTopologyCell(opt.Seed, n, 16)...)  // paper's domains
+		res.Table.AddRow(runTopologyCell(opt, n, n+1)...) // cap > n: single domain
+		res.Table.AddRow(runTopologyCell(opt, n, 16)...)  // paper's domains
 	}
 	res.Notes = append(res.Notes,
 		"hotspot = the busiest single node's delivered control messages per second")
 	return res
 }
 
-func runTopologyCell(seed uint64, n, domainCap int) []any {
+func runTopologyCell(opt Options, n, domainCap int) []any {
+	seed := opt.Seed
 	cfg := core.DefaultConfig()
-	cfg.Nanotime = live.Nanotime // alloc_p95_us is a real CPU-cost column, not simulated time
+	cfg.Nanotime = opt.nanotime(live.Nanotime) // alloc_p95_us is a real CPU-cost column, not simulated time
 	cfg.MaxDomainPeers = domainCap
 	r := rng.New(seed ^ uint64(n*domainCap)*977)
 	infos := cluster.PeerSpecs(r, n, cfg.Qualify, 0.4)

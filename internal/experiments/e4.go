@@ -30,7 +30,7 @@ func E4Scalability(opt Options) Result {
 		sizes = []int{16, 64}
 	}
 	for _, n := range sizes {
-		row := runScaleCell(opt.Seed, n)
+		row := runScaleCell(opt, n)
 		res.Table.AddRow(row...)
 	}
 	res.Notes = append(res.Notes,
@@ -38,9 +38,10 @@ func E4Scalability(opt Options) Result {
 	return res
 }
 
-func runScaleCell(seed uint64, n int) []any {
+func runScaleCell(opt Options, n int) []any {
+	seed := opt.Seed
 	cfg := core.DefaultConfig()
-	cfg.Nanotime = live.Nanotime // alloc_p95_us is a real CPU-cost column, not simulated time
+	cfg.Nanotime = opt.nanotime(live.Nanotime) // alloc_p95_us is a real CPU-cost column, not simulated time
 	cfg.MaxDomainPeers = 32
 	r := rng.New(seed ^ uint64(n)*2654435761)
 	infos := cluster.PeerSpecs(r, n, cfg.Qualify, 0.4)

@@ -11,6 +11,7 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
@@ -28,6 +29,20 @@ type Options struct {
 	// Quick shrinks sweeps/populations for test-suite latency; the
 	// benchmark harness and CLI run with Quick=false.
 	Quick bool
+	// Nanotime, when set, replaces live.Nanotime for the real-CPU-cost
+	// columns of E4/E11 (alloc_p95_us). The CLI leaves it nil — those
+	// columns deliberately measure the wall clock; tests inject a
+	// deterministic reading to compare whole tables byte-for-byte.
+	Nanotime func() int64
+}
+
+// nanotime returns the measurement clock for real-cost columns: the
+// injected hook when present, else the supplied live reading.
+func (o Options) nanotime(fallback func() int64) func() int64 {
+	if o.Nanotime != nil {
+		return o.Nanotime
+	}
+	return fallback
 }
 
 // Result is one experiment's output.
@@ -37,11 +52,17 @@ type Result struct {
 	Claim string // the paper claim under test
 	Table metrics.Table
 	Notes []string
+	// Err is set when the experiment failed (e.g. panicked inside the
+	// parallel runner) instead of producing a table.
+	Err string
 }
 
 // String renders the result as the CLI prints it.
 func (r Result) String() string {
 	s := fmt.Sprintf("== %s: %s ==\nClaim: %s\n%s", r.ID, r.Title, r.Claim, r.Table.String())
+	if r.Err != "" {
+		s += "error: " + r.Err + "\n"
+	}
 	for _, n := range r.Notes {
 		s += "note: " + n + "\n"
 	}
@@ -107,22 +128,98 @@ func newCluster(cfg core.Config, seed uint64) *cluster.Cluster {
 	return cluster.New(cfg, defaultNet(), seed)
 }
 
+// Runner is one experiment entry point.
+type Runner func(Options) Result
+
+// NamedRunner pairs an experiment ID with its entry point, for callers
+// (the CLI, the parallel runner) that select or schedule by ID.
+type NamedRunner struct {
+	ID  string
+	Run Runner
+}
+
+// Suite returns the complete ordered suite. The slice is freshly
+// allocated; callers may filter or reorder it.
+func Suite() []NamedRunner {
+	return []NamedRunner{
+		{"E1", E1Figure1},
+		{"E2", E2TaskAssignment},
+		{"E3", E3AllocatorComparison},
+		{"E4", E4Scalability},
+		{"E5", E5SchedulerComparison},
+		{"E6", E6Churn},
+		{"E7", E7AdmissionRedirect},
+		{"E8", E8GossipBloom},
+		{"E9", E9Adaptation},
+		{"E10", E10UpdatePeriod},
+		{"E11", E11Decentralization},
+		{"A1", A1ObjectiveAblation},
+		{"A2", A2BackupSync},
+		{"A3", A3Preemption},
+	}
+}
+
 // All runs the complete suite in order.
 func All(opt Options) []Result {
-	return []Result{
-		E1Figure1(opt),
-		E2TaskAssignment(opt),
-		E3AllocatorComparison(opt),
-		E4Scalability(opt),
-		E5SchedulerComparison(opt),
-		E6Churn(opt),
-		E7AdmissionRedirect(opt),
-		E8GossipBloom(opt),
-		E9Adaptation(opt),
-		E10UpdatePeriod(opt),
-		E11Decentralization(opt),
-		A1ObjectiveAblation(opt),
-		A2BackupSync(opt),
-		A3Preemption(opt),
+	suite := Suite()
+	out := make([]Result, len(suite))
+	for i, nr := range suite {
+		out[i] = nr.Run(opt)
 	}
+	return out
+}
+
+// AllParallel runs the complete suite across workers goroutines,
+// preserving suite order in the returned slice. Experiments are
+// deterministic given Options — each builds its own cluster and rng
+// streams from opt.Seed — so the results are identical to All(opt)
+// regardless of scheduling.
+func AllParallel(opt Options, workers int) []Result {
+	return RunParallel(Suite(), opt, workers)
+}
+
+// RunParallel executes the given runners across a bounded worker pool and
+// returns their results in input order. A panicking experiment is
+// surfaced as a Result with Err set (and the worker survives to drain the
+// rest of the queue) rather than crashing the process or wedging the
+// pool.
+func RunParallel(runners []NamedRunner, opt Options, workers int) []Result {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(runners) {
+		workers = len(runners)
+	}
+	results := make([]Result, len(runners))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i] = runSafe(runners[i], opt)
+			}
+		}()
+	}
+	for i := range runners {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return results
+}
+
+// runSafe invokes one runner, converting a panic into a failed Result.
+func runSafe(nr NamedRunner, opt Options) (res Result) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = Result{
+				ID:    nr.ID,
+				Title: "experiment failed",
+				Err:   fmt.Sprintf("panic: %v", r),
+			}
+		}
+	}()
+	return nr.Run(opt)
 }

@@ -49,6 +49,21 @@ func NewIncremental(loads []float64) *Incremental {
 	return inc
 }
 
+// Reset re-captures loads, reusing the receiver's storage. A zero
+// Incremental is valid to Reset. The sums are accumulated in the same
+// order as NewIncremental, so a Reset accumulator is bit-identical to a
+// fresh one — allocators pool and reuse it across admission decisions
+// without perturbing results.
+func (inc *Incremental) Reset(loads []float64) {
+	inc.n = len(loads)
+	inc.base = append(inc.base[:0], loads...)
+	inc.sum, inc.sumSq = 0, 0
+	for _, l := range loads {
+		inc.sum += l
+		inc.sumSq += l * l
+	}
+}
+
 // N returns the number of peers in the captured distribution.
 func (inc *Incremental) N() int { return inc.n }
 

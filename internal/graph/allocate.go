@@ -1,12 +1,20 @@
 package graph
 
 import (
-	"repro/internal/fairness"
 	"repro/internal/rng"
 )
 
 // Allocator selects a task execution sequence through a resource graph.
 // Implementations must not mutate the graph or the peer view.
+//
+// All allocators share the same incremental search core (see scratch.go):
+// each search frame carries the cumulative latency and per-peer load
+// deltas of its prefix, so feasibility is checked per edge instead of by
+// recomputing pathMetrics over the whole prefix at every node, and paths
+// are parent-pointer chains in a pooled arena rather than copied slices.
+// The arithmetic is ordered exactly as in pathMetrics, so every allocator
+// returns bit-identical results to the straightforward implementation
+// (pinned by the testing/quick equivalence property in the tests).
 type Allocator interface {
 	// Name identifies the strategy in experiment tables.
 	Name() string
@@ -32,61 +40,48 @@ type FairnessBFS struct{}
 // Name implements Allocator.
 func (FairnessBFS) Name() string { return "fairness-bfs" }
 
-// Allocate implements Allocator with the Figure 3 algorithm.
+// Allocate implements Allocator with the Figure 3 algorithm. Infeasible
+// extensions are pruned at expansion time (the incremental equivalent of
+// the reference's prune-at-dequeue), so the sequence of feasible frames
+// processed — and hence the chosen path — is identical.
 func (FairnessBFS) Allocate(g *ResourceGraph, req Request, pv *PeerView) (Allocation, error) {
-	inc := fairness.NewIncremental(pv.Load)
-	best := Allocation{Fairness: -1}
+	s := getScratch(pv)
+	defer putScratch(s)
 	maxHops := req.MaxHops
 	if maxHops <= 0 {
 		maxHops = len(g.edges)
 	}
 
-	type entry struct {
-		v    VertexID
-		path []EdgeID
-	}
-	queue := []entry{{v: req.Init}}
-	visited := make([]bool, len(g.vertices))
-
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-
-		// Prune by the requirement set q: the sequence so far must remain
-		// feasible (deadline not yet blown, capacity available).
-		latency, ok := pathMetrics(g, cur.path, &req, pv)
-		if !ok {
-			continue
-		}
+	s.startBFS(g, req.Init)
+	best := Allocation{Fairness: -1}
+	bestIdx := -1
+	for head := 0; head < len(s.nodes); head++ {
+		cur := s.nodes[head] // copy: expand below may grow the arena
 		if cur.v == req.Goal {
-			if len(cur.path) == 0 {
+			if cur.parent < 0 {
 				// Source already in the requested state: empty sequence.
-				return Allocation{Path: nil, Fairness: inc.Index(), LatencyMicros: 0}, nil
+				return Allocation{Path: nil, Fairness: s.inc.Index(), LatencyMicros: 0}, nil
 			}
-			peers, deltas := g.PathPeers(cur.path)
-			if f := inc.WithDeltas(peers, deltas); f > best.Fairness {
-				best = Allocation{Path: cur.path, Fairness: f, LatencyMicros: latency}
+			if f := s.pathFairness(g, head); f > best.Fairness {
+				best.Fairness = f
+				best.LatencyMicros = cur.latency
+				bestIdx = head
 			}
 			continue
 		}
-		if visited[cur.v] {
+		if bitGet(s.visited, int(cur.v)) {
 			continue
 		}
-		visited[cur.v] = true
-		if len(cur.path) >= maxHops {
+		bitSet(s.visited, int(cur.v))
+		if int(cur.depth) >= maxHops {
 			continue
 		}
-		for _, id := range g.out[cur.v] {
-			e := &g.edges[id]
-			next := make([]EdgeID, len(cur.path)+1)
-			copy(next, cur.path)
-			next[len(cur.path)] = id
-			queue = append(queue, entry{v: e.To, path: next})
-		}
+		s.expand(g, &req, pv, head, &cur)
 	}
-	if best.Fairness < 0 {
+	if bestIdx < 0 {
 		return Allocation{}, ErrNoAllocation
 	}
+	best.Path = s.materialize(bestIdx)
 	return best, nil
 }
 
@@ -101,51 +96,60 @@ func (Exhaustive) Name() string { return "exhaustive" }
 
 // Allocate implements Allocator by depth-first enumeration.
 func (Exhaustive) Allocate(g *ResourceGraph, req Request, pv *PeerView) (Allocation, error) {
-	inc := fairness.NewIncremental(pv.Load)
-	best := Allocation{Fairness: -1}
+	s := getScratch(pv)
+	defer putScratch(s)
 	maxHops := req.MaxHops
 	if maxHops <= 0 {
 		maxHops = len(g.edges)
 	}
-	onPath := make([]bool, len(g.vertices))
-	var path []EdgeID
+	s.onPath = resetBitset(s.onPath, len(g.vertices))
+	s.peerAcc = resetFloats(s.peerAcc, len(pv.Load))
+	s.edges = s.edges[:0]
+	best := Allocation{Fairness: -1}
+	found := false
 
-	var dfs func(v VertexID)
-	dfs = func(v VertexID) {
-		latency, ok := pathMetrics(g, path, &req, pv)
-		if !ok {
-			return
-		}
+	var dfs func(v VertexID, latency int64)
+	dfs = func(v VertexID, latency int64) {
 		if v == req.Goal {
-			peers, deltas := g.PathPeers(path)
-			if f := inc.WithDeltas(peers, deltas); f > best.Fairness {
-				best = Allocation{
-					Path:          append([]EdgeID(nil), path...),
-					Fairness:      f,
-					LatencyMicros: latency,
-				}
+			if f := s.curFairness(g); f > best.Fairness {
+				best.Fairness = f
+				best.LatencyMicros = latency
+				s.bestEdges = append(s.bestEdges[:0], s.edges...)
+				found = true
 			}
 			return
 		}
-		if len(path) >= maxHops {
+		if len(s.edges) >= maxHops {
 			return
 		}
-		onPath[v] = true
+		bitSet(s.onPath, int(v))
 		for _, id := range g.out[v] {
 			e := &g.edges[id]
-			if onPath[e.To] {
+			if bitGet(s.onPath, int(e.To)) {
 				continue
 			}
-			path = append(path, id)
-			dfs(e.To)
-			path = path[:len(path)-1]
+			prior := s.peerAcc[e.Peer]
+			spare := pv.Speed[e.Peer] - pv.Load[e.Peer] - prior
+			if spare <= 1e-9 || spare-e.Work < -1e-9 {
+				continue
+			}
+			lat := latency + int64(e.Work*req.ChunkSeconds/spare*1e6) + e.LatencyMicros
+			if req.DeadlineMicros > 0 && lat > req.DeadlineMicros {
+				continue
+			}
+			s.peerAcc[e.Peer] = prior + e.Work
+			s.edges = append(s.edges, id)
+			dfs(e.To, lat)
+			s.edges = s.edges[:len(s.edges)-1]
+			s.peerAcc[e.Peer] = prior // exact restore: no subtraction drift
 		}
-		onPath[v] = false
+		bitClear(s.onPath, int(v))
 	}
-	dfs(req.Init)
-	if best.Fairness < 0 {
+	dfs(req.Init, 0)
+	if !found {
 		return Allocation{}, ErrNoAllocation
 	}
+	best.Path = append([]EdgeID(nil), s.bestEdges...)
 	return best, nil
 }
 
@@ -158,41 +162,27 @@ func (FirstFit) Name() string { return "first-fit" }
 
 // Allocate implements Allocator.
 func (FirstFit) Allocate(g *ResourceGraph, req Request, pv *PeerView) (Allocation, error) {
-	inc := fairness.NewIncremental(pv.Load)
-	type entry struct {
-		v    VertexID
-		path []EdgeID
-	}
+	s := getScratch(pv)
+	defer putScratch(s)
 	maxHops := req.MaxHops
 	if maxHops <= 0 {
 		maxHops = len(g.edges)
 	}
-	queue := []entry{{v: req.Init}}
-	visited := make([]bool, len(g.vertices))
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		latency, ok := pathMetrics(g, cur.path, &req, pv)
-		if !ok {
-			continue
-		}
+	s.startBFS(g, req.Init)
+	for head := 0; head < len(s.nodes); head++ {
+		cur := s.nodes[head]
 		if cur.v == req.Goal {
-			peers, deltas := g.PathPeers(cur.path)
-			return Allocation{Path: cur.path, Fairness: inc.WithDeltas(peers, deltas), LatencyMicros: latency}, nil
+			f := s.pathFairness(g, head)
+			return Allocation{Path: s.materialize(head), Fairness: f, LatencyMicros: cur.latency}, nil
 		}
-		if visited[cur.v] {
+		if bitGet(s.visited, int(cur.v)) {
 			continue
 		}
-		visited[cur.v] = true
-		if len(cur.path) >= maxHops {
+		bitSet(s.visited, int(cur.v))
+		if int(cur.depth) >= maxHops {
 			continue
 		}
-		for _, id := range g.out[cur.v] {
-			next := make([]EdgeID, len(cur.path)+1)
-			copy(next, cur.path)
-			next[len(cur.path)] = id
-			queue = append(queue, entry{v: g.edges[id].To, path: next})
-		}
+		s.expand(g, &req, pv, head, &cur)
 	}
 	return Allocation{}, ErrNoAllocation
 }
@@ -207,64 +197,80 @@ type GreedyLeastLoaded struct{}
 // Name implements Allocator.
 func (GreedyLeastLoaded) Name() string { return "greedy-least-loaded" }
 
-// Allocate implements Allocator.
+// Allocate implements Allocator. Candidate extensions are evaluated
+// against the walk's accumulated per-peer deltas and latency — no
+// candidate path slice exists, so a candidate can never alias or clobber
+// a sibling's storage (the append-aliasing hazard of extending a shared
+// prefix slice).
 func (GreedyLeastLoaded) Allocate(g *ResourceGraph, req Request, pv *PeerView) (Allocation, error) {
-	inc := fairness.NewIncremental(pv.Load)
+	s := getScratch(pv)
+	defer putScratch(s)
 	maxHops := req.MaxHops
 	if maxHops <= 0 {
 		maxHops = len(g.edges)
 	}
-	banned := make(map[EdgeID]bool)
+	s.banned = resetBitset(s.banned, len(g.edges))
+	bannedCount := 0
 	for attempt := 0; attempt <= len(g.edges); attempt++ {
-		var path []EdgeID
+		s.edges = s.edges[:0]
+		s.peerAcc = resetFloats(s.peerAcc, len(pv.Load))
+		s.visited = resetBitset(s.visited, len(g.vertices))
+		var latency int64
 		v := req.Init
-		visited := make([]bool, len(g.vertices))
 		dead := false
 		for v != req.Goal {
-			visited[v] = true
-			if len(path) >= maxHops {
+			bitSet(s.visited, int(v))
+			if len(s.edges) >= maxHops {
 				dead = true
 				break
 			}
 			bestEdge := EdgeID(-1)
 			bestLoad := 0.0
+			var bestLat int64
 			for _, id := range g.out[v] {
 				e := &g.edges[id]
-				if banned[id] || visited[e.To] {
+				if bitGet(s.banned, int(id)) || bitGet(s.visited, int(e.To)) {
 					continue
 				}
-				cand := append(path, id)
-				if _, ok := pathMetrics(g, cand, &req, pv); !ok {
+				prior := s.peerAcc[e.Peer]
+				spare := pv.Speed[e.Peer] - pv.Load[e.Peer] - prior
+				if spare <= 1e-9 || spare-e.Work < -1e-9 {
+					continue
+				}
+				lat := latency + int64(e.Work*req.ChunkSeconds/spare*1e6) + e.LatencyMicros
+				if req.DeadlineMicros > 0 && lat > req.DeadlineMicros {
 					continue
 				}
 				rel := pv.Load[e.Peer] / pv.Speed[e.Peer]
 				if bestEdge < 0 || rel < bestLoad {
-					bestEdge, bestLoad = id, rel
+					bestEdge, bestLoad, bestLat = id, rel, lat
 				}
 			}
 			if bestEdge < 0 {
 				// Dead end: ban the edge that led here and restart.
-				if len(path) > 0 {
-					banned[path[len(path)-1]] = true
+				if n := len(s.edges); n > 0 {
+					if last := s.edges[n-1]; !bitGet(s.banned, int(last)) {
+						bitSet(s.banned, int(last))
+						bannedCount++
+					}
 				}
 				dead = true
 				break
 			}
-			path = append(path, bestEdge)
-			v = g.edges[bestEdge].To
+			e := &g.edges[bestEdge]
+			s.peerAcc[e.Peer] += e.Work
+			latency = bestLat
+			s.edges = append(s.edges, bestEdge)
+			v = e.To
 		}
 		if dead {
-			if len(banned) > len(g.edges) {
+			if bannedCount > len(g.edges) {
 				break
 			}
 			continue
 		}
-		latency, ok := pathMetrics(g, path, &req, pv)
-		if !ok {
-			return Allocation{}, ErrNoAllocation
-		}
-		peers, deltas := g.PathPeers(path)
-		return Allocation{Path: path, Fairness: inc.WithDeltas(peers, deltas), LatencyMicros: latency}, nil
+		f := s.curFairness(g)
+		return Allocation{Path: append([]EdgeID(nil), s.edges...), Fairness: f, LatencyMicros: latency}, nil
 	}
 	return Allocation{}, ErrNoAllocation
 }
@@ -278,51 +284,31 @@ type RandomFeasible struct {
 // Name implements Allocator.
 func (*RandomFeasible) Name() string { return "random" }
 
-// Allocate implements Allocator by enumerating feasible simple paths
-// (bounded like Exhaustive) and sampling one.
+// Allocate implements Allocator in two deterministic DFS passes: the
+// first counts the feasible simple paths (bounded like Exhaustive), one
+// uniform draw picks an index, and the second pass walks the identical
+// enumeration order to materialize only the chosen path. The single
+// Intn(count) draw and the DFS order match the collect-then-sample
+// reference exactly, without materializing every candidate.
 func (a *RandomFeasible) Allocate(g *ResourceGraph, req Request, pv *PeerView) (Allocation, error) {
-	inc := fairness.NewIncremental(pv.Load)
+	s := getScratch(pv)
+	defer putScratch(s)
 	maxHops := req.MaxHops
 	if maxHops <= 0 {
 		maxHops = len(g.edges)
 	}
-	var candidates []Allocation
-	onPath := make([]bool, len(g.vertices))
-	var path []EdgeID
-	var dfs func(v VertexID)
-	dfs = func(v VertexID) {
-		latency, ok := pathMetrics(g, path, &req, pv)
-		if !ok {
-			return
-		}
-		if v == req.Goal {
-			peers, deltas := g.PathPeers(path)
-			candidates = append(candidates, Allocation{
-				Path:          append([]EdgeID(nil), path...),
-				Fairness:      inc.WithDeltas(peers, deltas),
-				LatencyMicros: latency,
-			})
-			return
-		}
-		if len(path) >= maxHops {
-			return
-		}
-		onPath[v] = true
-		for _, id := range g.out[v] {
-			if onPath[g.edges[id].To] {
-				continue
-			}
-			path = append(path, id)
-			dfs(g.edges[id].To)
-			path = path[:len(path)-1]
-		}
-		onPath[v] = false
-	}
-	dfs(req.Init)
-	if len(candidates) == 0 {
+	count := s.walkFeasible(g, &req, pv, maxHops, -1)
+	if count == 0 {
 		return Allocation{}, ErrNoAllocation
 	}
-	return candidates[a.R.Intn(len(candidates))], nil
+	pick := a.R.Intn(count)
+	s.walkFeasible(g, &req, pv, maxHops, pick)
+	best := Allocation{
+		Path:          append([]EdgeID(nil), s.bestEdges...),
+		LatencyMicros: s.pickLatency,
+	}
+	best.Fairness = s.pickFairness
+	return best, nil
 }
 
 // MinLatency returns the feasible path with the smallest estimated
@@ -335,48 +321,59 @@ func (MinLatency) Name() string { return "min-latency" }
 
 // Allocate implements Allocator by exhaustive search on latency.
 func (MinLatency) Allocate(g *ResourceGraph, req Request, pv *PeerView) (Allocation, error) {
-	inc := fairness.NewIncremental(pv.Load)
+	s := getScratch(pv)
+	defer putScratch(s)
 	maxHops := req.MaxHops
 	if maxHops <= 0 {
 		maxHops = len(g.edges)
 	}
+	s.onPath = resetBitset(s.onPath, len(g.vertices))
+	s.peerAcc = resetFloats(s.peerAcc, len(pv.Load))
+	s.edges = s.edges[:0]
 	best := Allocation{LatencyMicros: -1}
-	onPath := make([]bool, len(g.vertices))
-	var path []EdgeID
-	var dfs func(v VertexID)
-	dfs = func(v VertexID) {
-		latency, ok := pathMetrics(g, path, &req, pv)
-		if !ok {
-			return
-		}
+	found := false
+
+	var dfs func(v VertexID, latency int64)
+	dfs = func(v VertexID, latency int64) {
 		if v == req.Goal {
 			if best.LatencyMicros < 0 || latency < best.LatencyMicros {
-				peers, deltas := g.PathPeers(path)
-				best = Allocation{
-					Path:          append([]EdgeID(nil), path...),
-					Fairness:      inc.WithDeltas(peers, deltas),
-					LatencyMicros: latency,
-				}
+				best.Fairness = s.curFairness(g)
+				best.LatencyMicros = latency
+				s.bestEdges = append(s.bestEdges[:0], s.edges...)
+				found = true
 			}
 			return
 		}
-		if len(path) >= maxHops {
+		if len(s.edges) >= maxHops {
 			return
 		}
-		onPath[v] = true
+		bitSet(s.onPath, int(v))
 		for _, id := range g.out[v] {
-			if onPath[g.edges[id].To] {
+			e := &g.edges[id]
+			if bitGet(s.onPath, int(e.To)) {
 				continue
 			}
-			path = append(path, id)
-			dfs(g.edges[id].To)
-			path = path[:len(path)-1]
+			prior := s.peerAcc[e.Peer]
+			spare := pv.Speed[e.Peer] - pv.Load[e.Peer] - prior
+			if spare <= 1e-9 || spare-e.Work < -1e-9 {
+				continue
+			}
+			lat := latency + int64(e.Work*req.ChunkSeconds/spare*1e6) + e.LatencyMicros
+			if req.DeadlineMicros > 0 && lat > req.DeadlineMicros {
+				continue
+			}
+			s.peerAcc[e.Peer] = prior + e.Work
+			s.edges = append(s.edges, id)
+			dfs(e.To, lat)
+			s.edges = s.edges[:len(s.edges)-1]
+			s.peerAcc[e.Peer] = prior
 		}
-		onPath[v] = false
+		bitClear(s.onPath, int(v))
 	}
-	dfs(req.Init)
-	if best.LatencyMicros < 0 {
+	dfs(req.Init, 0)
+	if !found {
 		return Allocation{}, ErrNoAllocation
 	}
+	best.Path = append([]EdgeID(nil), s.bestEdges...)
 	return best, nil
 }

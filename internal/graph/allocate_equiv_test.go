@@ -1,0 +1,317 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+// equalAlloc requires bit-identical results: same error class, same path,
+// and exact (not approximate) fairness and latency equality. The optimized
+// allocators order their floating-point arithmetic exactly as the
+// reference, so == is the correct comparison — any drift would eventually
+// surface as a changed experiment table.
+func equalAlloc(t *testing.T, name string, got Allocation, gotErr error, want Allocation, wantErr error) bool {
+	t.Helper()
+	if (gotErr != nil) != (wantErr != nil) {
+		t.Logf("%s: err = %v, reference err = %v", name, gotErr, wantErr)
+		return false
+	}
+	if gotErr != nil {
+		return true
+	}
+	if len(got.Path) != len(want.Path) {
+		t.Logf("%s: path %v != reference %v", name, got.Path, want.Path)
+		return false
+	}
+	for i := range got.Path {
+		if got.Path[i] != want.Path[i] {
+			t.Logf("%s: path %v != reference %v", name, got.Path, want.Path)
+			return false
+		}
+	}
+	if got.Fairness != want.Fairness {
+		t.Logf("%s: fairness %v != reference %v", name, got.Fairness, want.Fairness)
+		return false
+	}
+	if got.LatencyMicros != want.LatencyMicros {
+		t.Logf("%s: latency %d != reference %d", name, got.LatencyMicros, want.LatencyMicros)
+		return false
+	}
+	return true
+}
+
+// TestPropertyQuickOptimizedMatchesReference pins every optimized
+// allocator to its pre-optimization implementation on random layered
+// graphs, loads, deadlines, and hop bounds: identical chosen path,
+// fairness, and latency, bit for bit. This is the property that keeps the
+// E1–E11 tables byte-identical on seed 42.
+func TestPropertyQuickOptimizedMatchesReference(t *testing.T) {
+	r := rng.New(0xfa57)
+	check := func(nvRaw, neRaw, npRaw, dlRaw, hopRaw uint8) bool {
+		nv := 3 + int(nvRaw%10)
+		ne := 1 + int(neRaw%28)
+		np := 2 + int(npRaw%8)
+		g, init, goal, pv := randomDAG(r, nv, ne, np)
+		req := Request{Init: init, Goal: goal, ChunkSeconds: 1}
+		switch dlRaw % 3 {
+		case 1:
+			req.DeadlineMicros = 10_000_000
+		case 2:
+			req.DeadlineMicros = int64(100_000 + 10_000*int(dlRaw))
+		}
+		if hopRaw%4 == 0 {
+			req.MaxHops = 1 + int(hopRaw/4)%4
+		}
+		if nvRaw%16 == 0 {
+			req.Goal = req.Init // empty-path admission
+		}
+
+		type pair struct {
+			name string
+			opt  func() (Allocation, error)
+			ref  func() (Allocation, error)
+		}
+		seed := r.Uint64()
+		pairs := []pair{
+			{"fairness-bfs",
+				func() (Allocation, error) { return FairnessBFS{}.Allocate(g, req, pv) },
+				func() (Allocation, error) { return refFairnessBFS(g, req, pv) }},
+			{"exhaustive",
+				func() (Allocation, error) { return Exhaustive{}.Allocate(g, req, pv) },
+				func() (Allocation, error) { return refExhaustive(g, req, pv) }},
+			{"first-fit",
+				func() (Allocation, error) { return FirstFit{}.Allocate(g, req, pv) },
+				func() (Allocation, error) { return refFirstFit(g, req, pv) }},
+			{"greedy-least-loaded",
+				func() (Allocation, error) { return GreedyLeastLoaded{}.Allocate(g, req, pv) },
+				func() (Allocation, error) { return refGreedyLeastLoaded(g, req, pv) }},
+			{"random",
+				func() (Allocation, error) {
+					return (&RandomFeasible{R: rng.New(seed)}).Allocate(g, req, pv)
+				},
+				func() (Allocation, error) { return refRandomFeasible(rng.New(seed), g, req, pv) }},
+			{"min-latency",
+				func() (Allocation, error) { return MinLatency{}.Allocate(g, req, pv) },
+				func() (Allocation, error) { return refMinLatency(g, req, pv) }},
+		}
+		for _, p := range pairs {
+			got, gotErr := p.opt()
+			want, wantErr := p.ref()
+			if !equalAlloc(t, p.name, got, gotErr, want, wantErr) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEquivalenceOnFigure1Scenarios replays the E1 scenarios (idle,
+// loaded-peer, saturated) through optimized and reference allocators.
+func TestEquivalenceOnFigure1Scenarios(t *testing.T) {
+	f := Figure1Example(10_000)
+	scenarios := map[string]func() *PeerView{
+		"idle": func() *PeerView { return f.IdlePeers(10) },
+		"peer1-loaded": func() *PeerView {
+			pv := f.IdlePeers(10)
+			pv.Load[1] = 9
+			return pv
+		},
+		"saturated": func() *PeerView {
+			pv := f.IdlePeers(10)
+			pv.Load[1], pv.Load[2] = 10, 10
+			return pv
+		},
+	}
+	req := figure1Request(f)
+	for name, mk := range scenarios {
+		pv := mk()
+		got, gotErr := FairnessBFS{}.Allocate(f.G, req, pv)
+		want, wantErr := refFairnessBFS(f.G, req, pv)
+		if !equalAlloc(t, name, got, gotErr, want, wantErr) {
+			t.Fatalf("scenario %s diverged from reference", name)
+		}
+	}
+}
+
+// TestEquivalenceAfterPeerRemoval checks the incremental search against
+// the reference on a graph with tombstoned edges (RemoveEdgesForPeer).
+func TestEquivalenceAfterPeerRemoval(t *testing.T) {
+	r := rng.New(77)
+	for trial := 0; trial < 40; trial++ {
+		g, init, goal, pv := randomDAG(r, 9, 22, 6)
+		g.RemoveEdgesForPeer(trial % 6)
+		req := Request{Init: init, Goal: goal, ChunkSeconds: 1, DeadlineMicros: 8_000_000}
+		got, gotErr := FairnessBFS{}.Allocate(g, req, pv)
+		want, wantErr := refFairnessBFS(g, req, pv)
+		if !equalAlloc(t, "fairness-bfs", got, gotErr, want, wantErr) {
+			t.Fatalf("trial %d diverged after RemoveEdgesForPeer", trial)
+		}
+	}
+}
+
+// TestReturnedPathNeverAliasesScratch is the append-aliasing regression
+// test: allocators extend shared prefix storage during the search (the
+// old greedy probed candidates with cand := append(path, id)), so a
+// returned path that aliases pooled scratch — or a sibling allocation —
+// would be silently clobbered by the next admission decision. Two
+// back-to-back allocations must return disjoint storage whose contents
+// survive further allocator calls and mutation of each other.
+func TestReturnedPathNeverAliasesScratch(t *testing.T) {
+	f := Figure1Example(10_000)
+	req := figure1Request(f)
+	allocators := []Allocator{
+		FairnessBFS{}, Exhaustive{}, FirstFit{}, GreedyLeastLoaded{},
+		&RandomFeasible{R: rng.New(3)}, MinLatency{},
+	}
+	for _, a := range allocators {
+		pv := f.IdlePeers(10)
+		first, err := a.Allocate(f.G, req, pv)
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name(), err)
+		}
+		want := append([]EdgeID(nil), first.Path...)
+
+		// Steer the next search down a different route and interleave more
+		// allocations so any shared backing array gets rewritten.
+		pv2 := f.IdlePeers(10)
+		pv2.Load[1] = 9
+		second, err := a.Allocate(f.G, req, pv2)
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name(), err)
+		}
+		for i := 0; i < 4; i++ {
+			if _, err := a.Allocate(f.G, req, f.IdlePeers(10)); err != nil {
+				t.Fatalf("%s: %v", a.Name(), err)
+			}
+		}
+		for i := range first.Path {
+			if first.Path[i] != want[i] {
+				t.Fatalf("%s: first allocation's path mutated by later calls: %v, want %v",
+					a.Name(), first.Path, want)
+			}
+		}
+		// Mutating one returned path must not affect the other.
+		if len(second.Path) > 0 {
+			saved := append([]EdgeID(nil), second.Path...)
+			for i := range first.Path {
+				first.Path[i] = -1
+			}
+			for i := range second.Path {
+				if second.Path[i] != saved[i] {
+					t.Fatalf("%s: sibling paths share storage", a.Name())
+				}
+			}
+		}
+	}
+}
+
+// TestAllocatorsConcurrentUse exercises the pooled scratch from many
+// goroutines under -race: allocators are stateless values sharing a
+// sync.Pool, and concurrent admission decisions must not interfere.
+func TestAllocatorsConcurrentUse(t *testing.T) {
+	f := Figure1Example(10_000)
+	req := figure1Request(f)
+	pv := f.IdlePeers(10)
+	want, err := FairnessBFS{}.Allocate(f.G, req, pv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		go func() {
+			for i := 0; i < 200; i++ {
+				got, err := FairnessBFS{}.Allocate(f.G, req, pv)
+				if err != nil {
+					done <- err
+					return
+				}
+				if got.Fairness != want.Fairness || len(got.Path) != len(want.Path) {
+					done <- ErrNoAllocation
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for w := 0; w < 8; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// largeLayeredGraph builds a wide layered DAG (layers×width vertices,
+// dense forward edges) that drives the BFS frontier into the thousands —
+// the regime where the old queue = queue[1:] pattern retained the whole
+// backing array head and copied an O(L) path slice per expansion.
+func largeLayeredGraph(layers, width, npeers int) (*ResourceGraph, VertexID, VertexID, *PeerView) {
+	g := NewResourceGraph()
+	ids := make([]VertexID, 0, layers*width+2)
+	src := g.AddVertex("src", "src")
+	for l := 0; l < layers; l++ {
+		for w := 0; w < width; w++ {
+			ids = append(ids, g.AddVertex(string(rune('A'+l))+string(rune('a'+w)), ""))
+		}
+	}
+	dst := g.AddVertex("dst", "dst")
+	peer := 0
+	addEdge := func(from, to VertexID) {
+		g.AddEdge(Edge{From: from, To: to, Peer: peer % npeers, Work: 0.1, LatencyMicros: 100})
+		peer++
+	}
+	for w := 0; w < width; w++ {
+		addEdge(src, ids[w])
+	}
+	for l := 0; l+1 < layers; l++ {
+		for w := 0; w < width; w++ {
+			for x := 0; x < width; x++ {
+				addEdge(ids[l*width+w], ids[(l+1)*width+x])
+			}
+		}
+	}
+	for w := 0; w < width; w++ {
+		addEdge(ids[(layers-1)*width+w], dst)
+	}
+	pv := &PeerView{Load: make([]float64, npeers), Speed: make([]float64, npeers)}
+	for i := range pv.Speed {
+		pv.Speed[i] = 100
+	}
+	return g, src, dst, pv
+}
+
+// BenchmarkFairnessBFSLargeGraph is the large-graph memory benchmark for
+// the work-queue fix: with 6 layers × 8-wide dense fan-out the reference
+// implementation allocates a fresh path slice per expansion and pins the
+// dequeued queue head; the arena search allocates only the winning path.
+// Run with -benchmem and compare B/op against
+// BenchmarkReferenceBFSLargeGraph.
+func BenchmarkFairnessBFSLargeGraph(b *testing.B) {
+	g, init, goal, pv := largeLayeredGraph(6, 8, 16)
+	req := Request{Init: init, Goal: goal, ChunkSeconds: 1, DeadlineMicros: 600_000_000}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (FairnessBFS{}).Allocate(g, req, pv); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReferenceBFSLargeGraph is the same search through the
+// pre-optimization implementation, kept as the comparison baseline.
+func BenchmarkReferenceBFSLargeGraph(b *testing.B) {
+	g, init, goal, pv := largeLayeredGraph(6, 8, 16)
+	req := Request{Init: init, Goal: goal, ChunkSeconds: 1, DeadlineMicros: 600_000_000}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := refFairnessBFS(g, req, pv); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

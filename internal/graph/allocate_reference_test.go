@@ -1,0 +1,317 @@
+package graph
+
+// The reference allocators below are the straightforward implementations
+// the optimized hot path (allocate.go + scratch.go) replaced: slice-copied
+// paths, queue = queue[1:] work lists, and per-node pathMetrics
+// recomputation over the whole prefix. They are kept verbatim, test-only,
+// as the oracle for the equivalence properties in allocate_equiv_test.go:
+// the optimized allocators must return bit-identical (path, fairness,
+// latency) on arbitrary graphs and loads.
+
+import (
+	"repro/internal/fairness"
+	"repro/internal/rng"
+)
+
+// refFairnessBFS is the pre-optimization FairnessBFS.Allocate.
+func refFairnessBFS(g *ResourceGraph, req Request, pv *PeerView) (Allocation, error) {
+	inc := fairness.NewIncremental(pv.Load)
+	best := Allocation{Fairness: -1}
+	maxHops := req.MaxHops
+	if maxHops <= 0 {
+		maxHops = len(g.edges)
+	}
+
+	type entry struct {
+		v    VertexID
+		path []EdgeID
+	}
+	queue := []entry{{v: req.Init}}
+	visited := make([]bool, len(g.vertices))
+
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+
+		latency, ok := pathMetrics(g, cur.path, &req, pv)
+		if !ok {
+			continue
+		}
+		if cur.v == req.Goal {
+			if len(cur.path) == 0 {
+				return Allocation{Path: nil, Fairness: inc.Index(), LatencyMicros: 0}, nil
+			}
+			peers, deltas := g.PathPeers(cur.path)
+			if f := inc.WithDeltas(peers, deltas); f > best.Fairness {
+				best = Allocation{Path: cur.path, Fairness: f, LatencyMicros: latency}
+			}
+			continue
+		}
+		if visited[cur.v] {
+			continue
+		}
+		visited[cur.v] = true
+		if len(cur.path) >= maxHops {
+			continue
+		}
+		for _, id := range g.out[cur.v] {
+			e := &g.edges[id]
+			next := make([]EdgeID, len(cur.path)+1)
+			copy(next, cur.path)
+			next[len(cur.path)] = id
+			queue = append(queue, entry{v: e.To, path: next})
+		}
+	}
+	if best.Fairness < 0 {
+		return Allocation{}, ErrNoAllocation
+	}
+	return best, nil
+}
+
+// refExhaustive is the pre-optimization Exhaustive.Allocate.
+func refExhaustive(g *ResourceGraph, req Request, pv *PeerView) (Allocation, error) {
+	inc := fairness.NewIncremental(pv.Load)
+	best := Allocation{Fairness: -1}
+	maxHops := req.MaxHops
+	if maxHops <= 0 {
+		maxHops = len(g.edges)
+	}
+	onPath := make([]bool, len(g.vertices))
+	var path []EdgeID
+
+	var dfs func(v VertexID)
+	dfs = func(v VertexID) {
+		latency, ok := pathMetrics(g, path, &req, pv)
+		if !ok {
+			return
+		}
+		if v == req.Goal {
+			peers, deltas := g.PathPeers(path)
+			if f := inc.WithDeltas(peers, deltas); f > best.Fairness {
+				best = Allocation{
+					Path:          append([]EdgeID(nil), path...),
+					Fairness:      f,
+					LatencyMicros: latency,
+				}
+			}
+			return
+		}
+		if len(path) >= maxHops {
+			return
+		}
+		onPath[v] = true
+		for _, id := range g.out[v] {
+			e := &g.edges[id]
+			if onPath[e.To] {
+				continue
+			}
+			path = append(path, id)
+			dfs(e.To)
+			path = path[:len(path)-1]
+		}
+		onPath[v] = false
+	}
+	dfs(req.Init)
+	if best.Fairness < 0 {
+		return Allocation{}, ErrNoAllocation
+	}
+	return best, nil
+}
+
+// refFirstFit is the pre-optimization FirstFit.Allocate.
+func refFirstFit(g *ResourceGraph, req Request, pv *PeerView) (Allocation, error) {
+	inc := fairness.NewIncremental(pv.Load)
+	type entry struct {
+		v    VertexID
+		path []EdgeID
+	}
+	maxHops := req.MaxHops
+	if maxHops <= 0 {
+		maxHops = len(g.edges)
+	}
+	queue := []entry{{v: req.Init}}
+	visited := make([]bool, len(g.vertices))
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		latency, ok := pathMetrics(g, cur.path, &req, pv)
+		if !ok {
+			continue
+		}
+		if cur.v == req.Goal {
+			peers, deltas := g.PathPeers(cur.path)
+			return Allocation{Path: cur.path, Fairness: inc.WithDeltas(peers, deltas), LatencyMicros: latency}, nil
+		}
+		if visited[cur.v] {
+			continue
+		}
+		visited[cur.v] = true
+		if len(cur.path) >= maxHops {
+			continue
+		}
+		for _, id := range g.out[cur.v] {
+			next := make([]EdgeID, len(cur.path)+1)
+			copy(next, cur.path)
+			next[len(cur.path)] = id
+			queue = append(queue, entry{v: g.edges[id].To, path: next})
+		}
+	}
+	return Allocation{}, ErrNoAllocation
+}
+
+// refGreedyLeastLoaded is the pre-optimization GreedyLeastLoaded.Allocate,
+// including its cand := append(path, id) candidate probes.
+func refGreedyLeastLoaded(g *ResourceGraph, req Request, pv *PeerView) (Allocation, error) {
+	inc := fairness.NewIncremental(pv.Load)
+	maxHops := req.MaxHops
+	if maxHops <= 0 {
+		maxHops = len(g.edges)
+	}
+	banned := make(map[EdgeID]bool)
+	for attempt := 0; attempt <= len(g.edges); attempt++ {
+		var path []EdgeID
+		v := req.Init
+		visited := make([]bool, len(g.vertices))
+		dead := false
+		for v != req.Goal {
+			visited[v] = true
+			if len(path) >= maxHops {
+				dead = true
+				break
+			}
+			bestEdge := EdgeID(-1)
+			bestLoad := 0.0
+			for _, id := range g.out[v] {
+				e := &g.edges[id]
+				if banned[id] || visited[e.To] {
+					continue
+				}
+				cand := append(path, id)
+				if _, ok := pathMetrics(g, cand, &req, pv); !ok {
+					continue
+				}
+				rel := pv.Load[e.Peer] / pv.Speed[e.Peer]
+				if bestEdge < 0 || rel < bestLoad {
+					bestEdge, bestLoad = id, rel
+				}
+			}
+			if bestEdge < 0 {
+				if len(path) > 0 {
+					banned[path[len(path)-1]] = true
+				}
+				dead = true
+				break
+			}
+			path = append(path, bestEdge)
+			v = g.edges[bestEdge].To
+		}
+		if dead {
+			if len(banned) > len(g.edges) {
+				break
+			}
+			continue
+		}
+		latency, ok := pathMetrics(g, path, &req, pv)
+		if !ok {
+			return Allocation{}, ErrNoAllocation
+		}
+		peers, deltas := g.PathPeers(path)
+		return Allocation{Path: path, Fairness: inc.WithDeltas(peers, deltas), LatencyMicros: latency}, nil
+	}
+	return Allocation{}, ErrNoAllocation
+}
+
+// refRandomFeasible is the pre-optimization RandomFeasible.Allocate: it
+// materializes every feasible path, then samples one with a single draw.
+func refRandomFeasible(r *rng.Rand, g *ResourceGraph, req Request, pv *PeerView) (Allocation, error) {
+	inc := fairness.NewIncremental(pv.Load)
+	maxHops := req.MaxHops
+	if maxHops <= 0 {
+		maxHops = len(g.edges)
+	}
+	var candidates []Allocation
+	onPath := make([]bool, len(g.vertices))
+	var path []EdgeID
+	var dfs func(v VertexID)
+	dfs = func(v VertexID) {
+		latency, ok := pathMetrics(g, path, &req, pv)
+		if !ok {
+			return
+		}
+		if v == req.Goal {
+			peers, deltas := g.PathPeers(path)
+			candidates = append(candidates, Allocation{
+				Path:          append([]EdgeID(nil), path...),
+				Fairness:      inc.WithDeltas(peers, deltas),
+				LatencyMicros: latency,
+			})
+			return
+		}
+		if len(path) >= maxHops {
+			return
+		}
+		onPath[v] = true
+		for _, id := range g.out[v] {
+			if onPath[g.edges[id].To] {
+				continue
+			}
+			path = append(path, id)
+			dfs(g.edges[id].To)
+			path = path[:len(path)-1]
+		}
+		onPath[v] = false
+	}
+	dfs(req.Init)
+	if len(candidates) == 0 {
+		return Allocation{}, ErrNoAllocation
+	}
+	return candidates[r.Intn(len(candidates))], nil
+}
+
+// refMinLatency is the pre-optimization MinLatency.Allocate.
+func refMinLatency(g *ResourceGraph, req Request, pv *PeerView) (Allocation, error) {
+	inc := fairness.NewIncremental(pv.Load)
+	maxHops := req.MaxHops
+	if maxHops <= 0 {
+		maxHops = len(g.edges)
+	}
+	best := Allocation{LatencyMicros: -1}
+	onPath := make([]bool, len(g.vertices))
+	var path []EdgeID
+	var dfs func(v VertexID)
+	dfs = func(v VertexID) {
+		latency, ok := pathMetrics(g, path, &req, pv)
+		if !ok {
+			return
+		}
+		if v == req.Goal {
+			if best.LatencyMicros < 0 || latency < best.LatencyMicros {
+				peers, deltas := g.PathPeers(path)
+				best = Allocation{
+					Path:          append([]EdgeID(nil), path...),
+					Fairness:      inc.WithDeltas(peers, deltas),
+					LatencyMicros: latency,
+				}
+			}
+			return
+		}
+		if len(path) >= maxHops {
+			return
+		}
+		onPath[v] = true
+		for _, id := range g.out[v] {
+			if onPath[g.edges[id].To] {
+				continue
+			}
+			path = append(path, id)
+			dfs(g.edges[id].To)
+			path = path[:len(path)-1]
+		}
+		onPath[v] = false
+	}
+	dfs(req.Init)
+	if best.LatencyMicros < 0 {
+		return Allocation{}, ErrNoAllocation
+	}
+	return best, nil
+}

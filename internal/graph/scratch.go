@@ -1,0 +1,243 @@
+package graph
+
+import (
+	"sync"
+
+	"repro/internal/fairness"
+)
+
+// pathNode is one frame of the allocation search, linked to its parent by
+// index into the per-call arena. A frame carries everything pathMetrics
+// would otherwise re-derive from the whole prefix: the cumulative pipeline
+// latency and, for the peer of the edge that produced the frame, the
+// left-fold sum of load deltas accumulated on that peer along the prefix
+// (including this frame's edge). Representing paths this way replaces the
+// O(L) slice copy per expansion with a single append; an []EdgeID is
+// materialized only for the winning allocation.
+type pathNode struct {
+	parent  int32
+	depth   int32
+	peer    int32 // peer of edge; -1 on the root frame
+	edge    EdgeID
+	v       VertexID
+	latency int64   // cumulative pipeline latency of the prefix
+	peerAcc float64 // load delta accumulated on peer along the prefix, edge included
+}
+
+// AllocScratch is the reusable search state shared by the allocators:
+// the node arena, visited/on-path/banned bitsets, per-peer delta array,
+// a reusable fairness accumulator, and small slices for materializing and
+// scoring candidate paths. Allocators draw it from a sync.Pool so
+// steady-state admission decisions are near-zero-alloc; every field is
+// (re)sized and cleared before use, so pooling cannot leak state between
+// allocations.
+type AllocScratch struct {
+	nodes     []pathNode
+	visited   []uint64  // bitset over vertices
+	onPath    []uint64  // DFS bitset over vertices
+	banned    []uint64  // greedy bitset over edges
+	peerAcc   []float64 // per-peer load delta along the current DFS/greedy path
+	edges     []EdgeID  // current DFS path / BFS path materialization
+	bestEdges []EdgeID  // best-so-far path (copied out of edges)
+	peers     []int     // fairness scoring scratch
+	deltas    []float64 // fairness scoring scratch
+	inc       fairness.Incremental
+
+	// RandomFeasible pass-2 outputs: properties of the picked path.
+	pickLatency  int64
+	pickFairness float64
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(AllocScratch) }}
+
+// getScratch returns a pooled scratch with the fairness accumulator
+// re-captured from pv. Callers reset the specific structures they use.
+func getScratch(pv *PeerView) *AllocScratch {
+	s := scratchPool.Get().(*AllocScratch)
+	s.inc.Reset(pv.Load)
+	return s
+}
+
+func putScratch(s *AllocScratch) { scratchPool.Put(s) }
+
+// resetBitset returns b cleared and sized to hold n bits.
+func resetBitset(b []uint64, n int) []uint64 {
+	words := (n + 63) / 64
+	if cap(b) < words {
+		return make([]uint64, words)
+	}
+	b = b[:words]
+	for i := range b {
+		b[i] = 0
+	}
+	return b
+}
+
+func bitGet(b []uint64, i int) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+func bitSet(b []uint64, i int)      { b[i>>6] |= 1 << (uint(i) & 63) }
+func bitClear(b []uint64, i int)    { b[i>>6] &^= 1 << (uint(i) & 63) }
+
+// resetFloats returns f zeroed and sized to n.
+func resetFloats(f []float64, n int) []float64 {
+	if cap(f) < n {
+		return make([]float64, n)
+	}
+	f = f[:n]
+	for i := range f {
+		f[i] = 0
+	}
+	return f
+}
+
+// startBFS seeds the arena and visited set for a breadth-first search
+// from init. The arena doubles as the work queue: frames are appended in
+// enqueue order and processed by an advancing index cursor, so nothing is
+// copied on dequeue and no backing-array head is retained.
+func (s *AllocScratch) startBFS(g *ResourceGraph, init VertexID) {
+	s.visited = resetBitset(s.visited, len(g.vertices))
+	s.nodes = append(s.nodes[:0], pathNode{parent: -1, peer: -1, edge: -1, v: init})
+}
+
+// expand pushes the feasible extensions of frame idx onto the arena. The
+// test is the incremental form of pathMetrics: the prefix is already known
+// feasible (pv and g do not change during a search), so only the new
+// edge's spare capacity and the new cumulative latency need checking. The
+// arithmetic — spare from the left-fold prior delta, execution time, int64
+// latency accumulation — is performed in exactly the order pathMetrics
+// uses, so results are bit-identical to the reference implementation.
+func (s *AllocScratch) expand(g *ResourceGraph, req *Request, pv *PeerView, idx int, cur *pathNode) {
+	for _, id := range g.out[cur.v] {
+		e := &g.edges[id]
+		prior := s.priorDelta(idx, e.Peer)
+		spare := pv.Speed[e.Peer] - pv.Load[e.Peer] - prior
+		if spare <= 1e-9 || spare-e.Work < -1e-9 {
+			continue
+		}
+		latency := cur.latency + int64(e.Work*req.ChunkSeconds/spare*1e6) + e.LatencyMicros
+		if req.DeadlineMicros > 0 && latency > req.DeadlineMicros {
+			continue
+		}
+		s.nodes = append(s.nodes, pathNode{
+			parent:  int32(idx),
+			depth:   cur.depth + 1,
+			peer:    int32(e.Peer),
+			edge:    id,
+			v:       e.To,
+			latency: latency,
+			peerAcc: prior + e.Work,
+		})
+	}
+}
+
+// priorDelta returns the load delta already accumulated on peer along the
+// path ending at frame idx. The nearest ancestor frame on the same peer
+// carries the left-fold sum, so no walk past it (and no re-summation in a
+// different order) is needed.
+func (s *AllocScratch) priorDelta(idx int, peer int) float64 {
+	for j := idx; j > 0; j = int(s.nodes[j].parent) {
+		if int(s.nodes[j].peer) == peer {
+			return s.nodes[j].peerAcc
+		}
+	}
+	return 0
+}
+
+// collectPath rebuilds frame idx's edge sequence into s.edges.
+func (s *AllocScratch) collectPath(idx int) {
+	s.edges = s.edges[:0]
+	for j := idx; j > 0; j = int(s.nodes[j].parent) {
+		s.edges = append(s.edges, s.nodes[j].edge)
+	}
+	for i, j := 0, len(s.edges)-1; i < j; i, j = i+1, j-1 {
+		s.edges[i], s.edges[j] = s.edges[j], s.edges[i]
+	}
+}
+
+// curFairness scores s.edges against the captured load distribution,
+// exactly as inc.WithDeltas(g.PathPeers(path)) would.
+func (s *AllocScratch) curFairness(g *ResourceGraph) float64 {
+	s.peers = s.peers[:0]
+	s.deltas = s.deltas[:0]
+	for _, id := range s.edges {
+		e := &g.edges[id]
+		s.peers = append(s.peers, e.Peer)
+		s.deltas = append(s.deltas, e.Work)
+	}
+	return s.inc.WithDeltas(s.peers, s.deltas)
+}
+
+// pathFairness scores the path ending at frame idx.
+func (s *AllocScratch) pathFairness(g *ResourceGraph, idx int) float64 {
+	s.collectPath(idx)
+	return s.curFairness(g)
+}
+
+// walkFeasible enumerates the feasible simple init→goal paths in DFS
+// order. With pick < 0 it only counts them. With pick >= 0 it stops at the
+// pick-th (0-based) path, copying it into bestEdges and recording its
+// latency and fairness in pickLatency/pickFairness. Both passes follow the
+// identical deterministic order, so the pick-th path of the second pass is
+// the pick-th path a collect-everything enumeration would have stored.
+func (s *AllocScratch) walkFeasible(g *ResourceGraph, req *Request, pv *PeerView, maxHops, pick int) int {
+	s.onPath = resetBitset(s.onPath, len(g.vertices))
+	s.peerAcc = resetFloats(s.peerAcc, len(pv.Load))
+	s.edges = s.edges[:0]
+	count := 0
+	done := false
+
+	var dfs func(v VertexID, latency int64)
+	dfs = func(v VertexID, latency int64) {
+		if done {
+			return
+		}
+		if v == req.Goal {
+			if pick >= 0 && count == pick {
+				s.bestEdges = append(s.bestEdges[:0], s.edges...)
+				s.pickLatency = latency
+				s.pickFairness = s.curFairness(g)
+				done = true
+			}
+			count++
+			return
+		}
+		if len(s.edges) >= maxHops {
+			return
+		}
+		bitSet(s.onPath, int(v))
+		for _, id := range g.out[v] {
+			e := &g.edges[id]
+			if bitGet(s.onPath, int(e.To)) {
+				continue
+			}
+			prior := s.peerAcc[e.Peer]
+			spare := pv.Speed[e.Peer] - pv.Load[e.Peer] - prior
+			if spare <= 1e-9 || spare-e.Work < -1e-9 {
+				continue
+			}
+			lat := latency + int64(e.Work*req.ChunkSeconds/spare*1e6) + e.LatencyMicros
+			if req.DeadlineMicros > 0 && lat > req.DeadlineMicros {
+				continue
+			}
+			s.peerAcc[e.Peer] = prior + e.Work
+			s.edges = append(s.edges, id)
+			dfs(e.To, lat)
+			s.edges = s.edges[:len(s.edges)-1]
+			s.peerAcc[e.Peer] = prior
+			if done {
+				return
+			}
+		}
+		bitClear(s.onPath, int(v))
+	}
+	dfs(req.Init, 0)
+	return count
+}
+
+// materialize returns a freshly allocated copy of frame idx's path — the
+// only per-allocation heap allocation on the steady-state fast path. The
+// copy must never alias scratch storage: the scratch is reused by the next
+// allocation on any goroutine.
+func (s *AllocScratch) materialize(idx int) []EdgeID {
+	s.collectPath(idx)
+	return append([]EdgeID(nil), s.edges...)
+}

@@ -1,0 +1,52 @@
+// Package profutil wires the standard runtime/pprof file profiles into
+// the CLI tools (cmd/p2psim, cmd/p2pbench), mirroring the pprof HTTP
+// endpoints p2pnode -http already exposes: hot-path work should start
+// from a profile, not a guess. It is deliberately tiny — flag plumbing
+// and error handling around runtime/pprof, nothing else.
+package profutil
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartCPU begins a CPU profile to path and returns a stop function that
+// finishes the profile and closes the file. With an empty path it is a
+// no-op returning a no-op stop.
+func StartCPU(path string) (stop func() error, err error) {
+	if path == "" {
+		return func() error { return nil }, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("cpuprofile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("cpuprofile: %w", err)
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		return f.Close()
+	}, nil
+}
+
+// WriteHeap writes a heap profile to path (after a GC, so the profile
+// reflects live objects). With an empty path it is a no-op.
+func WriteHeap(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	return f.Close()
+}
