@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: check vet fmt build lint test race chaos fuzz-wire bench-trace bench bench-all
+.PHONY: check vet fmt build lint test race chaos fuzz-wire replay bench-trace bench bench-all
 
 # check is the pre-commit gate referenced from README: static checks,
-# project lint, full build, race-enabled tests, and the disabled-tracing
-# overhead benchmark (EXPERIMENTS.md "Tracing overhead microbenchmark").
-check: vet fmt build lint race bench-trace
+# project lint, full build, race-enabled tests, the record/replay gate,
+# and the disabled-tracing overhead benchmark (EXPERIMENTS.md "Tracing
+# overhead microbenchmark").
+check: vet fmt build lint race replay bench-trace
 
 vet:
 	$(GO) vet ./...
@@ -45,6 +46,26 @@ chaos:
 # byte streams (CI runs the seed corpus via plain go test).
 fuzz-wire:
 	$(GO) test -run '^$$' -fuzz FuzzWireFrame -fuzztime 30s ./internal/live/
+
+# replay is the flight-recorder gate: the record/replay round-trip
+# property tests under the race detector (a chaos recording replays to
+# an identical trace; corrupted logs report the divergence point, never
+# panic), then a CLI smoke — a founder p2pnode records two seconds of
+# live heartbeats, is SIGTERM-flushed, and the log replays cleanly
+# through p2psim's deterministic scheduler.
+replay: bin/p2pnode bin/p2psim
+	$(GO) test -race -count=1 ./internal/replay/
+	rm -rf bin/replay-smoke
+	./bin/p2pnode -id 0 -founder -listen 127.0.0.1:0 -record bin/replay-smoke & \
+	pid=$$!; sleep 2; kill -TERM $$pid; \
+	while kill -0 $$pid 2>/dev/null; do sleep 0.1; done; \
+	./bin/p2psim -replay bin/replay-smoke
+
+bin/p2pnode: FORCE
+	$(GO) build -o bin/p2pnode ./cmd/p2pnode
+
+bin/p2psim: FORCE
+	$(GO) build -o bin/p2psim ./cmd/p2psim
 
 bench-trace:
 	$(GO) test -run '^$$' -bench 'SimulatedSession|TraceDisabled' \

@@ -1,7 +1,7 @@
 // Command p2plint is the project's static-analysis gate: a
-// go/analysis unitchecker bundling the four repo-specific analyzers
-// (clockcheck, eventguard, lockfield, metriclabel). It is built to be
-// driven by the go command:
+// go/analysis unitchecker bundling the five repo-specific analyzers
+// (clockcheck, eventguard, lockfield, metriclabel, replaysafe). It is
+// built to be driven by the go command:
 //
 //	go build -o bin/p2plint ./cmd/p2plint
 //	go vet -vettool=$(pwd)/bin/p2plint ./...
@@ -19,6 +19,7 @@ import (
 	"repro/internal/lint/eventguard"
 	"repro/internal/lint/lockfield"
 	"repro/internal/lint/metriclabel"
+	"repro/internal/lint/replaysafe"
 )
 
 func main() {
@@ -27,5 +28,6 @@ func main() {
 		eventguard.Analyzer,
 		lockfield.Analyzer,
 		metriclabel.Analyzer,
+		replaysafe.Analyzer,
 	)
 }

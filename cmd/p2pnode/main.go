@@ -24,6 +24,7 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -45,6 +46,7 @@ func main() {
 		after     = flag.Duration("after", 3*time.Second, "delay before -submit")
 		verbose   = flag.Bool("v", false, "log node diagnostics (structured key=value lines)")
 		httpAddr  = flag.String("http", "", "HTTP diagnostics address, e.g. :9090 (/metrics, /healthz, /debug/pprof)")
+		record    = flag.String("record", "", "flight-recorder directory: log all nondeterministic inputs for 'p2psim -replay'")
 	)
 	var faults faultFlag
 	flag.Var(&faults, "fault",
@@ -68,7 +70,7 @@ func main() {
 		})
 	}
 
-	opts := p2prm.LiveOptions{Seed: uint64(*id) + 1, Listen: *listen}
+	opts := p2prm.LiveOptions{Seed: uint64(*id) + 1, Listen: *listen, RecordDir: *record}
 	if *verbose {
 		opts.LogTo = os.Stderr
 	}
@@ -76,12 +78,35 @@ func main() {
 	if err != nil {
 		log.Fatalf("listen: %v", err)
 	}
-	defer l.Close()
+
+	// All exits funnel through shutdown so the flight recorder, trace and
+	// metrics sinks are flushed exactly once — a SIGINT mid-run must not
+	// leave a truncated final frame in the event log.
+	var closeOnce sync.Once
+	shutdown := func() { closeOnce.Do(l.Close) }
+	defer shutdown()
+	fail := func(format string, args ...any) {
+		log.Printf(format, args...)
+		shutdown()
+		os.Exit(1)
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		log.Printf("node %d shutting down (%v)", *id, s)
+		shutdown()
+		os.Exit(0)
+	}()
+
 	log.Printf("node %d listening on %s", *id, l.ListenAddr())
+	if *record != "" {
+		log.Printf("node %d recording to %s", *id, *record)
+	}
 	if *httpAddr != "" {
 		addr, err := l.ServeDiagnostics(*httpAddr)
 		if err != nil {
-			log.Fatalf("http: %v", err)
+			fail("http: %v", err)
 		}
 		log.Printf("node %d diagnostics on http://%s/metrics", *id, addr)
 	}
@@ -93,11 +118,11 @@ func main() {
 		}
 		kv := strings.SplitN(entry, "=", 2)
 		if len(kv) != 2 {
-			log.Fatalf("bad -book entry %q", entry)
+			fail("bad -book entry %q", entry)
 		}
 		rid, err := strconv.Atoi(kv[0])
 		if err != nil {
-			log.Fatalf("bad -book id %q", kv[0])
+			fail("bad -book id %q", kv[0])
 		}
 		l.Register(p2prm.NodeID(rid), kv[1])
 	}
@@ -113,7 +138,7 @@ func main() {
 		log.Printf("node %d founded domain 0 as Resource Manager", *id)
 	} else {
 		if *bootstrap < 0 {
-			log.Fatal("need -bootstrap or -founder")
+			fail("need -bootstrap or -founder")
 		}
 		l.StartPeerWithID(self, info, p2prm.NodeID(*bootstrap))
 	}
@@ -156,11 +181,8 @@ func main() {
 		}
 	}
 
-	// Daemon mode: run until interrupted.
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
-	<-sig
-	log.Printf("node %d shutting down", *id)
+	// Daemon mode: run until the signal handler exits the process.
+	select {}
 }
 
 // faultSpec is one parsed -fault rule.

@@ -40,6 +40,7 @@ func main() {
 		markdown = flag.Bool("md", false, "emit tables as markdown")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "experiment worker pool size (1 = sequential)")
 		traceOut = flag.String("trace", "", "run a traced standard scenario and write Chrome trace-event JSONL here (skips -exp)")
+		replayIn = flag.String("replay", "", "replay a flight-recorder directory (p2pnode -record) and verify determinism (skips -exp)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -68,6 +69,10 @@ func main() {
 			exit(1)
 		}
 		exit(0)
+	}
+
+	if *replayIn != "" {
+		exit(runReplay(*replayIn))
 	}
 
 	suite := experiments.Suite()
@@ -169,4 +174,31 @@ func runTraced(path string, seed uint64, quick bool) error {
 		return fmt.Errorf("span count %d != submitted %d", tr.SessionsBegun(), ev.Submitted)
 	}
 	return nil
+}
+
+// runReplay re-executes a flight-recorder directory under the
+// deterministic scheduler and reports whether the run reproduced. Exit
+// code 1 means the replay diverged from the recording (or the log was
+// unreadable) — the signal the CI replay job gates on.
+func runReplay(dir string) int {
+	res, diff, err := p2prm.ReplayRecording(p2prm.DefaultConfig(), dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "replay: %v\n", err)
+		return 1
+	}
+	fmt.Printf("replayed %d events across %d nodes (%d sends, %d digests, %d faults)\n",
+		res.Events, res.Nodes, res.Sends, res.Digests, res.Faults)
+	if res.Truncated {
+		fmt.Println("log tail truncated (writer died mid-frame); replayed the complete prefix")
+	}
+	if res.Diverged != nil {
+		fmt.Fprintf(os.Stderr, "DIVERGENCE: %s\n", res.Diverged)
+		return 1
+	}
+	if diff != nil {
+		fmt.Fprintf(os.Stderr, "TRACE MISMATCH: %s\n", diff)
+		return 1
+	}
+	fmt.Println("replay matches recording")
+	return 0
 }

@@ -1,0 +1,66 @@
+package bloom
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// TestFalsePositiveRateAtGossipGeometry pins the false-positive behavior
+// at the geometry domain summaries actually ship with (Config.BloomM =
+// 4096, BloomK = 4, domains capped at a few dozen peers): the measured
+// rate over a large probe set must stay within a small multiple of the
+// theoretical bound (1 - e^(-kn/m))^k, and the filter's own estimate
+// must agree with theory. A regression here silently turns inter-domain
+// redirects into guesswork.
+func TestFalsePositiveRateAtGossipGeometry(t *testing.T) {
+	const (
+		m      = 4096
+		k      = 4
+		n      = 64 // a full domain's object catalog, ~2 objects/peer
+		probes = 200_000
+	)
+	f := New(m, k)
+	for i := 0; i < n; i++ {
+		f.AddString(fmt.Sprintf("obj-%d", i))
+	}
+
+	theory := math.Pow(1-math.Exp(-float64(k*n)/float64(m)), k)
+	if theory > 2e-5 {
+		t.Fatalf("theoretical FP rate %.3g unexpectedly high; geometry changed?", theory)
+	}
+
+	false_positives := 0
+	for i := 0; i < probes; i++ {
+		if f.ContainsString(fmt.Sprintf("absent-%d", i)) {
+			false_positives++
+		}
+	}
+	measured := float64(false_positives) / float64(probes)
+	// 10x theory plus a one-count floor absorbs sampling noise at these
+	// tiny rates while still catching an off-by-an-order regression.
+	bound := 10*theory + 1.0/float64(probes)
+	if measured > bound {
+		t.Fatalf("measured FP rate %.3g (%d/%d) exceeds bound %.3g (theory %.3g)",
+			measured, false_positives, probes, bound, theory)
+	}
+
+	if est := f.EstimatedFalsePositiveRate(); est > 10*theory || est < theory/10 {
+		t.Fatalf("filter estimate %.3g disagrees with theory %.3g", est, theory)
+	}
+}
+
+// TestNoFalseNegativesAtGossipGeometry: every inserted key must answer
+// "possibly present" — a false negative would hide an object a domain
+// really has.
+func TestNoFalseNegativesAtGossipGeometry(t *testing.T) {
+	f := New(4096, 4)
+	for i := 0; i < 64; i++ {
+		f.AddString(fmt.Sprintf("obj-%d", i))
+	}
+	for i := 0; i < 64; i++ {
+		if !f.ContainsString(fmt.Sprintf("obj-%d", i)) {
+			t.Fatalf("false negative for obj-%d", i)
+		}
+	}
+}

@@ -35,6 +35,13 @@ type Config struct {
 	// swept by E8). Zero disables gossip.
 	GossipPeriod sim.Time
 
+	// SummaryMaxAge ages out gossiped domain summaries that have not
+	// been refreshed within this window ("updated lazily" cuts both
+	// ways: a domain that dissolved or partitioned away keeps answering
+	// redirect and object lookups forever without an expiry). Zero
+	// disables aging, preserving the committed experiment tables.
+	SummaryMaxAge sim.Time
+
 	// AdaptPeriod is the overload-check interval (§4.5). Zero disables
 	// adaptive reassignment (the E9 ablation).
 	AdaptPeriod sim.Time

@@ -77,7 +77,11 @@ func (p *Peer) gossipVersions() map[proto.DomainID]uint64 {
 // rmGossipTick opens one anti-entropy round with a random known RM.
 func (p *Peer) rmGossipTick() {
 	st := p.rm
-	if st == nil || len(st.knownRMs) == 0 {
+	if st == nil {
+		return
+	}
+	p.pruneStaleSummaries()
+	if len(st.knownRMs) == 0 {
 		return
 	}
 	// Refresh our own load picture every round so AvgUtil propagates.
@@ -142,9 +146,24 @@ func (p *Peer) rmHandleGossipSummaries(from env.NodeID, msg proto.GossipSummarie
 		if sum.Domain == st.domain {
 			continue
 		}
+		// A version at or below the tombstone is a stale copy bouncing back
+		// from a peer that has not pruned yet; reinstalling it would let
+		// dead domains ping-pong between RMs forever. A genuinely live (or
+		// revived) domain bumps its version every gossip round and climbs
+		// past the tombstone quickly.
+		if pruned, ok := st.summaryPruned[sum.Domain]; ok {
+			if sum.Version <= pruned {
+				continue
+			}
+			delete(st.summaryPruned, sum.Domain)
+		}
 		cur, ok := st.summaries[sum.Domain]
 		if !ok || sum.Version > cur.Version {
 			st.summaries[sum.Domain] = sum
+			// Freshness = version advancement. An equal-version copy is NOT
+			// evidence of life: live RMs bump their version every gossip
+			// tick, so a frozen version is exactly the death signal.
+			st.summarySeen[sum.Domain] = p.ctx.Now()
 			st.noteRM(proto.RMRef{Domain: sum.Domain, RM: sum.RM})
 		}
 	}
@@ -162,6 +181,39 @@ func (p *Peer) rmHandleGossipSummaries(from env.NodeID, msg proto.GossipSummarie
 	if len(reply.Summaries) > 0 {
 		sort.Slice(reply.Summaries, func(i, j int) bool { return reply.Summaries[i].Domain < reply.Summaries[j].Domain })
 		p.ctx.Send(from, reply)
+	}
+}
+
+// pruneStaleSummaries drops gossiped summaries not refreshed within
+// Config.SummaryMaxAge (zero disables aging). Only the cached summary
+// ages out; the knownRMs entry survives, so the domain is re-learned on
+// the next exchange if it still exists. Deterministic: domains are
+// visited in sorted order and timestamps come from the injected clock.
+func (p *Peer) pruneStaleSummaries() {
+	st := p.rm
+	maxAge := p.cfg.SummaryMaxAge
+	if st == nil || maxAge <= 0 || len(st.summaries) == 0 {
+		return
+	}
+	now := p.ctx.Now()
+	domains := make([]proto.DomainID, 0, len(st.summaries))
+	for d := range st.summaries {
+		domains = append(domains, d)
+	}
+	sort.Slice(domains, func(i, j int) bool { return domains[i] < domains[j] })
+	for _, d := range domains {
+		seen, ok := st.summarySeen[d]
+		if !ok {
+			// Pre-aging entry (e.g. installed before a takeover enabled the
+			// feature): stamp it now and give it one full window.
+			st.summarySeen[d] = now
+			continue
+		}
+		if now-seen > maxAge {
+			st.summaryPruned[d] = st.summaries[d].Version
+			delete(st.summaries, d)
+			delete(st.summarySeen, d)
+		}
 	}
 }
 

@@ -1,0 +1,89 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/env"
+	"repro/internal/sim"
+)
+
+// agingCluster builds three 3-peer domains and returns the RM ids once
+// every RM holds summaries of both other domains.
+func agingCluster(t *testing.T, cfg core.Config) ([]env.NodeID, *cluster.Cluster) {
+	t.Helper()
+	cfg.MaxDomainPeers = 3
+	c := smallDomain(t, 9, cfg)
+	c.RunUntil(60 * sim.Second)
+	rms := c.RMs()
+	if len(rms) < 3 {
+		t.Fatalf("need 3 domains, got RMs %v", rms)
+	}
+	for _, id := range rms {
+		if vs := c.Peer(id).SummaryVersions(); len(vs) != len(rms)-1 {
+			t.Fatalf("RM n%d has %d summaries before aging, want %d", id, len(vs), len(rms)-1)
+		}
+	}
+	return rms, c
+}
+
+// TestStaleSummariesAgeOut kills an entire domain and checks the
+// surviving Resource Managers drop its summary after SummaryMaxAge —
+// while summaries of live domains, which keep refreshing through
+// gossip, survive far past the window.
+func TestStaleSummariesAgeOut(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.SummaryMaxAge = 20 * sim.Second
+	rms, c := agingCluster(t, cfg)
+
+	// Kill every member of the last-listed RM's domain.
+	deadDomain := c.Peer(rms[len(rms)-1]).Domain()
+	for _, id := range c.IDs() {
+		if c.Net.Alive(id) && c.Peer(id).Domain() == deadDomain {
+			c.Crash(c.Eng.Now(), id)
+		}
+	}
+
+	// Run well past the aging window plus gossip slack.
+	c.RunUntil(c.Eng.Now() + 3*cfg.SummaryMaxAge)
+
+	for _, id := range rms[:len(rms)-1] {
+		vs := c.Peer(id).SummaryVersions()
+		if _, still := vs[deadDomain]; still {
+			t.Fatalf("RM n%d still holds dead domain %d's summary after aging: %v", id, deadDomain, vs)
+		}
+		// Live domains kept each other's summaries fresh.
+		if len(vs) != len(rms)-2 {
+			t.Fatalf("RM n%d has %d summaries, want %d (live domains only): %v",
+				id, len(vs), len(rms)-2, vs)
+		}
+	}
+}
+
+// TestSummariesPersistWithoutAging is the control: with SummaryMaxAge
+// zero (the default), a dead domain's summary is never dropped — the
+// pre-existing behavior the committed experiment tables were calibrated
+// against.
+func TestSummariesPersistWithoutAging(t *testing.T) {
+	cfg := core.DefaultConfig()
+	if cfg.SummaryMaxAge != 0 {
+		t.Fatalf("DefaultConfig.SummaryMaxAge = %v, want 0 (aging opt-in)", cfg.SummaryMaxAge)
+	}
+	rms, c := agingCluster(t, cfg)
+
+	deadDomain := c.Peer(rms[len(rms)-1]).Domain()
+	for _, id := range c.IDs() {
+		if c.Net.Alive(id) && c.Peer(id).Domain() == deadDomain {
+			c.Crash(c.Eng.Now(), id)
+		}
+	}
+	c.RunUntil(c.Eng.Now() + 60*sim.Second)
+
+	for _, id := range rms[:len(rms)-1] {
+		vs := c.Peer(id).SummaryVersions()
+		if _, still := vs[deadDomain]; !still {
+			t.Fatalf("RM n%d dropped domain %d's summary with aging disabled: %v", id, deadDomain, vs)
+		}
+	}
+}

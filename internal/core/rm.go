@@ -38,9 +38,11 @@ type rmState struct {
 
 	backup env.NodeID
 
-	knownRMs  map[proto.DomainID]env.NodeID
-	summaries map[proto.DomainID]proto.DomainSummary
-	version   uint64
+	knownRMs      map[proto.DomainID]env.NodeID
+	summaries     map[proto.DomainID]proto.DomainSummary
+	summarySeen   map[proto.DomainID]sim.Time // when each summary last advanced a version
+	summaryPruned map[proto.DomainID]uint64   // tombstones: versions aged out, not to be reinstalled
+	version       uint64
 
 	hbSeq       uint64
 	outstanding map[env.NodeID]int     // consecutive unanswered heartbeats
@@ -158,18 +160,20 @@ func (p *Peer) startRM(id proto.DomainID, known []proto.RMRef, snapshot []proto.
 	p.domain = id
 	p.rmID = p.ctx.Self()
 	st := &rmState{
-		domain:      id,
-		peers:       make(map[env.NodeID]*peerRecord),
-		indexOf:     make(map[env.NodeID]int),
-		formats:     make(map[string]media.Format),
-		sessions:    make(map[string]*rmSession),
-		backup:      env.NoNode,
-		knownRMs:    make(map[proto.DomainID]env.NodeID),
-		summaries:   make(map[proto.DomainID]proto.DomainSummary),
-		outstanding: make(map[env.NodeID]int),
-		hbSent:      make(map[uint64]sim.Time),
-		rttMicros:   make(map[env.NodeID]float64),
-		grDirty:     true,
+		domain:        id,
+		peers:         make(map[env.NodeID]*peerRecord),
+		indexOf:       make(map[env.NodeID]int),
+		formats:       make(map[string]media.Format),
+		sessions:      make(map[string]*rmSession),
+		backup:        env.NoNode,
+		knownRMs:      make(map[proto.DomainID]env.NodeID),
+		summaries:     make(map[proto.DomainID]proto.DomainSummary),
+		summarySeen:   make(map[proto.DomainID]sim.Time),
+		summaryPruned: make(map[proto.DomainID]uint64),
+		outstanding:   make(map[env.NodeID]int),
+		hbSent:        make(map[uint64]sim.Time),
+		rttMicros:     make(map[env.NodeID]float64),
+		grDirty:       true,
 	}
 	p.rm = st
 	// The RM is itself a processing peer of its domain (§2).

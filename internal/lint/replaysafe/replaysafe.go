@@ -1,0 +1,120 @@
+// Package replaysafe defines an analyzer guarding the flight
+// recorder's replay contract. Functions on the live runtime's recorded
+// delivery paths are tagged with a "replay:recorded" doc-comment
+// marker; inside them, all time must come from the latched node clock
+// (env.Clock.Now) or the injectable live.Nanotime accessor, never from
+// the wall clock directly. A stray time.Now() on such a path produces
+// values the recorder does not log, so a replayed run silently
+// diverges from the live one — the divergence detector can report the
+// mismatch but not explain it, and -race and code review do not catch
+// the read.
+package replaysafe
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/types/typeutil"
+
+	"repro/internal/lint/lintutil"
+)
+
+const doc = `forbid direct wall-clock reads on recorded delivery paths
+
+Packages listed in -recorded (path suffixes) host the flight recorder's
+hook points. Functions whose doc comment carries the replay:recorded
+marker form the recorded delivery paths: every value they observe must
+be reproducible from the log, so time.Now / time.Since / time.Until are
+reported there — read the latched node clock or live.Nanotime instead.
+Timer constructors (time.AfterFunc) stay legal: the recorder logs each
+firing, not the arming. Suppress a deliberate crossing with
+//lint:allow replaysafe <reason>.`
+
+const name = "replaysafe"
+
+// marker tags a function as being on a recorded delivery path. The
+// live runtime carries it in the doc comments of loop, Send, After,
+// Inject, deliverLocal and friends.
+const marker = "replay:recorded"
+
+// Analyzer is the replaysafe pass.
+var Analyzer = &analysis.Analyzer{
+	Name:     name,
+	Doc:      doc,
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+// recorded lists the package-path suffixes the analyzer applies to.
+var recorded = "internal/live"
+
+func init() {
+	Analyzer.Flags.StringVar(&recorded, "recorded", recorded,
+		"comma-separated package path suffixes hosting recorded delivery paths")
+}
+
+// clockReads are the time package functions that observe the wall
+// clock and hand the caller a value. Sleeping or arming a timer does
+// not put an unrecorded value in front of protocol logic, so Sleep and
+// the constructors are left to clockcheck's jurisdiction.
+var clockReads = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !lintutil.PkgMatch(pass.Pkg.Path(), strings.Split(recorded, ",")) {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.WithStack([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return true
+		}
+		fd := enclosingMarked(stack)
+		if fd == nil {
+			return true
+		}
+		call := n.(*ast.CallExpr)
+		fn := typeutil.StaticCallee(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+			return true
+		}
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return true // methods like Time.Sub compute; they do not observe
+		}
+		if !clockReads[fn.Name()] {
+			return true
+		}
+		if lintutil.InTestFile(pass, call.Pos()) || lintutil.Allowed(pass, call.Pos(), name) {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"time.%s on recorded delivery path %s; read the latched node clock or live.Nanotime so replay sees the same value",
+			fn.Name(), fd.Name.Name)
+		return true
+	})
+	return nil, nil
+}
+
+// enclosingMarked returns the innermost FuncDecl on the stack when its
+// doc comment carries the replay:recorded marker, nil otherwise.
+// Closures inherit the marking of the declaration they live in: work a
+// marked function pushes into a function literal is still on the
+// recorded path.
+func enclosingMarked(stack []ast.Node) *ast.FuncDecl {
+	for i := len(stack) - 1; i >= 0; i-- {
+		fd, ok := stack[i].(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		if fd.Doc != nil && strings.Contains(fd.Doc.Text(), marker) {
+			return fd
+		}
+		return nil
+	}
+	return nil
+}

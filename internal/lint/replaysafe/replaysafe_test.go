@@ -1,0 +1,28 @@
+package replaysafe_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/replaysafe"
+)
+
+var deps = map[string]string{
+	"time": "testdata/src/faketime",
+}
+
+func TestRecordedPaths(t *testing.T) {
+	linttest.Run(t, replaysafe.Analyzer, linttest.Target{
+		Dir:  "testdata/src/recpkg",
+		Path: "p2plint.example/internal/live",
+		Deps: deps,
+	})
+}
+
+func TestUnscopedPackageIgnored(t *testing.T) {
+	linttest.Run(t, replaysafe.Analyzer, linttest.Target{
+		Dir:  "testdata/src/otherpkg",
+		Path: "p2plint.example/internal/core",
+		Deps: deps,
+	})
+}

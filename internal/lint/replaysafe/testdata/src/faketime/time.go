@@ -1,0 +1,19 @@
+// Package time is a hermetic stand-in for the standard library's time
+// package, exposing just the surface replaysafe reasons about.
+package time
+
+type Duration int64
+
+type Time struct{ ns int64 }
+
+func (t Time) UnixNano() int64 { return t.ns }
+
+type Timer struct{}
+
+func (t *Timer) Stop() bool { return true }
+
+func Now() Time             { return Time{} }
+func Since(t Time) Duration { return Duration(-t.ns) }
+func Until(t Time) Duration { return Duration(t.ns) }
+
+func AfterFunc(d Duration, fn func()) *Timer { return new(Timer) }

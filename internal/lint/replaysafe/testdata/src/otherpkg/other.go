@@ -1,0 +1,10 @@
+// Package otherpkg carries the replay:recorded marker but is
+// type-checked outside the -recorded scope, so the analyzer must
+// ignore it entirely.
+package otherpkg
+
+import "time"
+
+// stamp reads the wall clock on a marked function in an unscoped
+// package (replay:recorded).
+func stamp() int64 { return time.Now().UnixNano() }

@@ -34,6 +34,8 @@ type DiagnosticsServer struct {
 //	/faults          live fault injection: GET lists rules+stats,
 //	                 POST sets a rule (?from=&to=&drop=&dup=&delay=&sever=),
 //	                 DELETE heals one pair or, without params, all
+//	/record          flight recorder: GET reports status, POST ?dir=
+//	                 starts recording, DELETE stops and flushes
 //	/debug/pprof/*   standard Go profiling endpoints
 func (rt *Runtime) ServeDiagnostics(addr string, reg *metrics.Registry) (*DiagnosticsServer, error) {
 	ln, err := net.Listen("tcp", addr)
@@ -65,6 +67,7 @@ func (rt *Runtime) ServeDiagnostics(addr string, reg *metrics.Registry) (*Diagno
 		})
 	})
 	mux.HandleFunc("/faults", rt.handleFaults)
+	mux.HandleFunc("/record", rt.handleRecord)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -138,6 +141,47 @@ func (rt *Runtime) handleFaults(w http.ResponseWriter, r *http.Request) {
 			fi.Heal(from, to)
 		}
 		json.NewEncoder(w).Encode(map[string]string{"status": "ok"})
+	default:
+		w.WriteHeader(http.StatusMethodNotAllowed)
+	}
+}
+
+// handleRecord is the flight-recorder control surface, backed by the
+// facade's RecordControl hook. GET reports status; POST starts a
+// recording into ?dir=; DELETE stops it and flushes the log. Without an
+// installed hook (runtime built outside the facade) every method reports
+// the recorder as unavailable.
+func (rt *Runtime) handleRecord(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	ctl := rt.recordControl()
+	if ctl == nil {
+		w.WriteHeader(http.StatusNotImplemented)
+		json.NewEncoder(w).Encode(map[string]string{"error": "no record control installed"})
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		json.NewEncoder(w).Encode(ctl.RecordStatus())
+	case http.MethodPost, http.MethodPut:
+		dir := r.URL.Query().Get("dir")
+		if dir == "" {
+			w.WriteHeader(http.StatusBadRequest)
+			json.NewEncoder(w).Encode(map[string]string{"error": "missing ?dir="})
+			return
+		}
+		if err := ctl.StartRecording(dir); err != nil {
+			w.WriteHeader(http.StatusConflict)
+			json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+			return
+		}
+		json.NewEncoder(w).Encode(ctl.RecordStatus())
+	case http.MethodDelete:
+		if err := ctl.StopRecording(); err != nil {
+			w.WriteHeader(http.StatusInternalServerError)
+			json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+			return
+		}
+		json.NewEncoder(w).Encode(ctl.RecordStatus())
 	default:
 		w.WriteHeader(http.StatusMethodNotAllowed)
 	}

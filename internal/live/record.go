@@ -1,0 +1,146 @@
+package live
+
+// This file is the runtime side of the flight recorder: the Recorder
+// interface the runtime logs nondeterministic inputs to, and the small
+// control surface the /record diagnostics endpoint drives. The actual
+// log format and the replayer live in internal/replay, which implements
+// Recorder without this package importing it (no cycle: replay depends
+// only on env/rng/sim/trace).
+
+import "repro/internal/env"
+
+// Recorder receives every nondeterministic input the runtime resolves.
+// Methods are called from node event-loop goroutines (and Stop/Kill from
+// whichever goroutine stops the node, strictly after the loop exited);
+// implementations must be safe for concurrent use and must never block —
+// a recorder that cannot keep up drops events and counts them instead.
+//
+// nowMicros is the node clock latched for the event (see liveNode.latch);
+// replay re-executes the event at exactly that virtual time.
+type Recorder interface {
+	// RecordStart logs a node coming up: its rng seed (the initial
+	// stream state) and an opaque actor-reconstruction blob from
+	// ReplayIniter, nil if the actor does not implement it.
+	RecordStart(node env.NodeID, nowMicros int64, seed uint64, init []byte)
+	// RecordDeliver logs one message dispatched to the node's actor,
+	// in dispatch order — after fault impairment, mailbox loss and
+	// transport reordering have all been resolved.
+	RecordDeliver(node, from env.NodeID, nowMicros int64, m env.Message)
+	// RecordTimer logs one timer callback actually firing, with the
+	// per-node timer ID and the logical deadline it was aimed at.
+	RecordTimer(node env.NodeID, nowMicros int64, timerID uint64, deadlineMicros int64)
+	// RecordCall logs one named external operation (see CallNamed).
+	RecordCall(node env.NodeID, nowMicros int64, name string, arg []byte)
+	// RecordSend logs a node's outbound message — an observable output
+	// the replayer compares, not an input it re-injects.
+	RecordSend(node, to env.NodeID, nowMicros int64, m env.Message)
+	// RecordStop/RecordKill log a node going down, with a final state
+	// digest when the actor provides one.
+	RecordStop(node env.NodeID, nowMicros int64, digest uint64, hasDigest bool)
+	RecordKill(node env.NodeID, nowMicros int64, digest uint64, hasDigest bool)
+	// RecordFault logs a non-trivial fault-injector decision
+	// (informational: deliveries are recorded post-impairment).
+	RecordFault(from, to env.NodeID, nowMicros int64, drop, dup bool, delayMicros int64)
+	// RecordDigest logs a periodic state-digest checkpoint.
+	RecordDigest(node env.NodeID, nowMicros int64, digest uint64)
+}
+
+// Digester is implemented by actors that can hash their protocol state
+// deterministically (core.Peer does); the recorder logs these digests as
+// divergence checkpoints.
+type Digester interface {
+	StateDigest() uint64
+}
+
+// ReplayIniter is implemented by actors that can serialize their
+// construction parameters, letting a replay harness rebuild an
+// equivalent actor from the log alone (core.Peer encodes its PeerInfo
+// and bootstrap target).
+type ReplayIniter interface {
+	ReplayInit() []byte
+}
+
+// digestOf returns the actor's state digest when it implements Digester.
+func digestOf(a env.Actor) (uint64, bool) {
+	if d, ok := a.(Digester); ok {
+		return d.StateDigest(), true
+	}
+	return 0, false
+}
+
+// replayInitOf returns the actor's reconstruction blob, nil when the
+// actor does not implement ReplayIniter.
+func replayInitOf(a env.Actor) []byte {
+	if ri, ok := a.(ReplayIniter); ok {
+		return ri.ReplayInit()
+	}
+	return nil
+}
+
+// recState pairs the attached recorder with its digest cadence.
+type recState struct {
+	rec         Recorder
+	digestEvery int
+}
+
+// DefaultDigestEvery is the digest-checkpoint cadence SetRecorder uses
+// when the caller passes a non-positive interval.
+const DefaultDigestEvery = 8
+
+// SetRecorder attaches rec to the runtime (nil detaches). digestEvery is
+// the per-node envelope interval between state-digest checkpoints
+// (<= 0 selects DefaultDigestEvery). Attach before adding nodes: nodes
+// hosted earlier have no RecordStart event, and a replay of such a log
+// reports them as unknown instead of reconstructing them.
+func (rt *Runtime) SetRecorder(rec Recorder, digestEvery int) {
+	if rec == nil {
+		rt.rec.Store(nil)
+		return
+	}
+	if digestEvery <= 0 {
+		digestEvery = DefaultDigestEvery
+	}
+	rt.rec.Store(&recState{rec: rec, digestEvery: digestEvery})
+}
+
+// recState returns the attached recorder state, nil when not recording.
+func (rt *Runtime) recState() *recState { return rt.rec.Load() }
+
+// Recording reports whether a recorder is attached.
+func (rt *Runtime) Recording() bool { return rt.rec.Load() != nil }
+
+// RecordStatus describes the recording state for diagnostics.
+type RecordStatus struct {
+	Recording bool   `json:"recording"`
+	Dir       string `json:"dir,omitempty"`
+	Events    uint64 `json:"events"`
+	Bytes     uint64 `json:"bytes"`
+	Dropped   uint64 `json:"dropped"`
+}
+
+// RecordControl is the facade-level recorder lifecycle the /record
+// endpoint drives: the facade (which owns recorder construction and the
+// trace sink) implements it and installs itself with SetRecordControl.
+type RecordControl interface {
+	RecordStatus() RecordStatus
+	StartRecording(dir string) error
+	StopRecording() error
+}
+
+// SetRecordControl installs the recorder lifecycle hook used by the
+// /record diagnostics endpoint; nil removes it.
+func (rt *Runtime) SetRecordControl(ctl RecordControl) {
+	if ctl == nil {
+		rt.recCtl.Store(nil)
+		return
+	}
+	rt.recCtl.Store(&ctl)
+}
+
+// recordControl returns the installed lifecycle hook, nil when none.
+func (rt *Runtime) recordControl() RecordControl {
+	if p := rt.recCtl.Load(); p != nil {
+		return *p
+	}
+	return nil
+}

@@ -353,6 +353,7 @@ func (t *TCPTransport) readLoop(c net.Conn) {
 func (t *TCPTransport) send(from, to env.NodeID, m env.Message) error {
 	if fi := t.rt.FaultInjector(); fi != nil {
 		d := fi.decide(from, to)
+		t.rt.recordFault(from, to, d)
 		if d.drop {
 			t.countDrop(DropFault)
 			return nil // impaired on purpose; not a routing failure

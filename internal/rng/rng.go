@@ -22,11 +22,42 @@ func New(seed uint64) *Rand {
 	return &Rand{state: seed}
 }
 
+// golden is the splitmix64 increment (the 64-bit golden ratio), also
+// used to decorrelate Split children from the parent stream.
+const golden = 0x9e3779b97f4a7c15
+
 // Split derives a new, statistically independent generator from r,
 // advancing r. Use it to give each simulated component its own stream so
 // that adding a consumer does not perturb the draws seen by others.
 func (r *Rand) Split() *Rand {
-	return New(r.Uint64() ^ 0x9e3779b97f4a7c15)
+	return New(r.Uint64() ^ golden)
+}
+
+// State returns the generator's current seed state. A generator built
+// with New(r.State()) continues r's stream exactly; the flight recorder
+// captures each node's stream this way so replay draws identical values.
+func (r *Rand) State() uint64 { return r.state }
+
+// SplitSeed returns the seed of the n-th (0-indexed) child a generator
+// seeded with root would produce via successive Split calls, without
+// materializing the intermediate children. Both runtimes hand the k-th
+// added node the k-th split of their node-seed stream, so
+// SplitSeed(root, k) is the cross-runtime contract for node k's stream.
+func SplitSeed(root uint64, n int) uint64 {
+	r := New(root)
+	for i := 0; i < n; i++ {
+		r.Uint64()
+	}
+	return r.Uint64() ^ golden
+}
+
+// Derive returns a seed for a labeled substream of root. Distinct stream
+// labels yield statistically independent seeds, and draws from a derived
+// stream never advance the root — infrastructure randomness (transport
+// jitter, fault rolls) lives on Derive'd streams so it cannot perturb
+// the node-seed Split chain that replay depends on.
+func Derive(root, stream uint64) uint64 {
+	return New(root).Uint64() ^ New(stream).Uint64() ^ golden
 }
 
 // Uint64 returns the next 64 random bits.

@@ -277,3 +277,48 @@ func BenchmarkZipfNext(b *testing.B) {
 		_ = z.Next()
 	}
 }
+
+func TestStateResumesStream(t *testing.T) {
+	r := New(99)
+	for i := 0; i < 5; i++ {
+		r.Uint64()
+	}
+	clone := New(r.State())
+	for i := 0; i < 32; i++ {
+		if a, b := r.Uint64(), clone.Uint64(); a != b {
+			t.Fatalf("draw %d: resumed stream diverged: %d != %d", i, a, b)
+		}
+	}
+}
+
+func TestSplitSeedMatchesSplitChain(t *testing.T) {
+	const root = 4242
+	r := New(root)
+	for k := 0; k < 16; k++ {
+		child := r.Split()
+		if got, want := child.State(), SplitSeed(root, k); got != want {
+			t.Fatalf("child %d: Split chain seed %d, SplitSeed %d", k, got, want)
+		}
+	}
+}
+
+func TestDeriveIndependentOfRootStream(t *testing.T) {
+	// Deriving a substream must not advance the root chain: node k's
+	// SplitSeed stays the same whether or not infra streams were derived.
+	const root = 7
+	before := SplitSeed(root, 3)
+	_ = Derive(root, 1)
+	_ = Derive(root, 2)
+	if after := SplitSeed(root, 3); after != before {
+		t.Fatalf("Derive perturbed SplitSeed: %d != %d", after, before)
+	}
+	if Derive(root, 1) == Derive(root, 2) {
+		t.Fatal("distinct stream labels derived the same seed")
+	}
+	if Derive(root, 1) == Derive(root+1, 1) {
+		t.Fatal("distinct roots derived the same seed")
+	}
+	if Derive(root, 1) != Derive(root, 1) {
+		t.Fatal("Derive is not a pure function")
+	}
+}

@@ -1,12 +1,19 @@
 package p2prm
 
 import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
 	"io"
+	"path/filepath"
+	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/live"
 	"repro/internal/metrics"
 	"repro/internal/proto"
+	"repro/internal/replay"
 	"repro/internal/trace"
 )
 
@@ -23,6 +30,22 @@ type Live struct {
 	diag   *live.DiagnosticsServer
 	cfg    Config
 	peers  map[NodeID]*core.Peer
+	tracer *trace.Tracer
+
+	// Flight-recorder state (see Record/StopRecord). recMu guards the
+	// fields below; the recorder itself is concurrency-safe and is handed
+	// to the runtime via SetRecorder.
+	closeOnce  sync.Once
+	recMu      sync.Mutex
+	rec        *replay.Recorder
+	recStop    chan struct{}
+	recGauge   *metrics.Gauge
+	recEvents  *metrics.Counter
+	recBytes   *metrics.Counter
+	recDropped *metrics.Counter
+	lastEv     uint64
+	lastBytes  uint64
+	lastDrop   uint64
 }
 
 // TransportConfig tunes the live TCP transport's supervision: dial and
@@ -53,13 +76,30 @@ type LiveOptions struct {
 	// NewTracer). Must be set at creation; attaching later races with
 	// running nodes.
 	Tracer *trace.Tracer
+	// RecordDir, when non-empty, attaches a flight recorder from boot:
+	// every nondeterministic input (message deliveries, timer firings,
+	// node starts/stops, fault decisions, rng seeds) is logged to
+	// RecordDir/events.bin, and StopRecord (or Close) writes the session
+	// trace alongside it, so `p2psim -replay RecordDir` can re-execute
+	// the run deterministically and compare. Recording from boot also
+	// keeps allocator costing on the virtual clock (Config.Nanotime stays
+	// nil) so the replayed trace is byte-comparable.
+	RecordDir string
 }
 
 // NewLive creates a live runtime.
 func NewLive(cfg Config, opts LiveOptions) (*Live, error) {
 	proto.RegisterMessages()
-	if cfg.Nanotime == nil {
-		cfg.Nanotime = live.Nanotime // cost allocations on real CPU time
+	if cfg.Nanotime == nil && opts.RecordDir == "" {
+		// Cost allocations on real CPU time. When recording, the hook
+		// stays nil so allocator costing derives from the virtual clock —
+		// a replay has no access to the original run's CPU timings.
+		cfg.Nanotime = live.Nanotime
+	}
+	if opts.RecordDir != "" && opts.Tracer == nil {
+		// A boot recording always carries a trace: it is the artifact the
+		// replayer compares against.
+		opts.Tracer = trace.New()
 	}
 	rt := live.NewRuntime(opts.Seed)
 	if opts.LogTo != nil {
@@ -77,7 +117,16 @@ func NewLive(cfg Config, opts LiveOptions) (*Live, error) {
 		reg:    reg,
 		cfg:    cfg,
 		peers:  make(map[NodeID]*core.Peer),
+		tracer: opts.Tracer,
 	}
+	l.recGauge = reg.Gauge("live_replay_recording",
+		"1 while a flight recorder is attached to the runtime", nil)
+	l.recEvents = reg.Counter("live_replay_recorded_total",
+		"flight-recorder events written to the log", nil)
+	l.recBytes = reg.Counter("live_replay_bytes_total",
+		"flight-recorder bytes written to the log", nil)
+	l.recDropped = reg.Counter("live_replay_dropped_total",
+		"flight-recorder events dropped under writer back-pressure", nil)
 	if opts.Listen != "" {
 		l.tr = live.NewTCPTransportOpts(rt, opts.Transport, reg, opts.Tracer)
 		addr, err := l.tr.Listen(opts.Listen)
@@ -86,6 +135,13 @@ func NewLive(cfg Config, opts LiveOptions) (*Live, error) {
 		}
 		l.addr = addr
 	}
+	if opts.RecordDir != "" {
+		if err := l.Record(opts.RecordDir); err != nil {
+			l.Close()
+			return nil, err
+		}
+	}
+	rt.SetRecordControl(l)
 	return l, nil
 }
 
@@ -125,15 +181,118 @@ func (l *Live) StartPeerWithID(id NodeID, info PeerInfo, bootstrap NodeID) {
 }
 
 // Submit issues a task query from the given hosted peer and returns the
-// task ID ("" if the peer is unknown).
+// task ID ("" if the peer is unknown). The submission goes through
+// CallNamed so a flight recorder logs it as a named external operation
+// and a replay can re-issue it.
 func (l *Live) Submit(origin NodeID, spec TaskSpec) string {
 	p, ok := l.peers[origin]
 	if !ok {
 		return ""
 	}
+	var arg bytes.Buffer
+	if err := gob.NewEncoder(&arg).Encode(spec); err != nil {
+		return ""
+	}
 	var taskID string
-	l.rt.Call(origin, func() { taskID = p.SubmitTask(spec) })
+	l.rt.CallNamed(origin, "submit", arg.Bytes(), func() { taskID = p.SubmitTask(spec) })
 	return taskID
+}
+
+// Record attaches a flight recorder writing to dir (creating it). All
+// nondeterministic inputs from this point on are logged; nodes started
+// before recording began replay as unknown, so for a fully replayable
+// log start recording at boot via LiveOptions.RecordDir. Returns an
+// error if already recording or the directory cannot be created.
+func (l *Live) Record(dir string) error {
+	l.recMu.Lock()
+	defer l.recMu.Unlock()
+	if l.rec != nil {
+		return fmt.Errorf("already recording to %s", l.rec.Dir())
+	}
+	rec, err := replay.NewRecorder(dir)
+	if err != nil {
+		return err
+	}
+	l.rec = rec
+	l.lastEv, l.lastBytes, l.lastDrop = 0, 0, 0
+	l.recStop = make(chan struct{})
+	l.rt.SetRecorder(rec, 0)
+	l.recGauge.Set(1)
+	go l.recordMetricsLoop(l.recStop)
+	return nil
+}
+
+// StopRecord detaches the recorder, flushes and closes the event log,
+// and writes the session trace next to it (RecordDir/trace.jsonl) for
+// the replayer to compare against. No-op when not recording.
+func (l *Live) StopRecord() error {
+	l.recMu.Lock()
+	defer l.recMu.Unlock()
+	if l.rec == nil {
+		return nil
+	}
+	l.rt.SetRecorder(nil, 0)
+	close(l.recStop)
+	dir := l.rec.Dir()
+	err := l.rec.Close()
+	l.syncRecordMetricsLocked(l.rec)
+	l.rec = nil
+	l.recGauge.Set(0)
+	if l.tracer != nil {
+		if terr := l.tracer.WriteFile(filepath.Join(dir, replay.TraceFile)); terr != nil && err == nil {
+			err = terr
+		}
+	}
+	return err
+}
+
+// RecordStatus reports the recorder state; with Record/StopRecord and
+// the /record diagnostics endpoint it implements live.RecordControl.
+func (l *Live) RecordStatus() live.RecordStatus {
+	l.recMu.Lock()
+	defer l.recMu.Unlock()
+	st := live.RecordStatus{}
+	if l.rec != nil {
+		st.Recording = true
+		st.Dir = l.rec.Dir()
+		st.Events, st.Bytes, st.Dropped = l.rec.Counters()
+		l.syncRecordMetricsLocked(l.rec)
+	}
+	return st
+}
+
+// StartRecording and StopRecording adapt Record/StopRecord to the
+// live.RecordControl interface driven by the /record endpoint.
+func (l *Live) StartRecording(dir string) error { return l.Record(dir) }
+func (l *Live) StopRecording() error            { return l.StopRecord() }
+
+// syncRecordMetricsLocked folds the recorder's cumulative counters into
+// the live_replay_* metrics as deltas. Callers hold recMu.
+func (l *Live) syncRecordMetricsLocked(rec *replay.Recorder) {
+	ev, by, dr := rec.Counters()
+	l.recEvents.Add(int(ev - l.lastEv))
+	l.recBytes.Add(int(by - l.lastBytes))
+	l.recDropped.Add(int(dr - l.lastDrop))
+	l.lastEv, l.lastBytes, l.lastDrop = ev, by, dr
+}
+
+// recordMetricsLoop keeps the live_replay_* metrics fresh between
+// scrapes while a recording is active.
+func (l *Live) recordMetricsLoop(stop chan struct{}) {
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			l.recMu.Lock()
+			if l.rec != nil {
+				l.syncRecordMetricsLocked(l.rec)
+			}
+			l.recMu.Unlock()
+		}
+	}
 }
 
 // Joined reports whether a hosted peer is a domain member.
@@ -217,13 +376,18 @@ func (l *Live) StopPeer(id NodeID) {
 	delete(l.peers, id)
 }
 
-// Close shuts everything down.
+// Close shuts everything down; it is idempotent. Nodes stop first so
+// the recorder (when active) captures their final digests, then the log
+// is flushed and closed along with the transport and diagnostics server.
 func (l *Live) Close() {
-	l.rt.Shutdown()
-	if l.tr != nil {
-		l.tr.Close()
-	}
-	if l.diag != nil {
-		l.diag.Close()
-	}
+	l.closeOnce.Do(func() {
+		l.rt.Shutdown()
+		l.StopRecord()
+		if l.tr != nil {
+			l.tr.Close()
+		}
+		if l.diag != nil {
+			l.diag.Close()
+		}
+	})
 }
