@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet fmt build lint test race chaos fuzz-wire replay bench-trace bench bench-all
+.PHONY: check vet fmt build lint test race chaos fuzz-wire replay obs bench-trace bench bench-all
 
 # check is the pre-commit gate referenced from README: static checks,
 # project lint, full build, race-enabled tests, the record/replay gate,
@@ -60,6 +60,25 @@ replay: bin/p2pnode bin/p2psim
 	pid=$$!; sleep 2; kill -TERM $$pid; \
 	while kill -0 $$pid 2>/dev/null; do sleep 0.1; done; \
 	./bin/p2psim -replay bin/replay-smoke
+
+# obs is the fleet-observability smoke: two p2pnode daemons joined over
+# real TCP with a shared -seed, a cross-node session (the object lives
+# on the founder, the joiner consumes it), then one p2ptop scrape of
+# both diagnostics endpoints. The -check gate fails unless the merged
+# view contains at least one stitched cross-node session span and a
+# non-empty fleet allocation-latency p99.
+obs: bin/p2pnode bin/p2ptop
+	./bin/p2pnode -id 0 -founder -listen 127.0.0.1:7461 -http 127.0.0.1:9461 \
+		-book "1=127.0.0.1:7462" -object movie:30 -seed 7 & pa=$$!; \
+	./bin/p2pnode -id 1 -listen 127.0.0.1:7462 -http 127.0.0.1:9462 \
+		-book "0=127.0.0.1:7461" -bootstrap 0 -seed 7 \
+		-submit movie -after 2s -linger 60s & pb=$$!; \
+	sleep 8; \
+	./bin/p2ptop -nodes http://127.0.0.1:9461,http://127.0.0.1:9462 -once -check; \
+	rc=$$?; kill $$pa $$pb 2>/dev/null; wait $$pa $$pb 2>/dev/null; exit $$rc
+
+bin/p2ptop: FORCE
+	$(GO) build -o bin/p2ptop ./cmd/p2ptop
 
 bin/p2pnode: FORCE
 	$(GO) build -o bin/p2pnode ./cmd/p2pnode

@@ -5,11 +5,13 @@
 package p2prm_test
 
 import (
+	"fmt"
 	"testing"
 
 	"repro"
 	"repro/internal/experiments"
 	"repro/internal/graph"
+	"repro/internal/trace"
 )
 
 var benchOpt = experiments.Options{Seed: 42, Quick: true}
@@ -193,6 +195,30 @@ func BenchmarkTraceEnabled(b *testing.B) {
 	benchSession(b, p2prm.SimOptions{Tracer: tr, Metrics: reg})
 	if tr.SessionsBegun() != b.N {
 		b.Fatalf("sessions begun = %d, want %d", tr.SessionsBegun(), b.N)
+	}
+}
+
+// BenchmarkTracePropagation measures the per-envelope cost of the
+// trace-context machinery itself: deriving a task's span ID from the
+// run seed and adopting the incoming context on the receiving tracer —
+// the steady-state path every traced proto message pays on arrival.
+// (First-binding adoption and span creation are amortized over the
+// pre-begun task set, as in a live overlay.)
+func BenchmarkTracePropagation(b *testing.B) {
+	tr := trace.New()
+	tr.SetSeed(42)
+	const tasks = 64
+	ids := make([]string, tasks)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("t1.%d", i)
+		tr.BeginSession(int64(i), ids[i], 1, 0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		task := ids[i%tasks]
+		span := trace.DeriveSpanID(42, task)
+		tr.Adopt(int64(i), task, span, 0, 2, 0)
 	}
 }
 

@@ -44,9 +44,11 @@ func main() {
 		object    = flag.String("object", "", "host an object: 'name:durationSeconds'")
 		submit    = flag.String("submit", "", "submit a query for this object name once joined")
 		after     = flag.Duration("after", 3*time.Second, "delay before -submit")
+		linger    = flag.Duration("linger", 0, "keep running this long after the -submit report, so -http stays scrapable (e.g. by p2ptop)")
 		verbose   = flag.Bool("v", false, "log node diagnostics (structured key=value lines)")
-		httpAddr  = flag.String("http", "", "HTTP diagnostics address, e.g. :9090 (/metrics, /healthz, /debug/pprof)")
+		httpAddr  = flag.String("http", "", "HTTP diagnostics address, e.g. :9090 (/metrics, /sketches, /decisions, /trace, /healthz, /debug/pprof)")
 		record    = flag.String("record", "", "flight-recorder directory: log all nondeterministic inputs for 'p2psim -replay'")
+		seed      = flag.Uint64("seed", 0, "run seed; give every node of the overlay the same value so span IDs agree across processes and p2ptop stitches their traces (0 derives a per-node seed from -id)")
 	)
 	var faults faultFlag
 	flag.Var(&faults, "fault",
@@ -70,7 +72,14 @@ func main() {
 		})
 	}
 
-	opts := p2prm.LiveOptions{Seed: uint64(*id) + 1, Listen: *listen, RecordDir: *record}
+	runSeed := *seed
+	if runSeed == 0 {
+		runSeed = uint64(*id) + 1
+	}
+	// Always trace: the /trace endpoint is what the fleet collector
+	// stitches, and the buffer is bounded (trace.DefaultMaxEvents).
+	opts := p2prm.LiveOptions{Seed: runSeed, Listen: *listen, RecordDir: *record,
+		Tracer: p2prm.NewTracer()}
 	if *verbose {
 		opts.LogTo = os.Stderr
 	}
@@ -172,10 +181,12 @@ func main() {
 				fmt.Printf("session %s: %d/%d chunks, %d missed, startup %.1fms, mean latency %.1fms\n",
 					r.TaskID, r.Received, r.Chunks, r.Missed,
 					float64(r.StartupMicros)/1000, r.MeanLatencyMicros/1000)
+				time.Sleep(*linger)
 				return
 			}
 			if ev.Rejected > 0 {
 				fmt.Println("task rejected: no allocation satisfies the QoS requirements")
+				time.Sleep(*linger)
 				return
 			}
 		}

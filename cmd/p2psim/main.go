@@ -22,13 +22,16 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"time"
 
 	"repro"
 	"repro/internal/experiments"
+	"repro/internal/live"
 	"repro/internal/profutil"
 )
 
@@ -40,6 +43,7 @@ func main() {
 		markdown = flag.Bool("md", false, "emit tables as markdown")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "experiment worker pool size (1 = sequential)")
 		traceOut = flag.String("trace", "", "run a traced standard scenario and write Chrome trace-event JSONL here (skips -exp)")
+		obsOut   = flag.String("obs", "", "run a traced standard scenario and write the observability documents (trace.jsonl, sketches.json, decisions.json, metrics.json) into this directory for p2ptop -dir (skips -exp)")
 		replayIn = flag.String("replay", "", "replay a flight-recorder directory (p2pnode -record) and verify determinism (skips -exp)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -66,6 +70,14 @@ func main() {
 	if *traceOut != "" {
 		if err := runTraced(*traceOut, *seed, *quick); err != nil {
 			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			exit(1)
+		}
+		exit(0)
+	}
+
+	if *obsOut != "" {
+		if err := runObs(*obsOut, *seed, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "obs: %v\n", err)
 			exit(1)
 		}
 		exit(0)
@@ -173,6 +185,63 @@ func runTraced(path string, seed uint64, quick bool) error {
 	if tr.SessionsBegun() != ev.Submitted {
 		return fmt.Errorf("span count %d != submitted %d", tr.SessionsBegun(), ev.Submitted)
 	}
+	return nil
+}
+
+// runObs drives the traced standard scenario with every observability
+// sink attached and writes the four fleet documents — trace.jsonl,
+// sketches.json, decisions.json, metrics.json — into dir, the file-mode
+// input of `p2ptop -dir`.
+func runObs(dir string, seed uint64, quick bool) error {
+	peers, rate, mins := 24, 2.0, 2
+	if quick {
+		peers, rate, mins = 12, 1.0, 1
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tr := p2prm.NewTracer()
+	reg := p2prm.NewMetricsRegistry()
+	cfg := p2prm.DefaultConfig()
+	cfg.Nanotime = live.Nanotime // alloc latency is a real CPU-cost sketch, not simulated time
+	s := p2prm.NewSimulation(cfg,
+		p2prm.SimOptions{Seed: seed, Tracer: tr, Metrics: reg})
+	s.GrowStandard(peers, 2, 8, 3, 0.5)
+	warm := s.Now() + 5*p2prm.Second
+	end := warm + p2prm.Time(mins)*p2prm.Minute
+	s.StandardWorkload(warm, end, rate, 8)
+	s.RunUntil(end + 30*p2prm.Second)
+
+	if err := tr.WriteFile(filepath.Join(dir, "trace.jsonl")); err != nil {
+		return err
+	}
+	writeDoc := func(name string, write func(io.Writer) error) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		if err := write(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	now := int64(s.Now())
+	if err := writeDoc("sketches.json", func(w io.Writer) error {
+		return s.Sketches().WriteJSON(w, now)
+	}); err != nil {
+		return err
+	}
+	if err := writeDoc("decisions.json", s.Decisions().WriteJSON); err != nil {
+		return err
+	}
+	if err := writeDoc("metrics.json", reg.WriteJSON); err != nil {
+		return err
+	}
+	ev := s.Events()
+	fmt.Printf("obs run: %d submitted, %d admitted, %d rejected; %d trace events, %d decisions\n",
+		ev.Submitted, ev.Admitted, ev.Rejected, tr.Len(), s.Decisions().Total())
+	fmt.Printf("wrote %s/{trace.jsonl,sketches.json,decisions.json,metrics.json}\n", dir)
 	return nil
 }
 

@@ -1,0 +1,141 @@
+// Command p2ptop is the fleet dashboard: it scrapes the diagnostics
+// endpoints of N live nodes (or loads a p2psim -obs directory), merges
+// their quantile sketches, traces, decisions and metrics into one fleet
+// view, and renders it as a refreshing text dashboard.
+//
+// Against a TCP cluster (each p2pnode started with -http):
+//
+//	p2ptop -nodes http://localhost:9090,http://localhost:9091
+//
+// Against simulator output:
+//
+//	p2psim -obs out/ && p2ptop -dir out/
+//
+// Flags:
+//
+//	-once    render a single frame and exit (default refreshes forever)
+//	-check   with -once: exit 1 unless the merged view contains at least
+//	         one stitched cross-node session and a non-zero allocation
+//	         latency p99 — the smoke-test gate `make obs` runs
+//	-json    emit the merged fleet view as JSON instead of the dashboard
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		nodesFlag = flag.String("nodes", "", "comma-separated diagnostics base URLs, e.g. http://host:9090,...")
+		dir       = flag.String("dir", "", "load a p2psim -obs output directory instead of scraping")
+		interval  = flag.Duration("interval", 2*time.Second, "refresh period")
+		once      = flag.Bool("once", false, "render one frame and exit")
+		check     = flag.Bool("check", false, "with -once: exit 1 unless the view shows a stitched cross-node session and a non-zero alloc p99")
+		asJSON    = flag.Bool("json", false, "emit the merged fleet view as JSON")
+	)
+	flag.Parse()
+
+	if (*nodesFlag == "") == (*dir == "") {
+		fmt.Fprintln(os.Stderr, "p2ptop: need exactly one of -nodes or -dir")
+		os.Exit(2)
+	}
+
+	var urls []string
+	for _, u := range strings.Split(*nodesFlag, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, strings.TrimRight(u, "/"))
+		}
+	}
+	client := &http.Client{Timeout: obs.DefaultScrapeTimeout}
+
+	gather := func() (*obs.Fleet, error) {
+		if *dir != "" {
+			n, err := obs.LoadDir(*dir)
+			if err != nil {
+				return nil, err
+			}
+			return obs.Collect([]obs.NodeData{n}), nil
+		}
+		nodes := make([]obs.NodeData, 0, len(urls))
+		for i, u := range urls {
+			nodes = append(nodes, obs.Scrape(client, fmt.Sprintf("node%d@%s", i, u), u))
+		}
+		return obs.Collect(nodes), nil
+	}
+
+	render := func(f *obs.Fleet) {
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			enc.Encode(struct {
+				Sketches  []stats.SketchJSON  `json:"sketches"`
+				Domains   []obs.DomainSummary `json:"domains"`
+				Sessions  []obs.SessionTrack  `json:"sessions"`
+				CrossNode int                 `json:"cross_node_sessions"`
+				Drops     map[string]uint64   `json:"drops"`
+			}{f.Sketches, f.Domains, f.Sessions, len(f.CrossNode()), f.Drops})
+			return
+		}
+		obs.Render(os.Stdout, f)
+	}
+
+	if *once {
+		f, err := gather()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "p2ptop: %v\n", err)
+			os.Exit(1)
+		}
+		render(f)
+		if *check {
+			os.Exit(runCheck(f))
+		}
+		return
+	}
+
+	for {
+		f, err := gather()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "p2ptop: %v\n", err)
+		} else {
+			fmt.Print("\033[H\033[2J") // clear; plain text otherwise
+			render(f)
+		}
+		time.Sleep(*interval)
+	}
+}
+
+// runCheck is the smoke-test assertion: the fleet view must contain at
+// least one stitched session and a usable allocation-latency p99. In
+// file mode (one sim process hosts every node) the stitching bar is the
+// same — sessions spanning two node TIDs — since sim peers share a
+// tracer but emit spans under their own TIDs.
+func runCheck(f *obs.Fleet) int {
+	ok := true
+	cross := len(f.CrossNode())
+	if cross == 0 {
+		fmt.Fprintln(os.Stderr, "CHECK FAIL: no stitched cross-node session in the merged trace")
+		ok = false
+	} else {
+		fmt.Printf("CHECK ok: %d stitched cross-node session(s)\n", cross)
+	}
+	p99 := f.Quantile(stats.SketchAllocLatency, 0.99)
+	if p99 <= 0 {
+		fmt.Fprintln(os.Stderr, "CHECK FAIL: allocation latency p99 is empty")
+		ok = false
+	} else {
+		fmt.Printf("CHECK ok: allocation latency p99 = %.6fs\n", p99)
+	}
+	if !ok {
+		return 1
+	}
+	return 0
+}

@@ -62,6 +62,7 @@ func chunkDeadline(d proto.SessionDesc, i int) sim.Time {
 // whose Connection Manager is at capacity refuses new roles (§2).
 func (p *Peer) handleCompose(from env.NodeID, msg proto.GraphCompose) {
 	d := msg.Session
+	p.adoptTC(d.TaskID, d.TC)
 	if p.cfg.MaxConnections > 0 && p.conn.Active() >= p.cfg.MaxConnections && p.needsNewConn(d, msg.Role) {
 		p.sendOrLoop(from, proto.ComposeAck{
 			TaskID: d.TaskID, Role: msg.Role, Generation: d.Generation,
@@ -157,6 +158,7 @@ func (p *Peer) nextHop(d proto.SessionDesc, role int) env.NodeID {
 // handleSessionStart begins (or resumes, after repair) chunk emission at
 // the source.
 func (p *Peer) handleSessionStart(msg proto.SessionStart) {
+	p.adoptTC(msg.TaskID, msg.TC)
 	s, ok := p.asSource[msg.TaskID]
 	if !ok || s.desc.Generation != msg.Generation || s.emitting {
 		return
@@ -369,16 +371,17 @@ func (p *Peer) finalizeSink(taskID string) {
 		FinishedMicros:    int64(p.ctx.Now()),
 		Hops:              len(s.desc.Stages),
 	}
-	p.events.report(p.domain, rep)
+	p.events.report(p.domain, int64(p.ctx.Now()), rep)
 	if tr := p.events.Tracer(); tr != nil {
 		tr.EndSession(int64(p.ctx.Now()), taskID, int(p.ctx.Self()), int(p.domain), "completed",
 			trace.A("chunks", rep.Chunks), trace.A("missed", rep.Missed),
 			trace.A("startup_micros", rep.StartupMicros), trace.A("repaired", rep.Repaired))
 	}
+	end := proto.SessionEnd{Report: rep, TC: p.traceCtx(taskID, "stream")}
 	if s.desc.RM == p.ctx.Self() {
-		p.rmHandleSessionEnd(p.ctx.Self(), proto.SessionEnd{Report: rep})
+		p.rmHandleSessionEnd(p.ctx.Self(), end)
 	} else {
-		p.ctx.Send(s.desc.RM, proto.SessionEnd{Report: rep})
+		p.ctx.Send(s.desc.RM, end)
 	}
 }
 
@@ -396,6 +399,7 @@ func (p *Peer) ActiveSinkSessions() []string {
 
 // handleSessionAbort tears down this peer's role in a session instance.
 func (p *Peer) handleSessionAbort(msg proto.SessionAbort) {
+	p.adoptTC(msg.TaskID, msg.TC)
 	if s, ok := p.asSource[msg.TaskID]; ok && s.desc.Generation <= msg.Generation {
 		p.stopSource(s)
 		delete(p.asSource, msg.TaskID)

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/proto"
+	"repro/internal/stats"
 	"repro/internal/trace"
 )
 
@@ -24,11 +25,13 @@ type Events struct {
 	mu         sync.Mutex
 	EventsData // guarded by mu
 
-	// tr and reg are set once by AttachTracer/AttachMetrics before any
+	// tr, reg, sk and dec are set once by the Attach* methods before any
 	// node runs (the goroutine/simulation start provides the
 	// happens-before edge), so the emitters read them without locking.
 	tr  *trace.Tracer
 	reg *metrics.Registry
+	sk  *stats.Set
+	dec *DecisionLog
 }
 
 // EventsData is the plain-data portion of Events; Snapshot returns a copy
@@ -77,6 +80,7 @@ const (
 	MetricFailoverSec = "p2p_failover_seconds"
 	MetricPeerLoad    = "p2p_peer_load"
 	MetricPeerUtil    = "p2p_peer_util"
+	MetricDecisions   = "p2p_rm_decisions_total"
 )
 
 // AttachTracer installs a span-tracing sink. Must be called before any
@@ -120,6 +124,42 @@ func (e *Events) Registry() *metrics.Registry {
 		return nil
 	}
 	return e.reg
+}
+
+// AttachSketches installs the streaming-percentile sink: allocation
+// latency, per-session delivery RTT and failover time feed its windowed
+// quantile sketches (internal/stats). Must be called before any node of
+// the run starts executing.
+func (e *Events) AttachSketches(sk *stats.Set) {
+	if e == nil {
+		return
+	}
+	e.sk = sk
+}
+
+// Sketches returns the attached sketch set, nil when off.
+func (e *Events) Sketches() *stats.Set {
+	if e == nil {
+		return nil
+	}
+	return e.sk
+}
+
+// AttachDecisions installs the RM decision-audit sink. Must be called
+// before any node of the run starts executing.
+func (e *Events) AttachDecisions(dec *DecisionLog) {
+	if e == nil {
+		return
+	}
+	e.dec = dec
+}
+
+// Decisions returns the attached decision log, nil when off.
+func (e *Events) Decisions() *DecisionLog {
+	if e == nil {
+		return nil
+	}
+	return e.dec
 }
 
 func domainLabels(d proto.DomainID) metrics.Labels {
@@ -177,7 +217,7 @@ func (e *Events) redirected(d proto.DomainID) {
 	e.count(MetricRedirected, "Task queries forwarded to another domain.", d)
 }
 
-func (e *Events) report(d proto.DomainID, r proto.SessionReport) {
+func (e *Events) report(d proto.DomainID, nowMicros int64, r proto.SessionReport) {
 	if e == nil {
 		return
 	}
@@ -189,6 +229,9 @@ func (e *Events) report(d proto.DomainID, r proto.SessionReport) {
 		e.reg.Counter(MetricCompleted, "Sessions finalized by their sink.", labels).Inc()
 		e.reg.Counter(MetricChunks, "Chunks expected across finalized sessions.", labels).Add(r.Chunks)
 		e.reg.Counter(MetricChunksMiss, "Chunks late or lost across finalized sessions.", labels).Add(r.Missed)
+	}
+	if e.sk != nil && r.Received > 0 {
+		e.sk.Observe(stats.SketchDeliveryRTT, nowMicros, r.MeanLatencyMicros/1e6)
 	}
 }
 
@@ -237,7 +280,7 @@ func (e *Events) migration(d proto.DomainID) {
 	e.count(MetricMigrations, "Overload-triggered session reassignments.", d)
 }
 
-func (e *Events) failover(d proto.DomainID, micros int64) {
+func (e *Events) failover(d proto.DomainID, nowMicros, micros int64) {
 	if e == nil {
 		return
 	}
@@ -249,6 +292,9 @@ func (e *Events) failover(d proto.DomainID, micros int64) {
 		e.reg.Counter(MetricFailovers, "Backup-to-RM takeovers.", domainLabels(d)).Inc()
 		e.reg.Histogram(MetricFailoverSec, "RM silence detection to takeover latency in seconds.",
 			nil, domainLabels(d)).Observe(float64(micros) / 1e6)
+	}
+	if e.sk != nil {
+		e.sk.Observe(stats.SketchFailover, nowMicros, float64(micros)/1e6)
 	}
 }
 
@@ -272,7 +318,7 @@ func (e *Events) peerDead(d proto.DomainID) {
 	e.count(MetricPeersDead, "Peers removed from a domain (crash or leave).", d)
 }
 
-func (e *Events) allocCost(d proto.DomainID, nanos int64) {
+func (e *Events) allocCost(d proto.DomainID, nowMicros, nanos int64) {
 	if e == nil {
 		return
 	}
@@ -282,6 +328,37 @@ func (e *Events) allocCost(d proto.DomainID, nanos int64) {
 	if e.reg != nil {
 		e.reg.Histogram(MetricAllocSec, "Wall-clock cost of one allocation computation in seconds.",
 			nil, domainLabels(d)).Observe(float64(nanos) / 1e9)
+	}
+	if e.sk != nil {
+		e.sk.Observe(stats.SketchAllocLatency, nowMicros, float64(nanos)/1e9)
+	}
+}
+
+// decide funnels one RM decision to the audit ring, the tracer (as a
+// "decision" instant inside the task's span) and the metrics registry.
+func (e *Events) decide(d Decision) {
+	if e == nil {
+		return
+	}
+	if e.dec != nil {
+		e.dec.Add(d)
+	}
+	if e.reg != nil {
+		labels := metrics.Labels{"domain": strconv.Itoa(d.Domain), "result": d.Action}
+		e.reg.Counter(MetricDecisions, "RM decisions by action.", labels).Inc()
+	}
+	if e.tr != nil {
+		attrs := []trace.Attr{trace.A("action", d.Action)}
+		if d.Reason != "" {
+			attrs = append(attrs, trace.A("reason", d.Reason))
+		}
+		if d.UtilityDelta != 0 {
+			attrs = append(attrs, trace.A("utility_delta", d.UtilityDelta))
+		}
+		if len(d.Candidates) > 0 {
+			attrs = append(attrs, trace.A("candidates", d.Candidates))
+		}
+		e.tr.Instant(d.TSMicros, d.Task, trace.EventDecision, d.Node, d.Domain, attrs...)
 	}
 }
 

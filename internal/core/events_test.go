@@ -30,15 +30,15 @@ func TestEventsConcurrentMutation(t *testing.T) {
 				e.admitted(d)
 				e.rejected(d)
 				e.redirected(d)
-				e.report(d, proto.SessionReport{Chunks: 10, Missed: 1, StartupMicros: 1000})
+				e.report(d, 0, proto.SessionReport{Chunks: 10, Missed: 1, StartupMicros: 1000})
 				e.repair(d, 50)
 				e.aborted(d)
 				e.preemption(d)
 				e.migration(d)
-				e.failover(d, 70)
+				e.failover(d, 0, 70)
 				e.domainCreated(d)
 				e.peerDead(d)
-				e.allocCost(d, 900)
+				e.allocCost(d, 0, 900)
 				e.peerLoad(d, g, float64(i), 0.5)
 			}
 		}(g)
@@ -99,15 +99,15 @@ func TestEventsNilReceiver(t *testing.T) {
 	e.admitted(0)
 	e.rejected(0)
 	e.redirected(0)
-	e.report(0, proto.SessionReport{})
+	e.report(0, 0, proto.SessionReport{})
 	e.repair(0, 1)
 	e.aborted(0)
 	e.preemption(0)
 	e.migration(0)
-	e.failover(0, 1)
+	e.failover(0, 0, 1)
 	e.domainCreated(0)
 	e.peerDead(0)
-	e.allocCost(0, 1)
+	e.allocCost(0, 0, 1)
 	e.peerLoad(0, 0, 0, 0)
 	if e.Tracer() != nil || e.Registry() != nil {
 		t.Fatal("nil Events returned a sink")

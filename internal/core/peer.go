@@ -292,6 +292,7 @@ func (p *Peer) Receive(from env.NodeID, m env.Message) {
 	case proto.TakeoverAnnounce:
 		p.handleTakeoverAnnounce(from, msg)
 	case proto.TaskReject:
+		p.adoptTC(msg.TaskID, msg.TC)
 		if _, mine := p.submits[msg.TaskID]; mine {
 			p.resolveSubmit(msg.TaskID)
 			p.events.rejected(p.domain)
@@ -464,11 +465,12 @@ func (p *Peer) SubmitTask(spec proto.TaskSpec) string {
 		}
 		return spec.ID
 	}
+	submit := proto.TaskSubmit{Spec: spec, TC: p.traceCtx(spec.ID, "submit")}
 	if target == p.ctx.Self() {
 		// RM submitting to itself: handle directly.
-		p.rmHandleSubmit(p.ctx.Self(), proto.TaskSubmit{Spec: spec})
+		p.rmHandleSubmit(p.ctx.Self(), submit)
 	} else {
-		p.ctx.Send(target, proto.TaskSubmit{Spec: spec})
+		p.ctx.Send(target, submit)
 	}
 	return spec.ID
 }

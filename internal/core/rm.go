@@ -86,6 +86,9 @@ type rmSession struct {
 	composeTimer env.Cancel
 	applied      []loadDelta
 	repairStart  sim.Time // nonzero while a repair recompose is in flight
+	// fairness is the allocator's objective value at admission, kept for
+	// the decision audit's utility delta.
+	fairness float64
 }
 
 // sortedKnownRMs returns the known remote RMs in domain order, so map
@@ -129,11 +132,13 @@ func (p *Peer) takeover() {
 	st := p.backupState
 	p.backupState = nil
 	detectionLag := p.ctx.Now() - p.lastRMContact
-	p.events.failover(st.Domain, int64(detectionLag))
+	p.events.failover(st.Domain, int64(p.ctx.Now()), int64(detectionLag))
 	if tr := p.events.Tracer(); tr != nil {
 		tr.Instant(int64(p.ctx.Now()), "", "failover", int(p.ctx.Self()), int(st.Domain),
 			trace.A("detection_micros", int64(detectionLag)))
 	}
+	p.events.decide(Decision{TSMicros: int64(p.ctx.Now()), Node: int(p.ctx.Self()),
+		Domain: int(st.Domain), Action: DecisionFailover, Reason: "rm silent past heartbeat timeout"})
 	var known []proto.RMRef
 	for _, ref := range st.KnownRMs {
 		known = append(known, ref)
@@ -194,6 +199,9 @@ func (p *Peer) startRM(id proto.DomainID, known []proto.RMRef, snapshot []proto.
 	for _, d := range sessions {
 		st.sessions[d.TaskID] = &rmSession{desc: d, state: sessRunning,
 			applied: appliedFromDesc(d), spec: proto.TaskSpec{ID: d.TaskID, Origin: d.Origin, ObjectName: d.ObjectName, ChunkSec: d.ChunkSec, Importance: d.Importance}}
+		// Inherited sessions carry their trace context in the replicated
+		// descriptor; bind it so post-takeover spans stay stitched.
+		p.adoptTC(d.TaskID, d.TC)
 	}
 	st.electBackup(p)
 	st.bumpVersion()
@@ -617,13 +625,17 @@ func (p *Peer) rmHandleSubmit(from env.NodeID, msg proto.TaskSubmit) {
 		return
 	}
 	spec := msg.Spec
+	p.adoptTC(spec.ID, msg.TC)
 	if spec.ChunkSec <= 0 {
 		spec.ChunkSec = p.cfg.DefaultChunkSec
 	}
-	sess, why := p.rmAllocate(spec)
+	sess, sr, why := p.rmAllocate(spec)
 	if sess != nil {
 		st.sessions[spec.ID] = sess
 		p.events.admitted(p.domain)
+		p.events.decide(Decision{TSMicros: int64(p.ctx.Now()), Task: spec.ID,
+			Node: int(p.ctx.Self()), Domain: int(p.domain), Action: DecisionAdmit,
+			UtilityDelta: sr.alloc.Fairness, Candidates: sr.considered})
 		p.composeSession(sess)
 		return
 	}
@@ -635,6 +647,9 @@ func (p *Peer) rmHandleSubmit(from env.NodeID, msg proto.TaskSubmit) {
 		if sess := p.tryPreemptFor(spec); sess != nil {
 			st.sessions[spec.ID] = sess
 			p.events.admitted(p.domain)
+			p.events.decide(Decision{TSMicros: int64(p.ctx.Now()), Task: spec.ID,
+				Node: int(p.ctx.Self()), Domain: int(p.domain), Action: DecisionAdmit,
+				Reason: "after preemption", UtilityDelta: sess.fairness})
 			p.composeSession(sess)
 			return
 		}
@@ -648,11 +663,18 @@ func (p *Peer) rmHandleSubmit(from env.NodeID, msg proto.TaskSubmit) {
 				tr.Instant(int64(p.ctx.Now()), spec.ID, "redirect", int(p.ctx.Self()), int(p.domain),
 					trace.A("target_rm", int(target)), trace.A("hops", msg.Hops+1))
 			}
-			p.ctx.Send(target, proto.TaskSubmit{Spec: spec, Hops: msg.Hops + 1})
+			p.events.decide(Decision{TSMicros: int64(p.ctx.Now()), Task: spec.ID,
+				Node: int(p.ctx.Self()), Domain: int(p.domain), Action: DecisionRedirect,
+				Reason: why, Candidates: sr.considered})
+			p.ctx.Send(target, proto.TaskSubmit{Spec: spec, Hops: msg.Hops + 1,
+				TC: p.traceCtx(spec.ID, "redirect")})
 			return
 		}
 	}
 	p.ctx.Logf("task %s rejected: %s", spec.ID, why)
+	p.events.decide(Decision{TSMicros: int64(p.ctx.Now()), Task: spec.ID,
+		Node: int(p.ctx.Self()), Domain: int(p.domain), Action: DecisionReject,
+		Reason: why, Candidates: sr.considered})
 	p.rejectUpstream(spec.ID, spec.Origin, why)
 }
 
@@ -692,6 +714,9 @@ type searchResult struct {
 	goal    graph.VertexID
 	obj     media.Object
 	srcPeer env.NodeID
+	// considered lists the goal formats evaluated but not chosen — the
+	// considered-but-rejected candidate set of the decision audit.
+	considered []string
 }
 
 // rmSearch runs the Figure-3 search without side effects: locate the
@@ -754,7 +779,12 @@ func (p *Peer) rmSearch(spec proto.TaskSpec, pv *graph.PeerView) (searchResult, 
 		}
 	}
 	allocNanos := p.nanotime() - started
-	p.events.allocCost(p.domain, allocNanos)
+	for _, g := range goals {
+		if !found || g != res.goal {
+			res.considered = append(res.considered, st.gr.Vertex(g).Key)
+		}
+	}
+	p.events.allocCost(p.domain, int64(p.ctx.Now()), allocNanos)
 	if tr := p.events.Tracer(); tr != nil {
 		// ts is the virtual/wall clock of the run; dur is the real
 		// computation cost (virtual time does not advance while the
@@ -769,13 +799,14 @@ func (p *Peer) rmSearch(spec proto.TaskSpec, pv *graph.PeerView) (searchResult, 
 }
 
 // rmAllocate runs the search against the current view and materializes a
-// session from the result.
-func (p *Peer) rmAllocate(spec proto.TaskSpec) (*rmSession, string) {
+// session from the result. The searchResult is returned alongside so
+// callers can audit what was considered even when allocation fails.
+func (p *Peer) rmAllocate(spec proto.TaskSpec) (*rmSession, searchResult, string) {
 	st := p.rm
 	p.freshGraph()
 	sr, why := p.rmSearch(spec, st.peerView())
 	if why != "" {
-		return nil, why
+		return nil, sr, why
 	}
 	best, bestGoal, obj, srcPeer := sr.alloc, sr.goal, sr.obj, sr.srcPeer
 
@@ -803,6 +834,7 @@ func (p *Peer) rmAllocate(spec proto.TaskSpec) (*rmSession, string) {
 		StartupDeadline:   sim.Time(spec.DeadlineMicros),
 		PlaybackBase:      p.ctx.Now() + sim.Time(spec.DeadlineMicros),
 		Importance:        spec.Importance,
+		TC:                p.traceCtx(spec.ID, "allocate"),
 	}
 	var applied []loadDelta
 	for _, eid := range best.Path {
@@ -820,14 +852,15 @@ func (p *Peer) rmAllocate(spec proto.TaskSpec) (*rmSession, string) {
 		applied = append(applied, loadDelta{peer: peerID, work: e.Work})
 	}
 	sess := &rmSession{
-		desc:    desc,
-		spec:    spec,
-		goalKey: st.gr.Vertex(bestGoal).Key,
-		state:   sessComposing,
-		applied: applied,
+		desc:     desc,
+		spec:     spec,
+		goalKey:  st.gr.Vertex(bestGoal).Key,
+		state:    sessComposing,
+		applied:  applied,
+		fairness: best.Fairness,
 	}
 	p.applyLoads(applied, +1)
-	return sess, ""
+	return sess, sr, ""
 }
 
 // tryPreemptFor looks for a running session with lower importance whose
@@ -847,12 +880,14 @@ func (p *Peer) tryPreemptFor(spec proto.TaskSpec) *rmSession {
 	sort.SliceStable(victims, func(i, j int) bool {
 		return victims[i].desc.Importance < victims[j].desc.Importance
 	})
+	var probed []string
 	for _, victim := range victims {
 		// Hypothetical view without the victim's load.
 		p.applyLoads(victim.applied, -1)
 		_, why := p.rmSearch(spec, st.peerView())
 		p.applyLoads(victim.applied, +1)
 		if why != "" {
+			probed = append(probed, victim.desc.TaskID)
 			continue
 		}
 		p.abortSession(victim, "preempted", true)
@@ -861,9 +896,12 @@ func (p *Peer) tryPreemptFor(spec proto.TaskSpec) *rmSession {
 			tr.Instant(int64(p.ctx.Now()), victim.desc.TaskID, "preempt", int(p.ctx.Self()), int(p.domain),
 				trace.A("for_task", spec.ID))
 		}
+		p.events.decide(Decision{TSMicros: int64(p.ctx.Now()), Task: victim.desc.TaskID,
+			Node: int(p.ctx.Self()), Domain: int(p.domain), Action: DecisionPreempt,
+			Reason: "for " + spec.ID, Candidates: probed})
 		p.ctx.Logf("preempted %s (importance %d) for %s (importance %d)",
 			victim.desc.TaskID, victim.desc.Importance, spec.ID, spec.Importance)
-		sess, _ := p.rmAllocate(spec)
+		sess, _, _ := p.rmAllocate(spec)
 		return sess
 	}
 	return nil
@@ -953,7 +991,8 @@ func (p *Peer) abortSession(sess *rmSession, reason string, final bool) {
 				trace.A("reason", reason))
 		}
 	}
-	abort := proto.SessionAbort{TaskID: d.TaskID, Generation: d.Generation, Reason: reason, Final: final}
+	abort := proto.SessionAbort{TaskID: d.TaskID, Generation: d.Generation, Reason: reason,
+		Final: final, TC: p.traceCtx(d.TaskID, "abort")}
 	sent := map[env.NodeID]bool{}
 	for _, peer := range d.PipelinePeers() {
 		if !sent[peer] {
@@ -978,7 +1017,8 @@ func (p *Peer) rejectUpstream(taskID string, origin env.NodeID, reason string) {
 		return
 	}
 	if origin != env.NoNode {
-		p.ctx.Send(origin, proto.TaskReject{TaskID: taskID, Reason: reason})
+		p.ctx.Send(origin, proto.TaskReject{TaskID: taskID, Reason: reason,
+			TC: p.traceCtx(taskID, "reject")})
 	}
 }
 
@@ -1026,7 +1066,8 @@ func (p *Peer) rmHandleComposeAck(from env.NodeID, msg proto.ComposeAck) {
 		tr.BeginPhase(int64(p.ctx.Now()), msg.TaskID, "stream", int(p.ctx.Self()), int(p.domain),
 			trace.A("generation", sess.desc.Generation))
 	}
-	p.sendOrLoop(sess.desc.SourcePeer, proto.SessionStart{TaskID: msg.TaskID, Generation: sess.desc.Generation})
+	p.sendOrLoop(sess.desc.SourcePeer, proto.SessionStart{TaskID: msg.TaskID,
+		Generation: sess.desc.Generation, TC: p.traceCtx(msg.TaskID, "compose")})
 }
 
 // rmHandleSessionEnd releases the session's resources.
@@ -1035,6 +1076,7 @@ func (p *Peer) rmHandleSessionEnd(from env.NodeID, msg proto.SessionEnd) {
 	if st == nil {
 		return
 	}
+	p.adoptTC(msg.Report.TaskID, msg.TC)
 	sess, ok := st.sessions[msg.Report.TaskID]
 	if !ok {
 		return
@@ -1100,6 +1142,11 @@ func (p *Peer) repairSession(sess *rmSession, dead env.NodeID) {
 		p.abortSession(sess, "no-repair-allocation", true)
 		return
 	}
+	p.events.decide(Decision{TSMicros: int64(p.ctx.Now()), Task: d.TaskID,
+		Node: int(p.ctx.Self()), Domain: int(p.domain), Action: DecisionRepair,
+		Reason:       fmt.Sprintf("peer n%d failed", dead),
+		UtilityDelta: alloc.Fairness - sess.fairness})
+	sess.fairness = alloc.Fairness
 	p.recompose(sess, srcPeer, alloc, obj, true)
 }
 
@@ -1251,6 +1298,11 @@ func (p *Peer) rmAdaptTick() {
 		p.applyLoads(pick.applied, +1)
 		return
 	}
+	p.events.decide(Decision{TSMicros: int64(p.ctx.Now()), Task: pick.desc.TaskID,
+		Node: int(p.ctx.Self()), Domain: int(p.domain), Action: DecisionMigrate,
+		Reason:       fmt.Sprintf("peer n%d overloaded (util %.2f)", worst, worstUtil),
+		UtilityDelta: alloc.Fairness - pick.fairness})
+	pick.fairness = alloc.Fairness
 	p.recompose(pick, pick.desc.SourcePeer, alloc, obj, false)
 }
 

@@ -1,0 +1,33 @@
+package core
+
+import (
+	"repro/internal/proto"
+	"repro/internal/trace"
+)
+
+// Trace-context plumbing: outgoing control messages are stamped with the
+// task's span id plus a ref to the phase that caused them (traceCtx);
+// receivers bind the propagated id before recording anything (adoptTC).
+// With equal seeds every process derives the same ids anyway (see
+// trace.DeriveSpanID), so propagation costs nothing on the wire when
+// tracing is off and keeps merged traces stitched even when seeds
+// diverge.
+
+// traceCtx returns the context to stamp on an outgoing message about
+// task, caused by the named phase of this peer's span.
+func (p *Peer) traceCtx(task, phase string) proto.TraceContext {
+	tr := p.events.Tracer()
+	if tr == nil {
+		return proto.TraceContext{}
+	}
+	span := tr.SpanFor(task)
+	return proto.TraceContext{Trace: span, Parent: trace.PhaseRef(span, phase)}
+}
+
+// adoptTC binds a propagated trace context to task on this process's
+// tracer. Safe to call with the zero context (untraced).
+func (p *Peer) adoptTC(task string, tc proto.TraceContext) {
+	if tr := p.events.Tracer(); tr != nil {
+		tr.Adopt(int64(p.ctx.Now()), task, tc.Trace, tc.Parent, int(p.ctx.Self()), int(p.domain))
+	}
+}

@@ -12,9 +12,10 @@
 //     arguments (trace.A attrs, label maps) are evaluated and allocated
 //     before the call; the guard is what keeps the disabled path free.
 //
-//  2. Declarations: every exported pointer-receiver method on
-//     core.Events and trace.Tracer must begin with a nil-receiver guard,
-//     so emitters stay callable on a disabled (nil) instance.
+//  2. Declarations: every exported pointer-receiver method on the
+//     run-wide sinks — core.Events, core.DecisionLog, trace.Tracer and
+//     stats.Set — must begin with a nil-receiver guard, so emitters stay
+//     callable on a disabled (nil) instance.
 package eventguard
 
 import (
@@ -80,7 +81,9 @@ func checkDeclarations(pass *analysis.Pass, ins *inspector.Inspector) {
 			return // value receivers cannot be nil
 		}
 		if !lintutil.IsNamed(rt, "internal/trace", "Tracer") &&
-			!lintutil.IsNamed(rt, "internal/core", "Events") {
+			!lintutil.IsNamed(rt, "internal/core", "Events") &&
+			!lintutil.IsNamed(rt, "internal/core", "DecisionLog") &&
+			!lintutil.IsNamed(rt, "internal/stats", "Set") {
 			return
 		}
 		names := fd.Recv.List[0].Names

@@ -14,6 +14,13 @@ func TestDeclarations(t *testing.T) {
 	})
 }
 
+func TestDeclarationsStats(t *testing.T) {
+	linttest.Run(t, eventguard.Analyzer, linttest.Target{
+		Dir:  "testdata/src/fakestats",
+		Path: "p2plint.example/internal/stats",
+	})
+}
+
 func TestCallSites(t *testing.T) {
 	linttest.Run(t, eventguard.Analyzer, linttest.Target{
 		Dir:  "testdata/src/hotpkg",

@@ -1,0 +1,23 @@
+// Package stats is a hermetic stand-in for repro/internal/stats: its
+// import path ends in internal/stats, so eventguard checks the
+// nil-receiver contract of *Set's exported methods — the quantile
+// sketch registry is a run-wide sink that is nil when disabled.
+package stats
+
+type Set struct{ n int }
+
+// Observe follows the contract: nil receiver returns immediately.
+func (s *Set) Observe(name string, now int64, v float64) {
+	if s == nil {
+		return
+	}
+	s.n++
+}
+
+// Count violates it: dereferences s without a guard.
+func (s *Set) Count() int { // want `exported method Set\.Count must begin with a nil-receiver guard`
+	return s.n
+}
+
+// reset is unexported: helpers on a known-live set are exempt.
+func (s *Set) reset() { s.n = 0 }

@@ -72,3 +72,24 @@ func allowHatch(e *Events) {
 	//lint:allow eventguard fixture exercises the escape hatch
 	tr.Instant("suppressed")
 }
+
+// DecisionLog mirrors the RM decision-audit ring: another run-wide sink
+// whose exported methods must tolerate a nil (disabled) receiver.
+type DecisionLog struct {
+	buf   []string
+	total uint64
+}
+
+// Add follows the contract.
+func (l *DecisionLog) Add(action string) {
+	if l == nil {
+		return
+	}
+	l.buf = append(l.buf, action)
+	l.total++
+}
+
+// Total violates it: dereferences l without a guard.
+func (l *DecisionLog) Total() uint64 { // want `exported method DecisionLog\.Total must begin with a nil-receiver guard`
+	return l.total
+}

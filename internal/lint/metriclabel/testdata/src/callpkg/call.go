@@ -9,10 +9,25 @@ import (
 // constants.
 const MetricAdmitted = "p2p_sessions_admitted_total"
 
+// MetricDecisions mirrors the RM decision-audit counter, whose "result"
+// label carries the decision action.
+const MetricDecisions = "p2p_rm_decisions_total"
+
 func constantNames(r *metrics.Registry, domain string) {
 	r.Counter(MetricAdmitted, "Sessions composed.", metrics.Labels{"domain": domain}).Inc()
 	r.Gauge("p2p_peer_load", "Profiled load.", metrics.Labels{"domain": domain, "peer": "1"}).Set(1)
 	r.Histogram("p2p_alloc_seconds", "Alloc cost.", nil, nil).Observe(0.1)
+	r.Gauge("trace_sessions_open", "Open trace spans.", nil).Set(3)
+}
+
+func decisionCounter(r *metrics.Registry, domain, action string) {
+	// "result" is in the bounded set; the action string is a label
+	// value, which stays free.
+	r.Counter(MetricDecisions, "RM decisions.", metrics.Labels{"domain": domain, "result": action}).Inc()
+}
+
+func decisionBadKey(r *metrics.Registry, action string) {
+	r.Counter(MetricDecisions, "RM decisions.", metrics.Labels{"action": action}).Inc() // want `metrics\.Labels key "action" is outside the bounded label set`
 }
 
 func dynamicName(r *metrics.Registry, taskID string) {

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -24,6 +25,25 @@ type DiagnosticsServer struct {
 	addr string
 }
 
+// DiagSources supplies the optional observability payloads served by the
+// diagnostics endpoint. Each writer renders one document; nil writers
+// fall back to an empty-but-valid payload. The funcs come from the
+// facade so this package needs no view of the sketch, decision, or trace
+// types behind them.
+type DiagSources struct {
+	// BeforeScrape, when non-nil, runs at the top of every /metrics and
+	// /metrics.json request — the hook where scrape-time gauges (tracer
+	// drop counts, open sessions) are refreshed.
+	BeforeScrape func()
+	// Sketches writes the /sketches JSON document (the node's windowed
+	// quantile sketches, see internal/stats).
+	Sketches func(io.Writer) error
+	// Decisions writes the /decisions JSON document (the RM audit ring).
+	Decisions func(io.Writer) error
+	// Trace writes the /trace JSONL document (the node's span events).
+	Trace func(io.Writer) error
+}
+
 // ServeDiagnostics starts the diagnostics endpoint on addr ("host:port",
 // ":0" picks a free port). The registry may be nil, in which case
 // /metrics serves an empty (but valid) exposition. Routes:
@@ -31,6 +51,9 @@ type DiagnosticsServer struct {
 //	/metrics         Prometheus text format
 //	/metrics.json    the same registry as JSON
 //	/healthz         {"status":"ok","nodes":N,...}
+//	/sketches        windowed quantile sketches as JSON (mergeable)
+//	/decisions       the RM decision audit ring as JSON
+//	/trace           span events as Chrome trace-event JSONL
 //	/faults          live fault injection: GET lists rules+stats,
 //	                 POST sets a rule (?from=&to=&drop=&dup=&delay=&sever=),
 //	                 DELETE heals one pair or, without params, all
@@ -38,23 +61,57 @@ type DiagnosticsServer struct {
 //	                 starts recording, DELETE stops and flushes
 //	/debug/pprof/*   standard Go profiling endpoints
 func (rt *Runtime) ServeDiagnostics(addr string, reg *metrics.Registry) (*DiagnosticsServer, error) {
+	return rt.ServeDiagnosticsOpts(addr, reg, DiagSources{})
+}
+
+// ServeDiagnosticsOpts is ServeDiagnostics with explicit observability
+// sources backing the /sketches, /decisions, and /trace routes.
+func (rt *Runtime) ServeDiagnosticsOpts(addr string, reg *metrics.Registry, src DiagSources) (*DiagnosticsServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if src.BeforeScrape != nil {
+			src.BeforeScrape()
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		if reg != nil {
 			reg.WritePrometheus(w)
 		}
 	})
 	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		if src.BeforeScrape != nil {
+			src.BeforeScrape()
+		}
 		w.Header().Set("Content-Type", "application/json")
 		if reg != nil {
 			reg.WriteJSON(w)
 		} else {
 			w.Write([]byte("{\"families\":[]}\n"))
+		}
+	})
+	mux.HandleFunc("/sketches", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if src.Sketches != nil {
+			src.Sketches(w)
+		} else {
+			w.Write([]byte("{\"sketches\":[]}\n"))
+		}
+	})
+	mux.HandleFunc("/decisions", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if src.Decisions != nil {
+			src.Decisions(w)
+		} else {
+			w.Write([]byte("{\"total\":0,\"decisions\":[]}\n"))
+		}
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		if src.Trace != nil {
+			src.Trace(w)
 		}
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {

@@ -273,6 +273,10 @@ func (rt *Runtime) nowMicros() int64 {
 	return (Nanotime() - rt.startNano) / 1000
 }
 
+// NowMicros exposes the runtime clock to the facade, which must query
+// windowed sketches on the same clock their samples are stamped with.
+func (rt *Runtime) NowMicros() int64 { return rt.nowMicros() }
+
 // NodeCount reports how many nodes are currently hosted.
 func (rt *Runtime) NodeCount() int {
 	rt.mu.Lock()

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/env"
 	"repro/internal/metrics"
+	"repro/internal/stats"
 	"repro/internal/trace"
 )
 
@@ -182,6 +183,7 @@ type TCPTransport struct {
 
 	m      *transportMetrics
 	tracer *trace.Tracer
+	sk     *stats.Set // nil-safe; fed supervisor queue occupancy per enqueue
 }
 
 // transportMetrics holds the pre-registered registry instruments; nil
@@ -244,6 +246,11 @@ func NewTCPTransportOpts(rt *Runtime, cfg TransportConfig, reg *metrics.Registry
 	rt.mu.Unlock()
 	return t
 }
+
+// AttachSketches installs the windowed sketch set that receives the
+// supervisor queue occupancy (0..1 of QueueDepth) on every enqueue. Must
+// be called before traffic flows; a nil set keeps the transport silent.
+func (t *TCPTransport) AttachSketches(sk *stats.Set) { t.sk = sk }
 
 // Register maps a remote node ID to its listener address.
 func (t *TCPTransport) Register(id env.NodeID, addr string) {
@@ -402,6 +409,12 @@ func (t *TCPTransport) enqueue(from, to env.NodeID, m env.Message) error {
 	}
 	select {
 	case s.queue <- wireMsg{From: from, To: to, Payload: m}:
+		// Guarded so the disabled path never pays the clock read: the
+		// Observe arguments are evaluated before its own nil check.
+		if t.sk != nil {
+			t.sk.Observe(stats.SketchQueueOcc, t.rt.nowMicros(),
+				float64(len(s.queue))/float64(t.cfg.QueueDepth))
+		}
 		return nil
 	default:
 		t.countDrop(DropQueueFull)

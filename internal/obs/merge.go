@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"encoding/json"
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// MergeTraces folds per-node trace streams into one deterministically
+// ordered stream. The order is a total order over the event fields —
+// timestamp, span ID, domain, node, phase, name, category, scope, then
+// canonical args JSON — so any permutation of the same inputs merges to
+// byte-identical output, which is what the stitching determinism tests
+// pin down. Events for the same span ID interleave by time across
+// nodes: that interleaving is the stitched cross-node session.
+func MergeTraces(traces ...[]trace.Event) []trace.Event {
+	type keyed struct {
+		e trace.Event
+		k string
+	}
+	var all []keyed
+	for _, t := range traces {
+		for _, e := range t {
+			all = append(all, keyed{e: e, k: orderKey(e)})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].e.TS != all[j].e.TS {
+			return all[i].e.TS < all[j].e.TS
+		}
+		return all[i].k < all[j].k
+	})
+	// A fleet view can see the same event twice (one node scraped under
+	// two names, repeated scrapes merged); identical adjacent events
+	// collapse so the merge is idempotent.
+	out := make([]trace.Event, 0, len(all))
+	for i, ke := range all {
+		if i > 0 && ke.e.TS == all[i-1].e.TS && ke.k == all[i-1].k {
+			continue
+		}
+		out = append(out, ke.e)
+	}
+	return out
+}
+
+// orderKey renders the non-timestamp fields of an event into one
+// comparable string. encoding/json writes map keys sorted, so args
+// serialize canonically.
+func orderKey(e trace.Event) string {
+	b, _ := json.Marshal(struct {
+		ID    string         `json:"id"`
+		PID   int            `json:"pid"`
+		TID   int            `json:"tid"`
+		Phase string         `json:"ph"`
+		Name  string         `json:"name"`
+		Cat   string         `json:"cat"`
+		Scope string         `json:"s"`
+		Dur   int64          `json:"dur"`
+		Args  map[string]any `json:"args"`
+	}{e.ID, e.PID, e.TID, e.Phase, e.Name, e.Cat, e.Scope, e.Dur, e.Args})
+	return string(b)
+}
+
+// SessionTrack summarizes one async span (one task session) in a merged
+// trace: which nodes and domains emitted events under its span ID, its
+// time extent, and its task name when any event carried one. A track
+// whose Nodes has two or more entries is a stitched cross-node session.
+type SessionTrack struct {
+	ID      string `json:"id"`
+	Task    string `json:"task,omitempty"`
+	Nodes   []int  `json:"nodes"`
+	Domains []int  `json:"domains"`
+	FirstTS int64  `json:"first_ts"`
+	LastTS  int64  `json:"last_ts"`
+	Events  int    `json:"events"`
+}
+
+// SessionTracks groups a merged trace's events by span ID, cross-node
+// tracks first, then by first timestamp and ID. Events without a span
+// ID (transport instants, counters) are ignored.
+func SessionTracks(events []trace.Event) []SessionTrack {
+	byID := make(map[string]*SessionTrack)
+	nodesSeen := make(map[string]map[int]bool)
+	domsSeen := make(map[string]map[int]bool)
+	var order []string
+	for _, e := range events {
+		if e.ID == "" {
+			continue
+		}
+		t, ok := byID[e.ID]
+		if !ok {
+			t = &SessionTrack{ID: e.ID, FirstTS: e.TS, LastTS: e.TS}
+			byID[e.ID] = t
+			nodesSeen[e.ID] = make(map[int]bool)
+			domsSeen[e.ID] = make(map[int]bool)
+			order = append(order, e.ID)
+		}
+		if e.TS < t.FirstTS {
+			t.FirstTS = e.TS
+		}
+		if e.TS > t.LastTS {
+			t.LastTS = e.TS
+		}
+		t.Events++
+		nodesSeen[e.ID][e.TID] = true
+		domsSeen[e.ID][e.PID] = true
+		if t.Task == "" && e.Args != nil {
+			if task, ok := e.Args["task"].(string); ok {
+				t.Task = task
+			}
+		}
+	}
+	out := make([]SessionTrack, 0, len(order))
+	for _, id := range order {
+		t := byID[id]
+		t.Nodes = sortedKeys(nodesSeen[id])
+		t.Domains = sortedKeys(domsSeen[id])
+		out = append(out, *t)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ci, cj := len(out[i].Nodes) >= 2, len(out[j].Nodes) >= 2
+		if ci != cj {
+			return ci
+		}
+		if out[i].FirstTS != out[j].FirstTS {
+			return out[i].FirstTS < out[j].FirstTS
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// sortedKeys flattens an int set in ascending order.
+func sortedKeys(set map[int]bool) []int {
+	out := make([]int, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,243 @@
+package obs
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// ev builds one trace event compactly.
+func ev(ts int64, id string, tid, pid int, name, phase string, args map[string]any) trace.Event {
+	return trace.Event{Name: name, Cat: "session", Phase: phase, TS: ts,
+		PID: pid, TID: tid, ID: id, Args: args}
+}
+
+// TestMergeTracesDeterministic pins the merge's total order: any
+// permutation of the same per-node streams merges to the same sequence,
+// and merging a stream with itself collapses the duplicates.
+func TestMergeTracesDeterministic(t *testing.T) {
+	a := []trace.Event{
+		ev(10, "0x1", 0, 0, "session", "b", map[string]any{"task": "t1"}),
+		ev(30, "0x1", 0, 0, "session", "e", nil),
+	}
+	b := []trace.Event{
+		ev(10, "0x2", 1, 0, "session", "b", map[string]any{"task": "t2"}),
+		ev(20, "0x1", 1, 0, "ctx", "i", map[string]any{"task": "t1"}),
+	}
+	ab := MergeTraces(a, b)
+	ba := MergeTraces(b, a)
+	if !reflect.DeepEqual(ab, ba) {
+		t.Fatalf("merge order changed output:\n%v\nvs\n%v", ab, ba)
+	}
+	if len(ab) != 4 {
+		t.Fatalf("merged %d events, want 4", len(ab))
+	}
+	for i := 1; i < len(ab); i++ {
+		if ab[i].TS < ab[i-1].TS {
+			t.Fatalf("timestamps out of order at %d: %v", i, ab)
+		}
+	}
+	// Idempotent under duplication (the same node scraped twice).
+	dup := MergeTraces(a, b, a)
+	if !reflect.DeepEqual(dup, ab) {
+		t.Fatalf("duplicate stream changed merge: %v vs %v", dup, ab)
+	}
+}
+
+// TestSessionTracks checks span grouping, cross-node detection, task
+// extraction, and the cross-node-first ordering.
+func TestSessionTracks(t *testing.T) {
+	merged := MergeTraces([]trace.Event{
+		ev(5, "0xa", 0, 0, "session", "b", map[string]any{"task": "local"}),
+		ev(9, "0xa", 0, 0, "session", "e", nil),
+		ev(10, "0xb", 1, 0, "session", "b", map[string]any{"task": "crossed"}),
+		ev(12, "0xb", 2, 0, "ctx", "i", map[string]any{"task": "crossed"}),
+		ev(20, "0xb", 2, 0, "session", "e", nil),
+		{Name: "reconnect", Cat: "transport", Phase: "i", TS: 7}, // no ID: ignored
+	})
+	tracks := SessionTracks(merged)
+	if len(tracks) != 2 {
+		t.Fatalf("tracks = %+v", tracks)
+	}
+	cross := tracks[0]
+	if cross.ID != "0xb" || cross.Task != "crossed" {
+		t.Fatalf("cross-node track not first: %+v", tracks)
+	}
+	if !reflect.DeepEqual(cross.Nodes, []int{1, 2}) {
+		t.Fatalf("nodes = %v", cross.Nodes)
+	}
+	if cross.FirstTS != 10 || cross.LastTS != 20 || cross.Events != 3 {
+		t.Fatalf("extent = %+v", cross)
+	}
+	if n := tracks[1].Nodes; len(n) != 1 {
+		t.Fatalf("local track nodes = %v", n)
+	}
+}
+
+// TestSummarize rolls two nodes' families into one per-domain view.
+func TestSummarize(t *testing.T) {
+	fam := func(name string, domain string, v float64) metrics.FamilySnapshot {
+		return metrics.FamilySnapshot{Name: name, Metrics: []metrics.MetricSnapshot{
+			{Labels: metrics.Labels{"domain": domain}, Value: v},
+		}}
+	}
+	nodes := []NodeData{
+		{Name: "a", Families: []metrics.FamilySnapshot{
+			fam(core.MetricSubmitted, "0", 5),
+			fam(core.MetricAdmitted, "0", 4),
+			fam(core.MetricChunks, "0", 100),
+			fam(core.MetricChunksMiss, "0", 10),
+			{Name: core.MetricPeerLoad, Metrics: []metrics.MetricSnapshot{
+				{Labels: metrics.Labels{"domain": "0", "peer": "1"}, Value: 0.5},
+				{Labels: metrics.Labels{"domain": "0", "peer": "2"}, Value: 0.7},
+			}},
+		}},
+		{Name: "b", Families: []metrics.FamilySnapshot{
+			fam(core.MetricSubmitted, "0", 2),
+			fam(core.MetricSubmitted, "1", 3),
+		}},
+	}
+	sums := Summarize(nodes)
+	if len(sums) != 2 || sums[0].Domain != 0 || sums[1].Domain != 1 {
+		t.Fatalf("domains = %+v", sums)
+	}
+	d0 := sums[0]
+	if d0.Submitted != 7 || d0.Admitted != 4 || d0.Peers != 2 {
+		t.Fatalf("domain 0 = %+v", d0)
+	}
+	if d0.MissRate != 0.1 {
+		t.Fatalf("miss rate = %v", d0.MissRate)
+	}
+	if sums[1].Submitted != 3 {
+		t.Fatalf("domain 1 = %+v", sums[1])
+	}
+}
+
+// TestCollectAndQuantile folds two nodes' sketch exports and reads the
+// fleet percentile back out.
+func TestCollectAndQuantile(t *testing.T) {
+	mk := func(vals ...float64) []stats.SketchJSON {
+		s := stats.NewSet(0, 0, 0)
+		for _, v := range vals {
+			s.Observe(stats.SketchAllocLatency, 0, v)
+		}
+		return s.Export(0)
+	}
+	f := Collect([]NodeData{
+		{Name: "a", Sketches: mk(0.001, 0.002)},
+		{Name: "b", Sketches: mk(0.003, 0.004)},
+	})
+	if len(f.Sketches) != 1 || f.SketchesSkipped != 0 {
+		t.Fatalf("sketches = %+v skipped=%d", f.Sketches, f.SketchesSkipped)
+	}
+	s, err := stats.Import(f.Sketches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Count() != 4 {
+		t.Fatalf("merged count = %d", s.Count())
+	}
+	if q := f.Quantile(stats.SketchAllocLatency, 0.99); q < 0.003 {
+		t.Fatalf("fleet p99 = %v", q)
+	}
+	if q := f.Quantile("absent", 0.99); q != 0 {
+		t.Fatalf("absent sketch quantile = %v", q)
+	}
+}
+
+// TestLoadDir round-trips the p2psim -obs documents through the
+// file-mode loader.
+func TestLoadDir(t *testing.T) {
+	dir := t.TempDir()
+	var traceBuf bytes.Buffer
+	tr := trace.New()
+	tr.BeginSession(1, "t1", 0, 0)
+	tr.EndSession(5, "t1", 0, 0, "completed")
+	if err := tr.WriteJSONL(&traceBuf); err != nil {
+		t.Fatal(err)
+	}
+	writeFile := func(name string, b []byte) {
+		if err := os.WriteFile(filepath.Join(dir, name), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeFile(FileTrace, traceBuf.Bytes())
+	set := stats.NewSet(0, 0, 0)
+	set.Observe(stats.SketchDeliveryRTT, 0, 0.25)
+	var skBuf bytes.Buffer
+	if err := set.WriteJSON(&skBuf, 0); err != nil {
+		t.Fatal(err)
+	}
+	writeFile(FileSketches, skBuf.Bytes())
+	dl := core.NewDecisionLog(0)
+	dl.Add(core.Decision{Action: core.DecisionAdmit, Task: "t1"})
+	var decBuf bytes.Buffer
+	if err := dl.WriteJSON(&decBuf); err != nil {
+		t.Fatal(err)
+	}
+	writeFile(FileDecisions, decBuf.Bytes())
+	reg := metrics.NewRegistry()
+	reg.Counter(core.MetricSubmitted, "sessions submitted",
+		metrics.Labels{"domain": "0"}).Inc()
+	var mBuf bytes.Buffer
+	if err := reg.WriteJSON(&mBuf); err != nil {
+		t.Fatal(err)
+	}
+	writeFile(FileMetrics, mBuf.Bytes())
+
+	n, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Trace) != 2 || len(n.Sketches) != 1 || len(n.Decisions) != 1 {
+		t.Fatalf("loaded %d trace / %d sketches / %d decisions",
+			len(n.Trace), len(n.Sketches), len(n.Decisions))
+	}
+	f := Collect([]NodeData{n})
+	if len(f.Sessions) != 1 || f.Sessions[0].Task != "t1" {
+		t.Fatalf("sessions = %+v", f.Sessions)
+	}
+	if len(f.Domains) != 1 || f.Domains[0].Submitted != 1 {
+		t.Fatalf("domains = %+v", f.Domains)
+	}
+
+	// A directory with no documents loads as an empty node.
+	empty, err := LoadDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(empty.Trace) != 0 || len(empty.Sketches) != 0 {
+		t.Fatalf("empty dir loaded data: %+v", empty)
+	}
+}
+
+// TestRenderSmoke renders a populated fleet without panicking and with
+// the headline sections present.
+func TestRenderSmoke(t *testing.T) {
+	set := stats.NewSet(0, 0, 0)
+	set.Observe(stats.SketchAllocLatency, 0, 0.001)
+	f := Collect([]NodeData{{
+		Name:     "a",
+		Sketches: set.Export(0),
+		Trace: []trace.Event{
+			ev(1, "0x9", 0, 0, "session", "b", map[string]any{"task": "t"}),
+			ev(2, "0x9", 1, 0, "session", "e", nil),
+		},
+		Decisions: []core.Decision{{Action: core.DecisionAdmit, Task: "t"}},
+	}})
+	var buf bytes.Buffer
+	Render(&buf, f)
+	out := buf.String()
+	for _, want := range []string{"SKETCH", "SESSIONS", "1 cross-node", "DECISIONS"} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}

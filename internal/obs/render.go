@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// Render writes the fleet view as the p2ptop text dashboard: a sketch
+// percentile block, one row per domain, the transport drop reasons, the
+// cross-node session tracks, and the tail of the decision audit.
+func Render(w io.Writer, f *Fleet) {
+	errs := 0
+	for _, n := range f.Nodes {
+		if n.Err != nil {
+			errs++
+		}
+	}
+	fmt.Fprintf(w, "p2ptop — %d node(s)", len(f.Nodes))
+	if errs > 0 {
+		fmt.Fprintf(w, ", %d scrape error(s)", errs)
+	}
+	if f.SketchesSkipped > 0 {
+		fmt.Fprintf(w, ", %d sketch export(s) skipped", f.SketchesSkipped)
+	}
+	fmt.Fprintln(w)
+
+	if len(f.Sketches) > 0 {
+		fmt.Fprintf(w, "\n%-30s %10s %12s %12s %12s\n", "SKETCH", "COUNT", "P50", "P95", "P99")
+		for _, j := range f.Sketches {
+			s, err := stats.Import(j)
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(w, "%-30s %10d %12.6f %12.6f %12.6f\n",
+				j.Name, s.Count(), s.Quantile(0.50), s.Quantile(0.95), s.Quantile(0.99))
+		}
+	}
+
+	if len(f.Domains) > 0 {
+		fmt.Fprintf(w, "\n%6s %5s %6s %6s %6s %6s %6s %6s %6s %6s %6s %6s\n",
+			"DOMAIN", "PEERS", "SUBMIT", "ADMIT", "REJECT", "REDIR",
+			"DONE", "ABORT", "REPAIR", "MIGR", "FAILOV", "MISS%")
+		for _, d := range f.Domains {
+			fmt.Fprintf(w, "%6d %5d %6d %6d %6d %6d %6d %6d %6d %6d %6d %6.2f\n",
+				d.Domain, d.Peers, d.Submitted, d.Admitted, d.Rejected, d.Redirected,
+				d.Completed, d.Aborted, d.Repairs, d.Migrations, d.Failovers,
+				100*d.MissRate)
+		}
+	}
+
+	if len(f.Drops) > 0 {
+		reasons := make([]string, 0, len(f.Drops))
+		for r := range f.Drops {
+			reasons = append(reasons, r)
+		}
+		sort.Strings(reasons)
+		fmt.Fprintf(w, "\nDROPS")
+		for _, r := range reasons {
+			fmt.Fprintf(w, "  %s=%d", r, f.Drops[r])
+		}
+		fmt.Fprintln(w)
+	}
+
+	cross := f.CrossNode()
+	fmt.Fprintf(w, "\nSESSIONS  %d track(s), %d cross-node\n", len(f.Sessions), len(cross))
+	const maxTracks = 10
+	for i, s := range cross {
+		if i == maxTracks {
+			fmt.Fprintf(w, "  … %d more\n", len(cross)-maxTracks)
+			break
+		}
+		fmt.Fprintf(w, "  %s %-10s nodes=%v domains=%v span=%.3fms events=%d\n",
+			s.ID, s.Task, s.Nodes, s.Domains, float64(s.LastTS-s.FirstTS)/1000, s.Events)
+	}
+
+	if len(f.Decisions) > 0 {
+		const tail = 8
+		start := len(f.Decisions) - tail
+		if start < 0 {
+			start = 0
+		}
+		fmt.Fprintf(w, "\nDECISIONS  %d shown of %d\n", len(f.Decisions)-start, len(f.Decisions))
+		for _, d := range f.Decisions[start:] {
+			fmt.Fprintf(w, "  %10d d%d n%-3d %-9s %-8s", d.TSMicros, d.Domain, d.Node, d.Action, d.Task)
+			if d.Reason != "" {
+				fmt.Fprintf(w, " %s", d.Reason)
+			}
+			if d.UtilityDelta != 0 {
+				fmt.Fprintf(w, " Δu=%+.4f", d.UtilityDelta)
+			}
+			if len(d.Candidates) > 0 {
+				fmt.Fprintf(w, " considered=%v", d.Candidates)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"sort"
+	"strconv"
+
+	"repro/internal/core"
+)
+
+// DomainSummary is the per-domain rollup of the fleet's metric
+// families: distinct peers seen, the session-outcome counters, and the
+// chunk-deadline miss rate. Counters sum across nodes, which is exact
+// because every process counts only its own events.
+type DomainSummary struct {
+	Domain       int     `json:"domain"`
+	Peers        int     `json:"peers"`
+	Submitted    uint64  `json:"submitted"`
+	Admitted     uint64  `json:"admitted"`
+	Rejected     uint64  `json:"rejected"`
+	Redirected   uint64  `json:"redirected"`
+	Completed    uint64  `json:"completed"`
+	Aborted      uint64  `json:"aborted"`
+	Repairs      uint64  `json:"repairs"`
+	Migrations   uint64  `json:"migrations"`
+	Preemptions  uint64  `json:"preemptions"`
+	Failovers    uint64  `json:"failovers"`
+	Chunks       uint64  `json:"chunks"`
+	ChunksMissed uint64  `json:"chunks_missed"`
+	MissRate     float64 `json:"miss_rate"`
+}
+
+// Summarize rolls the nodes' metric families up by domain label.
+func Summarize(nodes []NodeData) []DomainSummary {
+	sums := make(map[int]*DomainSummary)
+	peers := make(map[int]map[string]bool)
+	get := func(domain int) *DomainSummary {
+		s, ok := sums[domain]
+		if !ok {
+			s = &DomainSummary{Domain: domain}
+			sums[domain] = s
+			peers[domain] = make(map[string]bool)
+		}
+		return s
+	}
+	for _, n := range nodes {
+		for _, fam := range n.Families {
+			dst := counterField(fam.Name)
+			for _, m := range fam.Metrics {
+				d, err := strconv.Atoi(m.Labels["domain"])
+				if err != nil {
+					continue
+				}
+				s := get(d)
+				if fam.Name == core.MetricPeerLoad {
+					if p := m.Labels["peer"]; p != "" {
+						peers[d][p] = true
+					}
+					continue
+				}
+				if dst != nil {
+					*dst(s) += uint64(m.Value)
+				}
+			}
+		}
+	}
+	out := make([]DomainSummary, 0, len(sums))
+	for d, s := range sums {
+		s.Peers = len(peers[d])
+		if s.Chunks > 0 {
+			s.MissRate = float64(s.ChunksMissed) / float64(s.Chunks)
+		}
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Domain < out[j].Domain })
+	return out
+}
+
+// counterField maps a family name to the summary field it accumulates
+// into (nil for families the rollup ignores).
+func counterField(name string) func(*DomainSummary) *uint64 {
+	switch name {
+	case core.MetricSubmitted:
+		return func(s *DomainSummary) *uint64 { return &s.Submitted }
+	case core.MetricAdmitted:
+		return func(s *DomainSummary) *uint64 { return &s.Admitted }
+	case core.MetricRejected:
+		return func(s *DomainSummary) *uint64 { return &s.Rejected }
+	case core.MetricRedirected:
+		return func(s *DomainSummary) *uint64 { return &s.Redirected }
+	case core.MetricCompleted:
+		return func(s *DomainSummary) *uint64 { return &s.Completed }
+	case core.MetricAborted:
+		return func(s *DomainSummary) *uint64 { return &s.Aborted }
+	case core.MetricRepairs:
+		return func(s *DomainSummary) *uint64 { return &s.Repairs }
+	case core.MetricMigrations:
+		return func(s *DomainSummary) *uint64 { return &s.Migrations }
+	case core.MetricPreemptions:
+		return func(s *DomainSummary) *uint64 { return &s.Preemptions }
+	case core.MetricFailovers:
+		return func(s *DomainSummary) *uint64 { return &s.Failovers }
+	case core.MetricChunks:
+		return func(s *DomainSummary) *uint64 { return &s.Chunks }
+	case core.MetricChunksMiss:
+		return func(s *DomainSummary) *uint64 { return &s.ChunksMissed }
+	}
+	return nil
+}

@@ -143,6 +143,21 @@ type TakeoverAnnounce struct {
 	Backup env.NodeID
 }
 
+// --- Trace-context propagation ---
+
+// TraceContext carries a task's causal trace identity across the wire so
+// spans recorded by different processes stitch into one async track when
+// traces are merged (internal/trace derives the same ids from equal
+// seeds; the propagated context makes stitching robust even when seeds
+// diverge). Trace is the task's session span id; Parent references the
+// phase of the sender that caused this message (trace.PhaseRef). The
+// zero value means "untraced" and costs nothing on the wire: gob omits
+// zero-value fields.
+type TraceContext struct {
+	Trace  uint64 // session span id (0 = untraced)
+	Parent uint64 // causally preceding phase ref (0 = root)
+}
+
 // --- Task submission and sessions (§4.3) ---
 
 // TaskSpec is a user query: "a peer might ask for a media object by name,
@@ -166,12 +181,14 @@ type TaskSpec struct {
 type TaskSubmit struct {
 	Spec TaskSpec
 	Hops int // inter-domain redirects so far
+	TC   TraceContext
 }
 
 // TaskReject reports that no allocation satisfying the QoS exists (§4.3).
 type TaskReject struct {
 	TaskID string
 	Reason string
+	TC     TraceContext
 }
 
 // StageDesc is one transcoding stage of a composed session.
@@ -210,6 +227,11 @@ type SessionDesc struct {
 	// Generation increments on each repair/migration of the same task so
 	// stale chunks from a torn-down pipeline can be discarded.
 	Generation int
+	// TC is the task's trace context, fixed at allocation. It rides with
+	// the session wherever it goes — graph composition, backup
+	// replication, failover re-registration — so every process touching
+	// the session records spans under the same id.
+	TC TraceContext
 }
 
 // PipelinePeers returns source, stage peers, sink in order.
@@ -262,6 +284,7 @@ type ComposeAck struct {
 type SessionStart struct {
 	TaskID     string
 	Generation int
+	TC         TraceContext
 }
 
 // Chunk is one media chunk traversing the pipeline. NextStage addresses
@@ -291,6 +314,7 @@ type SessionAbort struct {
 	Generation int
 	Reason     string
 	Final      bool
+	TC         TraceContext
 }
 
 // SessionReport is the sink's account of a finished session.
@@ -310,7 +334,10 @@ type SessionReport struct {
 }
 
 // SessionEnd carries the report from the sink to the allocating RM.
-type SessionEnd struct{ Report SessionReport }
+type SessionEnd struct {
+	Report SessionReport
+	TC     TraceContext
+}
 
 // --- Inter-domain gossip (§3.1, §4.4) ---
 

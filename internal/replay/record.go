@@ -39,6 +39,27 @@ type Meta struct {
 	Events  uint64 `json:"events"`
 	Bytes   uint64 `json:"bytes"`
 	Dropped uint64 `json:"dropped"`
+	// TraceSeed is the seed the recorded run's tracer derived span IDs
+	// from (trace.DeriveSpanID); the replayer seeds its tracer with the
+	// same value so the replayed trace is byte-comparable. Zero for
+	// recordings made before trace seeding existed — which is also the
+	// unseeded tracer's seed, so the comparison still holds.
+	TraceSeed uint64 `json:"trace_seed,omitempty"`
+}
+
+// ReadMeta parses the recording metadata in dir. A missing meta.json
+// (crash before Close, or a foreign recording) returns the zero Meta
+// without error — every field degrades gracefully.
+func ReadMeta(dir string) (Meta, error) {
+	var m Meta
+	b, err := os.ReadFile(filepath.Join(dir, MetaFile))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return m, nil
+		}
+		return m, err
+	}
+	return m, json.Unmarshal(b, &m)
 }
 
 // Recorder streams events to <dir>/events.bin. It implements the live
@@ -60,9 +81,10 @@ type Recorder struct {
 	ch   chan pending
 	done chan struct{}
 
-	events  atomic.Uint64
-	bytes   atomic.Uint64
-	dropped atomic.Uint64
+	events    atomic.Uint64
+	bytes     atomic.Uint64
+	dropped   atomic.Uint64
+	traceSeed atomic.Uint64
 
 	mu     sync.Mutex
 	closed bool
@@ -100,6 +122,10 @@ func NewRecorder(dir string) (*Recorder, error) {
 
 // Dir returns the recording directory.
 func (r *Recorder) Dir() string { return r.dir }
+
+// SetTraceSeed records the tracer seed of the run being recorded; it is
+// written into meta.json at Close for the replayer to adopt.
+func (r *Recorder) SetTraceSeed(seed uint64) { r.traceSeed.Store(seed) }
 
 // Counters returns (events enqueued, payload bytes written, events
 // dropped) so far. Safe to call concurrently with recording; the byte
@@ -284,10 +310,11 @@ func (r *Recorder) Close() error {
 	}
 
 	meta := Meta{
-		Format:  logMagic,
-		Events:  r.events.Load(),
-		Bytes:   r.bytes.Load(),
-		Dropped: r.dropped.Load(),
+		Format:    logMagic,
+		Events:    r.events.Load(),
+		Bytes:     r.bytes.Load(),
+		Dropped:   r.dropped.Load(),
+		TraceSeed: r.traceSeed.Load(),
 	}
 	mb, merr := json.MarshalIndent(meta, "", "  ")
 	if merr == nil {

@@ -1,0 +1,207 @@
+// Package stats provides the streaming percentile engine of the fleet
+// observability plane: a mergeable quantile sketch with bounded relative
+// error (DDSketch-style logarithmic buckets), a sliding-window wrapper,
+// and a named registry (Set) the runtimes feed with allocation latency,
+// delivery RTT, failover time and queue occupancy.
+//
+// Design constraints, in order:
+//
+//   - Mergeable: bucket-wise merge is exact (associative and
+//     commutative), so per-node sketches scraped by the fleet collector
+//     combine into fleet-wide percentiles with no extra error.
+//   - Deterministic: serialization orders buckets by index, and every
+//     query is a pure function of the bucket multiset, so equal-seed
+//     runs produce byte-identical sketch exports.
+//   - Bounded: memory is O(log(max/min)/α) regardless of stream length.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// DefaultAlpha is the default relative accuracy: a quantile estimate q̂
+// satisfies |q̂ - q| <= α·q. 1% keeps ~700 buckets over the full range
+// of a float64, in practice a few dozen for latencies.
+const DefaultAlpha = 0.01
+
+// Sketch is a quantile sketch over non-negative values with relative
+// accuracy Alpha. The zero value is not usable; call NewSketch. A
+// Sketch is not safe for concurrent use — Windowed and Set add locking.
+type Sketch struct {
+	alpha    float64
+	gamma    float64 // (1+α)/(1-α)
+	logGamma float64
+	buckets  map[int]uint64 // bucket index -> count
+	zeros    uint64         // values in [0, minIndexable)
+	count    uint64
+	sum      float64
+	max      float64
+}
+
+// NewSketch creates an empty sketch with the given relative accuracy
+// (DefaultAlpha if alpha <= 0).
+func NewSketch(alpha float64) *Sketch {
+	if alpha <= 0 {
+		alpha = DefaultAlpha
+	}
+	gamma := (1 + alpha) / (1 - alpha)
+	return &Sketch{
+		alpha:    alpha,
+		gamma:    gamma,
+		logGamma: math.Log(gamma),
+		buckets:  make(map[int]uint64),
+	}
+}
+
+// minIndexable bounds the log-bucket index range; smaller magnitudes
+// collapse into the zeros bucket. 1e-9 is well below a microsecond when
+// values are seconds.
+const minIndexable = 1e-9
+
+// index returns the bucket index of v (v >= minIndexable).
+func (s *Sketch) index(v float64) int {
+	return int(math.Ceil(math.Log(v) / s.logGamma))
+}
+
+// value returns the representative value of bucket i (the geometric
+// midpoint of its bounds), the inverse of index up to relative error α.
+func (s *Sketch) value(i int) float64 {
+	return 2 * math.Pow(s.gamma, float64(i)) / (s.gamma + 1)
+}
+
+// Observe records one sample. Negative values clamp to zero.
+func (s *Sketch) Observe(v float64) {
+	if v < 0 || math.IsNaN(v) {
+		v = 0
+	}
+	s.count++
+	s.sum += v
+	if v > s.max {
+		s.max = v
+	}
+	if v < minIndexable {
+		s.zeros++
+		return
+	}
+	s.buckets[s.index(v)]++
+}
+
+// Count returns the number of observations.
+func (s *Sketch) Count() uint64 { return s.count }
+
+// Sum returns the sum of observations.
+func (s *Sketch) Sum() float64 { return s.sum }
+
+// Quantile returns the q-th quantile (q in [0, 1]) with relative error
+// at most Alpha, or 0 for an empty sketch.
+func (s *Sketch) Quantile(q float64) float64 {
+	if s.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(s.count)))
+	if rank == 0 {
+		rank = 1
+	}
+	if rank <= s.zeros {
+		return 0
+	}
+	idxs := make([]int, 0, len(s.buckets))
+	for i := range s.buckets {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	acc := s.zeros
+	for _, i := range idxs {
+		acc += s.buckets[i]
+		if acc >= rank {
+			return s.value(i)
+		}
+	}
+	return s.max
+}
+
+// Merge folds other into s bucket-wise. Both sketches must share the
+// same alpha; merging is exact, so (a+b)+c == a+(b+c) for any grouping.
+func (s *Sketch) Merge(other *Sketch) error {
+	if other == nil || other.count == 0 {
+		return nil
+	}
+	if other.alpha != s.alpha {
+		return fmt.Errorf("stats: merging sketches with alpha %g and %g", s.alpha, other.alpha)
+	}
+	s.count += other.count
+	s.sum += other.sum
+	s.zeros += other.zeros
+	if other.max > s.max {
+		s.max = other.max
+	}
+	for i, c := range other.buckets {
+		s.buckets[i] += c
+	}
+	return nil
+}
+
+// Clone returns a deep copy.
+func (s *Sketch) Clone() *Sketch {
+	c := NewSketch(s.alpha)
+	c.Merge(s) //nolint:errcheck // same alpha by construction
+	return c
+}
+
+// Reset empties the sketch in place, keeping its accuracy.
+func (s *Sketch) Reset() {
+	s.buckets = make(map[int]uint64)
+	s.zeros, s.count, s.sum, s.max = 0, 0, 0, 0
+}
+
+// SketchJSON is the deterministic wire form of a Sketch: bucket indices
+// sorted ascending, counts aligned. It is what /sketches serves and the
+// fleet collector merges.
+type SketchJSON struct {
+	Name  string   `json:"name,omitempty"`
+	Alpha float64  `json:"alpha"`
+	Count uint64   `json:"count"`
+	Zeros uint64   `json:"zeros,omitempty"`
+	Sum   float64  `json:"sum"`
+	Max   float64  `json:"max"`
+	Keys  []int    `json:"keys"`
+	Vals  []uint64 `json:"vals"`
+}
+
+// Export returns the deterministic wire form.
+func (s *Sketch) Export() SketchJSON {
+	keys := make([]int, 0, len(s.buckets))
+	for i := range s.buckets {
+		keys = append(keys, i)
+	}
+	sort.Ints(keys)
+	vals := make([]uint64, len(keys))
+	for n, i := range keys {
+		vals[n] = s.buckets[i]
+	}
+	return SketchJSON{Alpha: s.alpha, Count: s.count, Zeros: s.zeros,
+		Sum: s.sum, Max: s.max, Keys: keys, Vals: vals}
+}
+
+// Import reconstructs a Sketch from its wire form.
+func Import(j SketchJSON) (*Sketch, error) {
+	if len(j.Keys) != len(j.Vals) {
+		return nil, fmt.Errorf("stats: %d keys vs %d vals", len(j.Keys), len(j.Vals))
+	}
+	s := NewSketch(j.Alpha)
+	s.count, s.zeros, s.sum, s.max = j.Count, j.Zeros, j.Sum, j.Max
+	for n, i := range j.Keys {
+		if j.Vals[n] > 0 {
+			s.buckets[i] = j.Vals[n]
+		}
+	}
+	return s, nil
+}

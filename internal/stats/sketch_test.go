@@ -1,0 +1,199 @@
+package stats
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// exactQuantile returns the ceil-rank quantile of sorted vs, matching
+// the sketch's rank convention.
+func exactQuantile(vs []float64, q float64) float64 {
+	rank := int(math.Ceil(q * float64(len(vs))))
+	if rank < 1 {
+		rank = 1
+	}
+	return vs[rank-1]
+}
+
+// TestQuantileRelativeError is the property test pinning the sketch's
+// accuracy contract: for heavy-tailed latency-like streams, every
+// queried quantile is within the configured relative error of the exact
+// sorted quantile.
+func TestQuantileRelativeError(t *testing.T) {
+	r := rng.New(7)
+	for trial := 0; trial < 20; trial++ {
+		s := NewSketch(DefaultAlpha)
+		n := 100 + r.Intn(5000)
+		vs := make([]float64, 0, n)
+		for i := 0; i < n; i++ {
+			// Log-uniform over ~6 decades: 10µs .. 10s, in seconds.
+			v := math.Pow(10, -5+6*r.Float64())
+			vs = append(vs, v)
+			s.Observe(v)
+		}
+		sort.Float64s(vs)
+		for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.95, 0.99, 1} {
+			got, want := s.Quantile(q), exactQuantile(vs, q)
+			if rel := math.Abs(got-want) / want; rel > 2*DefaultAlpha {
+				t.Fatalf("trial %d n=%d q=%g: got %g want %g (rel err %g)",
+					trial, n, q, got, want, rel)
+			}
+		}
+	}
+}
+
+// TestMergeAssociativity checks that bucket-wise merge is exact: any
+// grouping of the same shards yields byte-identical exports.
+func TestMergeAssociativity(t *testing.T) {
+	r := rng.New(11)
+	shards := make([]*Sketch, 4)
+	for i := range shards {
+		shards[i] = NewSketch(DefaultAlpha)
+		for j := 0; j < 500; j++ {
+			shards[i].Observe(r.Float64() * 10)
+		}
+	}
+	// ((a+b)+c)+d
+	left := NewSketch(DefaultAlpha)
+	for _, s := range shards {
+		if err := left.Merge(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// (a+b) + (c+d)
+	ab, cd := NewSketch(DefaultAlpha), NewSketch(DefaultAlpha)
+	ab.Merge(shards[0])
+	ab.Merge(shards[1])
+	cd.Merge(shards[2])
+	cd.Merge(shards[3])
+	right := NewSketch(DefaultAlpha)
+	right.Merge(cd)
+	right.Merge(ab)
+
+	lj, _ := json.Marshal(left.Export())
+	rj, _ := json.Marshal(right.Export())
+	if !bytes.Equal(lj, rj) {
+		t.Fatalf("merge not associative:\n%s\n%s", lj, rj)
+	}
+	// And the merged sketch equals observing the union directly.
+	if left.Count() != 2000 {
+		t.Fatalf("count = %d", left.Count())
+	}
+}
+
+func TestMergeAlphaMismatch(t *testing.T) {
+	a, b := NewSketch(0.01), NewSketch(0.02)
+	b.Observe(1)
+	if err := a.Merge(b); err == nil {
+		t.Fatal("mismatched alpha must not merge")
+	}
+	if err := a.Merge(nil); err != nil {
+		t.Fatal("nil merge must be a no-op")
+	}
+}
+
+func TestImportExportRoundTrip(t *testing.T) {
+	r := rng.New(3)
+	s := NewSketch(DefaultAlpha)
+	for i := 0; i < 1000; i++ {
+		s.Observe(r.Float64())
+	}
+	s.Observe(0) // zeros bucket
+	j := s.Export()
+	back, err := Import(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj := back.Export()
+	aj, _ := json.Marshal(j)
+	bj2, _ := json.Marshal(bj)
+	if !bytes.Equal(aj, bj2) {
+		t.Fatalf("round trip changed sketch:\n%s\n%s", aj, bj2)
+	}
+	if _, err := Import(SketchJSON{Keys: []int{1}, Vals: nil}); err == nil {
+		t.Fatal("mismatched keys/vals must fail")
+	}
+}
+
+func TestWindowSlides(t *testing.T) {
+	// 10-unit window in 5 slices of 2 micros each.
+	w := NewWindowed(DefaultAlpha, 10, 5)
+	w.Observe(0, 100)
+	if got := w.Quantile(1, 0.5); math.Abs(got-100)/100 > DefaultAlpha {
+		t.Fatalf("p50 = %g", got)
+	}
+	// Advance past the full window: the old sample must expire.
+	w.Observe(25, 1)
+	if got := w.Quantile(25, 1); math.Abs(got-1) > DefaultAlpha {
+		t.Fatalf("after slide, max = %g (old sample leaked)", got)
+	}
+	if c := w.Merged(25).Count(); c != 1 {
+		t.Fatalf("window count = %d", c)
+	}
+}
+
+func TestSetExportDeterministic(t *testing.T) {
+	feed := func() *Set {
+		s := NewSet(0, 0, 0)
+		r := rng.New(9)
+		for i := 0; i < 300; i++ {
+			s.Observe(SketchAllocLatency, int64(i), r.Float64())
+			s.Observe(SketchDeliveryRTT, int64(i), r.Float64()*2)
+		}
+		return s
+	}
+	var a, b bytes.Buffer
+	if err := feed().WriteJSON(&a, 300); err != nil {
+		t.Fatal(err)
+	}
+	if err := feed().WriteJSON(&b, 300); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) || a.Len() == 0 {
+		t.Fatal("equal feeds must export byte-identical JSON")
+	}
+}
+
+func TestNilSetSafe(t *testing.T) {
+	var s *Set
+	s.Observe("x", 1, 2)
+	if s.Quantile("x", 1, 0.5) != 0 || s.Export(1) != nil {
+		t.Fatal("nil set reported state")
+	}
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeExports(t *testing.T) {
+	mk := func(seed uint64) []SketchJSON {
+		set := NewSet(0, 0, 0)
+		r := rng.New(seed)
+		for i := 0; i < 200; i++ {
+			set.Observe(SketchAllocLatency, int64(i), r.Float64())
+		}
+		return set.Export(200)
+	}
+	merged, skipped := MergeExports([][]SketchJSON{mk(1), mk(2)})
+	if skipped != 0 || len(merged) != 1 || merged[0].Count != 400 {
+		t.Fatalf("merged=%+v skipped=%d", merged, skipped)
+	}
+	// Order of node exports must not change the merged bytes.
+	m2, _ := MergeExports([][]SketchJSON{mk(2), mk(1)})
+	a, _ := json.Marshal(merged)
+	b, _ := json.Marshal(m2)
+	if !bytes.Equal(a, b) {
+		t.Fatal("merge order changed fleet sketch")
+	}
+	// A corrupt export is skipped, not fatal.
+	_, skipped = MergeExports([][]SketchJSON{{{Name: "x", Keys: []int{1}}}})
+	if skipped != 1 {
+		t.Fatalf("skipped = %d", skipped)
+	}
+}

@@ -1,0 +1,225 @@
+package stats
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+)
+
+// DefaultWindowMicros is the default sliding-window span: five minutes,
+// split into DefaultSlices rotating sub-sketches.
+const (
+	DefaultWindowMicros = int64(5 * 60 * 1_000_000)
+	DefaultSlices       = 5
+)
+
+// Windowed is a sliding-window quantile sketch: a ring of sub-sketches,
+// each covering window/slices of time, rotated by the caller's clock
+// (virtual micros under simulation, wall micros live). Queries and
+// exports merge the ring, so estimates cover at most `window` and at
+// least `window·(slices-1)/slices` of recent history. Safe for
+// concurrent use.
+type Windowed struct {
+	mu     sync.Mutex
+	alpha  float64
+	slice  int64 // micros per sub-sketch
+	ring   []*Sketch
+	epoch  int64 // slice index of ring[head]
+	head   int
+	primed bool
+}
+
+// NewWindowed creates a sliding-window sketch. windowMicros <= 0 uses
+// DefaultWindowMicros; slices <= 0 uses DefaultSlices; alpha <= 0 uses
+// DefaultAlpha.
+func NewWindowed(alpha float64, windowMicros int64, slices int) *Windowed {
+	if windowMicros <= 0 {
+		windowMicros = DefaultWindowMicros
+	}
+	if slices <= 0 {
+		slices = DefaultSlices
+	}
+	ring := make([]*Sketch, slices)
+	for i := range ring {
+		ring[i] = NewSketch(alpha)
+	}
+	return &Windowed{alpha: ring[0].alpha, slice: windowMicros / int64(slices), ring: ring}
+}
+
+// rotateLocked advances the ring so ring[head] covers nowMicros.
+// Caller holds w.mu.
+func (w *Windowed) rotateLocked(nowMicros int64) {
+	e := nowMicros / w.slice
+	if !w.primed {
+		w.epoch, w.primed = e, true
+		return
+	}
+	for ; w.epoch < e; w.epoch++ {
+		w.head = (w.head + 1) % len(w.ring)
+		w.ring[w.head].Reset()
+	}
+}
+
+// Observe records one sample stamped with the caller's clock.
+func (w *Windowed) Observe(nowMicros int64, v float64) {
+	w.mu.Lock()
+	w.rotateLocked(nowMicros)
+	w.ring[w.head].Observe(v)
+	w.mu.Unlock()
+}
+
+// Merged returns the merge of the live ring as an independent Sketch.
+func (w *Windowed) Merged(nowMicros int64) *Sketch {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.rotateLocked(nowMicros)
+	out := NewSketch(w.alpha)
+	for _, s := range w.ring {
+		out.Merge(s) //nolint:errcheck // same alpha by construction
+	}
+	return out
+}
+
+// Quantile queries the merged window.
+func (w *Windowed) Quantile(nowMicros int64, q float64) float64 {
+	return w.Merged(nowMicros).Quantile(q)
+}
+
+// Set is a named registry of windowed sketches — the per-process half
+// of the fleet percentile plane. The zero value is not usable; call
+// NewSet. A nil *Set ignores all operations, mirroring the nil-Tracer
+// convention, so call sites stay allocation-free when stats are off.
+type Set struct {
+	mu       sync.Mutex
+	alpha    float64
+	window   int64
+	slices   int
+	sketches map[string]*Windowed // guarded by mu (pointers; Windowed locks itself)
+}
+
+// Sketch names fed by the middleware. Values are seconds except
+// occupancy, which is a 0..1 fraction of queue capacity.
+const (
+	SketchAllocLatency = "alloc_latency_seconds"
+	SketchDeliveryRTT  = "delivery_rtt_seconds"
+	SketchFailover     = "failover_seconds"
+	SketchQueueOcc     = "supervisor_queue_occupancy"
+)
+
+// NewSet creates an empty set; zero arguments select the defaults.
+func NewSet(alpha float64, windowMicros int64, slices int) *Set {
+	if alpha <= 0 {
+		alpha = DefaultAlpha
+	}
+	return &Set{alpha: alpha, window: windowMicros, slices: slices,
+		sketches: make(map[string]*Windowed)}
+}
+
+// get returns the named windowed sketch, creating it on first use.
+func (s *Set) get(name string) *Windowed {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w, ok := s.sketches[name]
+	if !ok {
+		w = NewWindowed(s.alpha, s.window, s.slices)
+		s.sketches[name] = w
+	}
+	return w
+}
+
+// Observe records one sample into the named sketch.
+func (s *Set) Observe(name string, nowMicros int64, v float64) {
+	if s == nil {
+		return
+	}
+	s.get(name).Observe(nowMicros, v)
+}
+
+// Quantile queries the named sketch's merged window (0 if absent).
+func (s *Set) Quantile(name string, nowMicros int64, q float64) float64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	w := s.sketches[name]
+	s.mu.Unlock()
+	if w == nil {
+		return 0
+	}
+	return w.Quantile(nowMicros, q)
+}
+
+// Export returns every named sketch's merged window in name order —
+// the deterministic payload of the /sketches endpoint.
+func (s *Set) Export(nowMicros int64) []SketchJSON {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	names := make([]string, 0, len(s.sketches))
+	for n := range s.sketches {
+		names = append(names, n)
+	}
+	ws := make(map[string]*Windowed, len(names))
+	for _, n := range names {
+		ws[n] = s.sketches[n]
+	}
+	s.mu.Unlock()
+	sort.Strings(names)
+	out := make([]SketchJSON, 0, len(names))
+	for _, n := range names {
+		j := ws[n].Merged(nowMicros).Export()
+		j.Name = n
+		out = append(out, j)
+	}
+	return out
+}
+
+// WriteJSON writes the Export as one indented JSON document.
+func (s *Set) WriteJSON(w io.Writer, nowMicros int64) error {
+	if s == nil {
+		_, err := w.Write([]byte("{\"sketches\":[]}\n"))
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Sketches []SketchJSON `json:"sketches"`
+	}{s.Export(nowMicros)})
+}
+
+// MergeExports folds per-node sketch exports into fleet-wide sketches
+// keyed by name, returning them in name order. Merge error (mismatched
+// alpha) drops the offending export rather than poisoning the fleet
+// view; the caller sees the drop in the returned skipped count.
+func MergeExports(exports [][]SketchJSON) (merged []SketchJSON, skipped int) {
+	byName := make(map[string]*Sketch)
+	for _, node := range exports {
+		for _, j := range node {
+			s, err := Import(j)
+			if err != nil {
+				skipped++
+				continue
+			}
+			if cur, ok := byName[j.Name]; ok {
+				if err := cur.Merge(s); err != nil {
+					skipped++
+				}
+			} else {
+				byName[j.Name] = s
+			}
+		}
+	}
+	names := make([]string, 0, len(byName))
+	for n := range byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		j := byName[n].Export()
+		j.Name = n
+		merged = append(merged, j)
+	}
+	return merged, skipped
+}

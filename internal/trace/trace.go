@@ -28,6 +28,8 @@ import (
 	"io"
 	"os"
 	"sync"
+
+	"repro/internal/rng"
 )
 
 // Attr is one key/value annotation on a span or event.
@@ -73,7 +75,7 @@ type Tracer struct {
 	// All fields below are guarded by mu.
 	events    []Event             // guarded by mu
 	sessions  map[string]*session // guarded by mu
-	nextID    uint64              // guarded by mu
+	seed      uint64              // span-id derivation material; guarded by mu
 	begun     int                 // sessions ever begun; guarded by mu
 	dropped   int                 // guarded by mu
 	maxEvents int                 // guarded by mu
@@ -82,6 +84,20 @@ type Tracer struct {
 // New creates an enabled tracer with the default buffer bound.
 func New() *Tracer {
 	return &Tracer{sessions: make(map[string]*session), maxEvents: DefaultMaxEvents}
+}
+
+// SetSeed fixes the span-id derivation material. Span IDs are a pure
+// function of (seed, task ID), so runs — and distinct processes — that
+// share a seed derive identical IDs for the same task and their spans
+// stitch into one async track when traces are merged. Both runtime
+// constructors call this with their run seed before any node starts.
+func (t *Tracer) SetSeed(seed uint64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.seed = seed
+	t.mu.Unlock()
 }
 
 // SetMaxEvents adjusts the buffer bound (<= 0 means unlimited).
@@ -118,16 +134,83 @@ func attrMap(attrs []Attr) map[string]any {
 
 func spanID(id uint64) string { return fmt.Sprintf("0x%x", id) }
 
+// fnv64a is the 64-bit FNV-1a hash, used to fold task IDs and phase
+// names into span-id derivation streams.
+func fnv64a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// DeriveSpanID returns the span id a tracer seeded with seed assigns to
+// task: rng seed material mixed with the task-ID hash. It is the
+// cross-process contract that makes equal-seed nodes agree on span IDs
+// without coordination; exported so tests and the fleet collector can
+// predict IDs.
+func DeriveSpanID(seed uint64, task string) uint64 {
+	id := rng.Derive(seed, fnv64a(task))
+	if id == 0 { // keep 0 as the "untraced" sentinel in TraceContext
+		id = fnv64a(task) | 1
+	}
+	return id
+}
+
+// PhaseRef derives the stable reference id of one named phase inside a
+// session span. Propagated trace contexts carry it as the parent-span
+// ref: the receiver learns not just which session a message belongs to
+// but which phase of it caused the message.
+func PhaseRef(span uint64, phase string) uint64 {
+	return rng.Derive(span, fnv64a(phase))
+}
+
 // ensureLocked returns the session record for task, creating it
 // (closed) on first sight. Caller holds t.mu.
 func (t *Tracer) ensureLocked(task string) *session {
 	s, ok := t.sessions[task]
 	if !ok {
-		t.nextID++
-		s = &session{id: t.nextID}
+		s = &session{id: DeriveSpanID(t.seed, task)}
 		t.sessions[task] = s
 	}
 	return s
+}
+
+// SpanFor returns the span id of a task's session, deriving (and
+// remembering) it on first sight. Senders stamp outgoing messages with
+// it; 0 is returned only from a nil tracer.
+func (t *Tracer) SpanFor(task string) uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.ensureLocked(task).id
+}
+
+// Adopt binds a task to a span id propagated from another process. The
+// first binding for a task wins — with equal seeds the propagated id
+// equals the locally derived one, and with diverging seeds the earliest
+// context observed keeps the trace self-consistent. A fresh adoption
+// with a parent-span ref records a "ctx" instant documenting the
+// causal handoff; re-adoptions are silent no-ops.
+func (t *Tracer) Adopt(ts int64, task string, span, parent uint64, node, domain int) {
+	if t == nil || span == 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.sessions[task]; ok {
+		return
+	}
+	t.sessions[task] = &session{id: span}
+	if parent == 0 {
+		return
+	}
+	t.recordLocked(Event{Name: "ctx", Cat: "session", Phase: "i", TS: ts,
+		PID: domain, TID: node, ID: spanID(span), Scope: "t",
+		Args: map[string]any{"task": task, "parent": spanID(parent)}})
 }
 
 // BeginSession opens the root span of one task query. Reopening an
@@ -235,6 +318,12 @@ const (
 	TransportCircuitOpen = "transport.circuit_open"
 	TransportFault       = "transport.fault"
 )
+
+// EventDecision is the instant name of RM decision-audit records
+// (admit/reject/redirect/preempt/migrate/failover): the explainability
+// layer for the adaptation loop. Call sites must pass the constant so
+// trace consumers can filter on it.
+const EventDecision = "decision"
 
 // TransportInstant records a connectivity instant from the live
 // transport (reconnects, circuit state changes, injected faults). addr

@@ -126,6 +126,64 @@ func TestBoundedBuffer(t *testing.T) {
 	}
 }
 
+func TestDeterministicSpanIDs(t *testing.T) {
+	a, b := New(), New()
+	a.SetSeed(42)
+	b.SetSeed(42)
+	if a.SpanFor("t3.1") != b.SpanFor("t3.1") {
+		t.Fatal("equal seeds must derive equal span ids")
+	}
+	if a.SpanFor("t3.1") != DeriveSpanID(42, "t3.1") {
+		t.Fatal("SpanFor must match the exported derivation")
+	}
+	if a.SpanFor("t3.1") == a.SpanFor("t3.2") {
+		t.Fatal("distinct tasks must get distinct span ids")
+	}
+	c := New()
+	c.SetSeed(43)
+	if c.SpanFor("t3.1") == a.SpanFor("t3.1") {
+		t.Fatal("distinct seeds must derive distinct span ids")
+	}
+	// The id is stable across the session lifecycle.
+	a.BeginSession(1, "t3.1", 0, 0)
+	if got := a.Snapshot()[0].ID; got != spanID(DeriveSpanID(42, "t3.1")) {
+		t.Fatalf("session event id = %s", got)
+	}
+	if PhaseRef(a.SpanFor("t3.1"), "submit") == a.SpanFor("t3.1") {
+		t.Fatal("phase ref must differ from the span id")
+	}
+}
+
+func TestAdopt(t *testing.T) {
+	tr := New()
+	tr.SetSeed(7)
+	parent := PhaseRef(12345, "submit")
+	tr.Adopt(10, "tX", 12345, parent, 2, 1)
+	if tr.SpanFor("tX") != 12345 {
+		t.Fatalf("adopted span id = %d", tr.SpanFor("tX"))
+	}
+	evs := tr.Snapshot()
+	if len(evs) != 1 || evs[0].Name != "ctx" || evs[0].Args["parent"] != spanID(parent) {
+		t.Fatalf("adoption instant = %+v", evs)
+	}
+	// Re-adoption with a different id is a silent no-op: first wins.
+	tr.Adopt(11, "tX", 999, parent, 2, 1)
+	if tr.SpanFor("tX") != 12345 || tr.Len() != 1 {
+		t.Fatal("re-adoption must not rebind or record")
+	}
+	// Adopting a task already seen locally keeps the local binding.
+	local := tr.SpanFor("tY")
+	tr.Adopt(12, "tY", 555, 0, 0, 0)
+	if tr.SpanFor("tY") != local {
+		t.Fatal("local binding must win over late adoption")
+	}
+	// Zero span is the untraced sentinel.
+	tr.Adopt(13, "tZ", 0, parent, 0, 0)
+	if _, ok := tr.sessions["tZ"]; ok {
+		t.Fatal("zero span must not bind")
+	}
+}
+
 func TestNilTracerSafe(t *testing.T) {
 	var tr *Tracer
 	tr.BeginSession(1, "t", 0, 0)
@@ -135,6 +193,11 @@ func TestNilTracerSafe(t *testing.T) {
 	tr.Instant(1, "t", "i", 0, 0)
 	tr.Complete(1, 2, "t", "c", 0, 0)
 	tr.SetMaxEvents(10)
+	tr.SetSeed(1)
+	tr.Adopt(1, "t", 2, 3, 0, 0)
+	if tr.SpanFor("t") != 0 {
+		t.Fatal("nil tracer SpanFor must return 0")
+	}
 	if tr.Len() != 0 || tr.Dropped() != 0 || tr.SessionsBegun() != 0 || tr.OpenSessions() != 0 {
 		t.Fatal("nil tracer reported state")
 	}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/proto"
 	"repro/internal/replay"
+	"repro/internal/stats"
 	"repro/internal/trace"
 )
 
@@ -31,6 +32,14 @@ type Live struct {
 	cfg    Config
 	peers  map[NodeID]*core.Peer
 	tracer *trace.Tracer
+	seed   uint64
+	sk     *stats.Set
+	dec    *core.DecisionLog
+
+	// Scrape-time tracer gauges, refreshed by syncTraceMetrics.
+	trBegun   *metrics.Gauge
+	trOpen    *metrics.Gauge
+	trDropped *metrics.Gauge
 
 	// Flight-recorder state (see Record/StopRecord). recMu guards the
 	// fields below; the recorder itself is concurrency-safe and is handed
@@ -110,7 +119,14 @@ func NewLive(cfg Config, opts LiveOptions) (*Live, error) {
 	events.AttachMetrics(reg)
 	if opts.Tracer != nil {
 		events.AttachTracer(opts.Tracer)
+		// Span IDs derive from (seed, task) so every process sharing a
+		// seed agrees on them without coordination (trace.DeriveSpanID).
+		opts.Tracer.SetSeed(opts.Seed)
 	}
+	sk := stats.NewSet(0, 0, 0)
+	events.AttachSketches(sk)
+	dec := core.NewDecisionLog(0)
+	events.AttachDecisions(dec)
 	l := &Live{
 		rt:     rt,
 		events: events,
@@ -118,6 +134,9 @@ func NewLive(cfg Config, opts LiveOptions) (*Live, error) {
 		cfg:    cfg,
 		peers:  make(map[NodeID]*core.Peer),
 		tracer: opts.Tracer,
+		seed:   opts.Seed,
+		sk:     sk,
+		dec:    dec,
 	}
 	l.recGauge = reg.Gauge("live_replay_recording",
 		"1 while a flight recorder is attached to the runtime", nil)
@@ -127,8 +146,15 @@ func NewLive(cfg Config, opts LiveOptions) (*Live, error) {
 		"flight-recorder bytes written to the log", nil)
 	l.recDropped = reg.Counter("live_replay_dropped_total",
 		"flight-recorder events dropped under writer back-pressure", nil)
+	l.trBegun = reg.Gauge("trace_sessions_begun",
+		"session spans begun on this node's tracer", nil)
+	l.trOpen = reg.Gauge("trace_sessions_open",
+		"session spans currently open on this node's tracer", nil)
+	l.trDropped = reg.Gauge("trace_events_dropped",
+		"trace events discarded after the tracer's buffer cap", nil)
 	if opts.Listen != "" {
 		l.tr = live.NewTCPTransportOpts(rt, opts.Transport, reg, opts.Tracer)
+		l.tr.AttachSketches(sk)
 		addr, err := l.tr.Listen(opts.Listen)
 		if err != nil {
 			return nil, err
@@ -212,6 +238,9 @@ func (l *Live) Record(dir string) error {
 	rec, err := replay.NewRecorder(dir)
 	if err != nil {
 		return err
+	}
+	if l.tracer != nil {
+		rec.SetTraceSeed(l.seed)
 	}
 	l.rec = rec
 	l.lastEv, l.lastBytes, l.lastDrop = 0, 0, 0
@@ -354,15 +383,50 @@ func (l *Live) TransportStats() live.TransportStats {
 // Events returns a snapshot of run outcomes.
 func (l *Live) Events() EventsData { return l.events.Snapshot() }
 
+// Sketches returns the runtime's windowed quantile sketch set (always
+// non-nil): allocation latency, delivery RTT, failover time, supervisor
+// queue occupancy. The same set backs the /sketches endpoint.
+func (l *Live) Sketches() *SketchSet { return l.sk }
+
+// Decisions returns the RM decision audit ring (always non-nil); the
+// same ring backs the /decisions endpoint.
+func (l *Live) Decisions() *DecisionLog { return l.dec }
+
+// NowMicros is the runtime clock (micros since start) — the timescale
+// sketch windows rotate on.
+func (l *Live) NowMicros() int64 { return l.rt.NowMicros() }
+
+// syncTraceMetrics refreshes the tracer gauges from the tracer's
+// counters; it runs before every /metrics scrape.
+func (l *Live) syncTraceMetrics() {
+	if l.tracer == nil {
+		return
+	}
+	l.trBegun.Set(float64(l.tracer.SessionsBegun()))
+	l.trOpen.Set(float64(l.tracer.OpenSessions()))
+	l.trDropped.Set(float64(l.tracer.Dropped()))
+}
+
 // Metrics returns the runtime's labeled metrics registry (always
 // non-nil); the same registry backs the /metrics endpoint.
 func (l *Live) Metrics() *metrics.Registry { return l.reg }
 
 // ServeDiagnostics starts the HTTP diagnostics endpoint (/metrics,
-// /metrics.json, /healthz, /debug/pprof) on addr and returns the bound
-// address. It is shut down by Close.
+// /metrics.json, /healthz, /sketches, /decisions, /trace,
+// /debug/pprof) on addr and returns the bound address. It is shut down
+// by Close.
 func (l *Live) ServeDiagnostics(addr string) (string, error) {
-	ds, err := l.rt.ServeDiagnostics(addr, l.reg)
+	src := live.DiagSources{
+		BeforeScrape: l.syncTraceMetrics,
+		Sketches: func(w io.Writer) error {
+			return l.sk.WriteJSON(w, l.rt.NowMicros())
+		},
+		Decisions: l.dec.WriteJSON,
+	}
+	if l.tracer != nil {
+		src.Trace = l.tracer.WriteJSONL
+	}
+	ds, err := l.rt.ServeDiagnosticsOpts(addr, l.reg, src)
 	if err != nil {
 		return "", err
 	}

@@ -1,0 +1,248 @@
+package p2prm_test
+
+// Fleet-observability acceptance tests: the collector's trace merge must
+// be deterministic (equal-seed sim runs produce byte-identical merged
+// streams) and must stitch a session that crosses two real TCP runtimes
+// — allocated on one, consumed on the other, with an RM failover forced
+// mid-run by the fault injector — into one causally-linked track.
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// jsonl serializes a merged event stream the way the fleet collector
+// would persist it, so byte comparison covers field ordering too.
+func jsonl(t *testing.T, events []trace.Event) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, e := range events {
+		if err := enc.Encode(e); err != nil {
+			t.Fatalf("encode event: %v", err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestObsMergedTraceDeterminism runs the traced standard scenario twice
+// with equal seeds and demands that the collector's merged stream — not
+// just the raw tracer output — is byte-identical, and that it stitches
+// sessions spanning several node TIDs.
+func TestObsMergedTraceDeterminism(t *testing.T) {
+	run := func() []trace.Event {
+		tr := p2prm.NewTracer()
+		sim := p2prm.NewSimulation(p2prm.DefaultConfig(),
+			p2prm.SimOptions{Seed: 424242, JitterFrac: 0.3, LossRate: 0.01, Tracer: tr})
+		sim.GrowStandard(12, 4, 8, 2, 0.5)
+		sim.RunFor(10 * p2prm.Second)
+		start := sim.Now()
+		sim.StandardWorkload(start, start+20*p2prm.Second, 1.5, 8)
+		sim.RunFor(60 * p2prm.Second)
+		return tr.Snapshot()
+	}
+	a, b := run(), run()
+	mergedA := jsonl(t, obs.MergeTraces(a))
+	mergedB := jsonl(t, obs.MergeTraces(b))
+	if len(mergedA) == 0 {
+		t.Fatal("merged trace is empty")
+	}
+	if !bytes.Equal(mergedA, mergedB) {
+		t.Fatalf("equal-seed merged traces differ (%d vs %d bytes)",
+			len(mergedA), len(mergedB))
+	}
+	// Merging both runs' streams together must be the same as one run's
+	// stream: every event deduplicates against its twin.
+	both := obs.MergeTraces(a, b)
+	if !bytes.Equal(jsonl(t, both), mergedA) {
+		t.Fatalf("merging twin runs did not deduplicate: %d events vs %d",
+			len(both), len(obs.MergeTraces(a)))
+	}
+	tracks := obs.SessionTracks(both)
+	if len(tracks) == 0 {
+		t.Fatal("no session tracks in merged trace")
+	}
+	cross := 0
+	for _, tr := range tracks {
+		if len(tr.Nodes) >= 2 {
+			cross++
+		}
+	}
+	if cross == 0 {
+		t.Fatalf("no cross-node session track among %d tracks", len(tracks))
+	}
+}
+
+// obsChaosConfig mirrors the replay e2e chaos tuning: fast heartbeats so
+// a severed RM fails over within milliseconds, background gossip off.
+func obsChaosConfig() p2prm.Config {
+	cfg := p2prm.DefaultConfig()
+	cfg.HeartbeatPeriod = 30 * p2prm.Millisecond
+	cfg.HeartbeatMisses = 3
+	cfg.ProfilePeriod = 50 * p2prm.Millisecond
+	cfg.BackupSyncPeriod = 60 * p2prm.Millisecond
+	cfg.GossipPeriod = 0
+	cfg.AdaptPeriod = 0
+	return cfg
+}
+
+func obsFastTransport() p2prm.TransportConfig {
+	return p2prm.TransportConfig{
+		DialTimeout:      500 * time.Millisecond,
+		WriteTimeout:     500 * time.Millisecond,
+		BackoffBase:      2 * time.Millisecond,
+		BackoffMax:       20 * time.Millisecond,
+		CircuitThreshold: 3,
+		CircuitCooldown:  20 * time.Millisecond,
+	}
+}
+
+func obsWaitFor(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestLiveTCPTraceStitching is the cross-process acceptance test: two
+// Live runtimes joined over real TCP, started with the SAME seed so
+// span IDs derive identically on both sides; a session whose object
+// lives on runtime A is consumed on runtime B; then the fault injector
+// severs the RM and a failover decision lands on B. Merging the two
+// tracers' streams must yield one causally-linked track per session
+// with events from both runtimes, identically in either merge order.
+func TestLiveTCPTraceStitching(t *testing.T) {
+	cfg := obsChaosConfig()
+	const seed = 77 // shared by both runtimes — the p2pnode -seed contract
+
+	trA, trB := p2prm.NewTracer(), p2prm.NewTracer()
+	lA, err := p2prm.NewLive(cfg, p2prm.LiveOptions{
+		Seed: seed, Listen: "127.0.0.1:0", Transport: obsFastTransport(), Tracer: trA,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lA.Close()
+	lB, err := p2prm.NewLive(cfg, p2prm.LiveOptions{
+		Seed: seed, Listen: "127.0.0.1:0", Transport: obsFastTransport(), Tracer: trB,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lB.Close()
+
+	// Founder (RM) and the object live on A; the consumer and both
+	// failover candidates live on B.
+	founder := strongPeer()
+	founder.Objects = []p2prm.Object{{
+		Name:   "clip",
+		Format: p2prm.Format{Codec: p2prm.MPEG2, Width: 640, Height: 480, BitrateKbps: 256},
+		Bytes:  256 * 1000 / 8 / 2, // 0.5s
+	}}
+	lA.Register(1, lB.ListenAddr())
+	lA.Register(2, lB.ListenAddr())
+	lB.Register(0, lA.ListenAddr())
+	lA.StartPeerWithID(0, founder, p2prm.NoNode)
+	lB.StartPeerWithID(1, strongPeer(), 0)
+	lB.StartPeerWithID(2, strongPeer(), 0)
+	obsWaitFor(t, 10*time.Second, "overlay join", func() bool {
+		return lA.Joined(0) && lB.Joined(1) && lB.Joined(2)
+	})
+
+	// Cross-node session: submitted on B, allocated and streamed from A.
+	task := lB.Submit(1, p2prm.TaskSpec{
+		ObjectName:     "clip",
+		Constraint:     p2prm.Constraint{}, // direct streaming
+		DeadlineMicros: 500_000,
+		DurationSec:    0.5,
+		ChunkSec:       0.1,
+	})
+	if task == "" {
+		t.Fatal("submit failed")
+	}
+	obsWaitFor(t, 10*time.Second, "session report", func() bool {
+		return len(lB.Events().Reports) == 1
+	})
+
+	// Let the backup sync, then cut every link touching the RM and wait
+	// for a candidate on B to take over.
+	time.Sleep(250 * time.Millisecond)
+	lA.Sever(0, p2prm.NoNode)
+	lB.Sever(0, p2prm.NoNode)
+	obsWaitFor(t, 10*time.Second, "RM failover", func() bool {
+		return lB.IsRM(1) || lB.IsRM(2)
+	})
+	lA.Close()
+	lB.Close()
+
+	// The merge is order-independent and stitches the session into one
+	// track carrying both runtimes' node IDs.
+	a, b := trA.Snapshot(), trB.Snapshot()
+	merged := obs.MergeTraces(a, b)
+	if !bytes.Equal(jsonl(t, merged), jsonl(t, obs.MergeTraces(b, a))) {
+		t.Fatal("merge output depends on input order")
+	}
+	var stitched *obs.SessionTrack
+	for _, tr := range obs.SessionTracks(merged) {
+		if tr.Task == task {
+			stitched = &tr
+			break
+		}
+	}
+	if stitched == nil {
+		t.Fatalf("task %s has no track in the merged trace", task)
+	}
+	if len(stitched.Nodes) < 2 {
+		t.Fatalf("track for %s spans nodes %v; want both runtimes", task, stitched.Nodes)
+	}
+	seen := map[int]bool{}
+	for _, n := range stitched.Nodes {
+		seen[n] = true
+	}
+	if !seen[0] || !seen[1] {
+		t.Fatalf("track nodes = %v; want the A-side RM (0) and B-side origin (1)", stitched.Nodes)
+	}
+
+	// The failover shows up in the merged stream as a decision instant
+	// recorded by a B-side candidate, and in B's decision log.
+	foundFailover := false
+	for _, e := range merged {
+		if e.Name == trace.EventDecision {
+			if act, _ := e.Args["action"].(string); act == core.DecisionFailover {
+				foundFailover = true
+				break
+			}
+		}
+	}
+	if !foundFailover {
+		t.Fatal("no failover decision instant in the merged trace")
+	}
+	hasFailoverDecision := false
+	for _, d := range lB.Decisions().Snapshot() {
+		if d.Action == core.DecisionFailover {
+			hasFailoverDecision = true
+			break
+		}
+	}
+	if !hasFailoverDecision {
+		t.Fatalf("no failover entry in B's decision log (%d entries)", lB.Decisions().Total())
+	}
+
+	// The RM side costed the allocation into its latency sketch.
+	if q := lA.Sketches().Quantile(stats.SketchAllocLatency, lA.NowMicros(), 0.99); q <= 0 {
+		t.Fatalf("A-side allocation latency p99 = %v; sketch not fed", q)
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/proto"
 	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/trace"
 )
 
@@ -60,6 +61,21 @@ type (
 	// MetricsRegistry is a labeled metrics namespace with Prometheus
 	// text-format and JSON encoders.
 	MetricsRegistry = metrics.Registry
+	// SketchSet is a named registry of mergeable sliding-window quantile
+	// sketches (p50/p95/p99 of allocation latency, delivery RTT, failover
+	// time, supervisor queue occupancy); see Simulation.Sketches and
+	// Live.Sketches.
+	SketchSet = stats.Set
+	// SketchData is one exported sketch — the mergeable unit the fleet
+	// collector folds across nodes.
+	SketchData = stats.SketchJSON
+	// Decision is one audited resource-manager choice (admit, reject,
+	// redirect, preempt, repair, migrate, failover) with its reason,
+	// utility delta, and the candidates considered but not chosen.
+	Decision = core.Decision
+	// DecisionLog is the bounded ring of Decisions a run retains; see
+	// Simulation.Decisions and Live.Decisions.
+	DecisionLog = core.DecisionLog
 
 	// Format is a concrete media presentation (codec, resolution,
 	// bitrate).

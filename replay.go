@@ -50,6 +50,14 @@ func ReplayRecording(cfg Config, dir string) (*ReplayResult, *TraceDiff, error) 
 		return nil, nil, err
 	}
 	tracer := trace.New()
+	meta, err := replay.ReadMeta(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Adopt the recorded run's tracer seed so replayed span IDs match
+	// the recorded trace byte for byte (zero for old recordings, which
+	// is also the unseeded default).
+	tracer.SetSeed(meta.TraceSeed)
 	events := &core.Events{}
 	events.AttachTracer(tracer)
 	res, err := replay.Replay(lg, replay.Options{

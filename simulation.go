@@ -7,6 +7,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/rng"
 	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -34,6 +35,8 @@ type SimOptions struct {
 type Simulation struct {
 	c   *cluster.Cluster
 	cat cluster.Catalog
+	sk  *stats.Set
+	dec *core.DecisionLog
 }
 
 // NewSimulation creates an empty simulated overlay.
@@ -49,10 +52,19 @@ func NewSimulation(cfg Config, opts SimOptions) *Simulation {
 	}
 	c := cluster.New(cfg, netCfg, opts.Seed)
 	c.Events.AttachTracer(opts.Tracer)
+	// Span IDs derive from (seed, task): equal-seed runs — and live
+	// processes sharing the seed — agree on them without coordination.
+	opts.Tracer.SetSeed(opts.Seed)
 	c.Events.AttachMetrics(opts.Metrics)
+	sk := stats.NewSet(0, 0, 0)
+	c.Events.AttachSketches(sk)
+	dec := core.NewDecisionLog(0)
+	c.Events.AttachDecisions(dec)
 	return &Simulation{
 		c:   c,
 		cat: cluster.StandardCatalog(),
+		sk:  sk,
+		dec: dec,
 	}
 }
 
@@ -90,6 +102,14 @@ func (s *Simulation) Events() EventsData { return s.c.Events.Snapshot() }
 
 // MissRate returns the aggregate chunk-deadline miss rate so far.
 func (s *Simulation) MissRate() float64 { return s.c.Events.MissRate() }
+
+// Sketches returns the run's windowed quantile sketch set (always
+// non-nil), rotated on the virtual clock: allocation latency, delivery
+// RTT, failover time.
+func (s *Simulation) Sketches() *SketchSet { return s.sk }
+
+// Decisions returns the RM decision audit ring (always non-nil).
+func (s *Simulation) Decisions() *DecisionLog { return s.dec }
 
 // ResourceManagers lists the nodes currently holding the RM role.
 func (s *Simulation) ResourceManagers() []NodeID { return s.c.RMs() }
