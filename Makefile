@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: check vet fmt build lint test race chaos fuzz-wire replay obs bench-trace bench bench-all
+.PHONY: check vet fmt build lint lint-json lockorder-golden test race chaos fuzz-wire replay obs bench-trace bench bench-all
 
 # check is the pre-commit gate referenced from README: static checks,
-# project lint, full build, race-enabled tests, the record/replay gate,
-# and the disabled-tracing overhead benchmark (EXPERIMENTS.md "Tracing
-# overhead microbenchmark").
-check: vet fmt build lint race replay bench-trace
+# full build, race-enabled tests, the record/replay gate, and the
+# disabled-tracing overhead benchmark (EXPERIMENTS.md "Tracing overhead
+# microbenchmark"). Project lint runs as its own CI job (make lint /
+# make lint-json) so analyzer findings are visible at a glance.
+check: vet fmt build race replay bench-trace
 
 vet:
 	$(GO) vet ./...
@@ -19,10 +20,24 @@ build:
 	$(GO) build ./...
 
 # lint runs the project-specific go/analysis suite (clockcheck,
-# eventguard, lockfield, metriclabel) over the whole module via the
-# go vet -vettool driver. See README "Static analysis".
+# eventguard, lockfield, maporder, metriclabel, replaysafe) over the
+# whole module via the go vet -vettool driver, then the whole-program
+# lock-acquisition-order check against the committed ORDER.golden. See
+# README "Static analysis".
 lint: bin/p2plint
 	$(GO) vet -vettool=$(CURDIR)/bin/p2plint ./...
+	./bin/p2plint -lockorder
+
+# lint-json emits every analyzer finding (plus the lock-order check) as
+# a sorted JSON array for CI artifacts and tooling; exit 1 on findings.
+lint-json: bin/p2plint
+	./bin/p2plint -json
+
+# lockorder-golden regenerates internal/lint/lockorder/ORDER.golden
+# after a reviewed locking change (a new mutex, a new nesting, a
+# re-ranked order). CI fails until the refreshed golden is committed.
+lockorder-golden: bin/p2plint
+	./bin/p2plint -lockorder -write
 
 bin/p2plint: FORCE
 	$(GO) build -o bin/p2plint ./cmd/p2plint

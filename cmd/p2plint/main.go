@@ -1,33 +1,251 @@
 // Command p2plint is the project's static-analysis gate: a
-// go/analysis unitchecker bundling the five repo-specific analyzers
-// (clockcheck, eventguard, lockfield, metriclabel, replaysafe). It is
-// built to be driven by the go command:
+// go/analysis unitchecker bundling the six repo-specific analyzers
+// (clockcheck, eventguard, lockfield, maporder, metriclabel,
+// replaysafe). It is built to be driven by the go command:
 //
 //	go build -o bin/p2plint ./cmd/p2plint
 //	go vet -vettool=$(pwd)/bin/p2plint ./...
 //
-// which is what `make lint` (and therefore `make check` and CI) runs.
-// Each analyzer documents its invariant and its //lint:allow escape
-// hatch; see internal/lint and the "Static analysis" section of
-// README.md.
+// which is what `make lint` (and therefore CI) runs. Each analyzer
+// documents its invariant and its escape hatch (//lint:allow or
+// //lint:ignore with a mandatory reason); see internal/lint and the
+// "Static analysis" section of README.md.
+//
+// Beyond the vet protocol, p2plint has two standalone modes that need
+// the whole module at once rather than one package per invocation:
+//
+//	p2plint -lockorder [-write] [root]
+//
+// builds the whole-program lock-acquisition graph (internal/lint/
+// lockorder), fails on cycles, and checks the ranked order against the
+// committed internal/lint/lockorder/ORDER.golden; -write regenerates
+// the golden after a reviewed change (`make lockorder-golden`).
+//
+//	p2plint -json [root]
+//
+// runs every analyzer plus the lock-order check over the module and
+// emits the findings as a sorted JSON array on stdout — one object per
+// diagnostic with file/line/col/analyzer/message/suggested_fix — for
+// CI artifacts and tooling. Exit status 1 when there are findings.
 package main
 
 import (
+	"fmt"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
 	"golang.org/x/tools/go/analysis/unitchecker"
+	"golang.org/x/tools/go/ast/inspector"
 
 	"repro/internal/lint/clockcheck"
 	"repro/internal/lint/eventguard"
+	"repro/internal/lint/lintutil"
 	"repro/internal/lint/lockfield"
+	"repro/internal/lint/lockorder"
+	"repro/internal/lint/maporder"
 	"repro/internal/lint/metriclabel"
 	"repro/internal/lint/replaysafe"
+	"repro/internal/lint/srcload"
 )
 
+// analyzers is the vet-mode bundle; -json runs the same set.
+var analyzers = []*analysis.Analyzer{
+	clockcheck.Analyzer,
+	eventguard.Analyzer,
+	lockfield.Analyzer,
+	maporder.Analyzer,
+	metriclabel.Analyzer,
+	replaysafe.Analyzer,
+}
+
+// goldenRel locates the committed lock order inside the module.
+const goldenRel = "internal/lint/lockorder/ORDER.golden"
+
 func main() {
-	unitchecker.Main(
-		clockcheck.Analyzer,
-		eventguard.Analyzer,
-		lockfield.Analyzer,
-		metriclabel.Analyzer,
-		replaysafe.Analyzer,
-	)
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "-lockorder":
+			os.Exit(lockorderMode(os.Args[2:]))
+		case "-json":
+			os.Exit(jsonMode(os.Args[2:]))
+		}
+	}
+	unitchecker.Main(analyzers...)
+}
+
+// parseRoot splits a standalone mode's arguments into flags and the
+// optional module root (default ".").
+func parseRoot(args []string) (root string, write bool) {
+	root = "."
+	for _, a := range args {
+		if a == "-write" {
+			write = true
+			continue
+		}
+		root = a
+	}
+	return root, write
+}
+
+// lockorderMode checks (or with -write, regenerates) ORDER.golden.
+func lockorderMode(args []string) int {
+	root, write := parseRoot(args)
+	res, err := lockorder.Run(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "p2plint -lockorder: %v\n", err)
+		return 2
+	}
+	if len(res.Cycles) > 0 {
+		fmt.Fprint(os.Stderr, res.CycleReport())
+		return 1
+	}
+	golden := filepath.Join(root, filepath.FromSlash(goldenRel))
+	if write {
+		if err := os.WriteFile(golden, []byte(res.Golden()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "p2plint -lockorder: %v\n", err)
+			return 2
+		}
+		fmt.Printf("wrote %s (%d locks, %d edges)\n", golden, len(res.Locks), len(res.Edges))
+		return 0
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "p2plint -lockorder: %v (regenerate with `make lockorder-golden`)\n", err)
+		return 2
+	}
+	if diff := lockorder.Diff(string(want), res.Golden()); diff != "" {
+		fmt.Fprintf(os.Stderr, "lock acquisition order changed; review and run `make lockorder-golden`:\n%s", diff)
+		return 1
+	}
+	fmt.Printf("lock order OK (%d locks, %d edges, 0 cycles)\n", len(res.Locks), len(res.Edges))
+	return 0
+}
+
+// jsonMode runs every analyzer over the source-loaded module and emits
+// machine-readable findings.
+func jsonMode(args []string) int {
+	root, _ := parseRoot(args)
+	fset := token.NewFileSet()
+	pkgs, err := srcload.Load(&srcload.Config{Fset: fset, Root: root, Module: "repro"})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "p2plint -json: %v\n", err)
+		return 2
+	}
+	var findings []lintutil.Finding
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if err := runAnalyzer(a, fset, pkg, &findings); err != nil {
+				fmt.Fprintf(os.Stderr, "p2plint -json: %s on %s: %v\n", a.Name, pkg.Path, err)
+				return 2
+			}
+		}
+	}
+	findings = append(findings, lockorderFindings(root)...)
+	abs, err := filepath.Abs(root)
+	if err == nil {
+		lintutil.TrimRoot(findings, abs)
+	}
+	lintutil.TrimRoot(findings, root)
+	if err := lintutil.WriteFindings(os.Stdout, findings); err != nil {
+		fmt.Fprintf(os.Stderr, "p2plint -json: %v\n", err)
+		return 2
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// runAnalyzer drives one analyzer over one loaded package, collecting
+// its diagnostics as findings (the linttest pass-construction idiom).
+func runAnalyzer(a *analysis.Analyzer, fset *token.FileSet, pkg *srcload.Package, findings *[]lintutil.Finding) error {
+	pass := &analysis.Pass{
+		Analyzer:   a,
+		Fset:       fset,
+		Files:      pkg.Files,
+		Pkg:        pkg.Pkg,
+		TypesInfo:  pkg.Info,
+		TypesSizes: types.SizesFor("gc", "amd64"),
+		ResultOf:   map[*analysis.Analyzer]any{},
+		Report: func(d analysis.Diagnostic) {
+			*findings = append(*findings, lintutil.NewFinding(fset, a.Name, d))
+		},
+		ImportObjectFact:  func(types.Object, analysis.Fact) bool { return false },
+		ImportPackageFact: func(*types.Package, analysis.Fact) bool { return false },
+		ExportObjectFact:  func(types.Object, analysis.Fact) {},
+		ExportPackageFact: func(analysis.Fact) {},
+	}
+	for _, req := range a.Requires {
+		if req != inspect.Analyzer {
+			return fmt.Errorf("unsupported analyzer dependency %s", req.Name)
+		}
+		pass.ResultOf[req] = inspector.New(pkg.Files)
+	}
+	_, err := a.Run(pass)
+	return err
+}
+
+// lockorderFindings folds the whole-program lock-order check into the
+// findings stream: each cycle edge is a finding at its first witness,
+// and a stale ORDER.golden is a finding on the golden itself.
+func lockorderFindings(root string) []lintutil.Finding {
+	fail := func(msg string) []lintutil.Finding {
+		return []lintutil.Finding{{File: goldenRel, Line: 1, Col: 1, Analyzer: "lockorder", Message: msg}}
+	}
+	res, err := lockorder.Run(root)
+	if err != nil {
+		return fail(fmt.Sprintf("analysis failed: %v", err))
+	}
+	var out []lintutil.Finding
+	for _, cyc := range res.Cycles {
+		for _, e := range cyc.Edges {
+			f := lintutil.Finding{File: goldenRel, Line: 1, Col: 1, Analyzer: "lockorder"}
+			if len(e.Witness) > 0 {
+				if file, line, ok := splitWitness(e.Witness[0]); ok {
+					f.File, f.Line = file, line
+				}
+			}
+			f.Message = fmt.Sprintf("lock-order cycle: %s acquired while %s held, and the reverse elsewhere (run p2plint -lockorder for the full paths)", e.To, e.From)
+			out = append(out, f)
+		}
+	}
+	if len(out) > 0 {
+		return out
+	}
+	want, err := os.ReadFile(filepath.Join(root, filepath.FromSlash(goldenRel)))
+	if err != nil {
+		return fail(fmt.Sprintf("reading golden: %v (regenerate with `make lockorder-golden`)", err))
+	}
+	if lockorder.Diff(string(want), res.Golden()) != "" {
+		return fail("lock acquisition order changed; review and run `make lockorder-golden`")
+	}
+	return nil
+}
+
+// splitWitness recovers file and line from a "file:line: what" step.
+func splitWitness(w string) (string, int, bool) {
+	var file string
+	var line int
+	// The file part may itself contain colons on exotic paths; scan for
+	// the ":<digits>:" separator from the left.
+	for i := 0; i < len(w); i++ {
+		if w[i] != ':' {
+			continue
+		}
+		j := i + 1
+		n := 0
+		for j < len(w) && w[j] >= '0' && w[j] <= '9' {
+			n = n*10 + int(w[j]-'0')
+			j++
+		}
+		if j > i+1 && j < len(w) && w[j] == ':' {
+			file, line = w[:i], n
+			return file, line, true
+		}
+	}
+	return "", 0, false
 }

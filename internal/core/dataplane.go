@@ -222,8 +222,10 @@ func (p *Peer) releaseStage(st *stageSession) {
 	p.prof.AddLoad(-st.desc.Stages[st.role].Work)
 	p.prof.AddBandwidth(-float64(st.desc.Stages[st.role].OutBitrateKbps))
 	p.conn.Close(p.nextHop(st.desc, st.role))
-	for _, tid := range st.tasks {
-		p.proc.Remove(tid)
+	// Removal order reaches the scheduler (each Remove can reschedule and
+	// re-arm timers), so it must not follow map order.
+	for _, idx := range sortedMapKeys(st.tasks) {
+		p.proc.Remove(st.tasks[idx])
 	}
 	st.tasks = nil
 }
@@ -389,8 +391,8 @@ func (p *Peer) finalizeSink(taskID string) {
 // as a sink (unfinalized sessions), for harness-side accounting.
 func (p *Peer) ActiveSinkSessions() []string {
 	out := make([]string, 0, len(p.asSink))
-	for id, s := range p.asSink {
-		if !s.finalized {
+	for _, id := range sortedMapKeys(p.asSink) {
+		if !p.asSink[id].finalized {
 			out = append(out, id)
 		}
 	}

@@ -86,11 +86,7 @@ func (p *Peer) rmGossipTick() {
 	}
 	// Refresh our own load picture every round so AvgUtil propagates.
 	st.bumpVersion()
-	domains := make([]proto.DomainID, 0, len(st.knownRMs))
-	for d := range st.knownRMs {
-		domains = append(domains, d)
-	}
-	sort.Slice(domains, func(i, j int) bool { return domains[i] < domains[j] })
+	domains := sortedMapKeys(st.knownRMs)
 	target := st.knownRMs[domains[p.ctx.Rand().Intn(len(domains))]]
 	p.ctx.Send(target, proto.GossipDigest{
 		From:     proto.RMRef{Domain: st.domain, RM: p.ctx.Self()},
@@ -109,7 +105,8 @@ func (p *Peer) rmHandleGossipDigest(from env.NodeID, msg proto.GossipDigest) {
 	reply := proto.GossipSummaries{From: proto.RMRef{Domain: st.domain, RM: p.ctx.Self()}}
 	mine := p.gossipVersions()
 	// Summaries I have that the sender lacks or holds stale.
-	for d, v := range mine {
+	for _, d := range sortedMapKeys(mine) {
+		v := mine[d]
 		theirs, ok := msg.Versions[d]
 		if ok && theirs >= v {
 			continue
@@ -121,7 +118,8 @@ func (p *Peer) rmHandleGossipDigest(from env.NodeID, msg proto.GossipDigest) {
 		}
 	}
 	// Domains where the sender is ahead of me.
-	for d, v := range msg.Versions {
+	for _, d := range sortedMapKeys(msg.Versions) {
+		v := msg.Versions[d]
 		if d == st.domain {
 			continue
 		}
@@ -196,12 +194,7 @@ func (p *Peer) pruneStaleSummaries() {
 		return
 	}
 	now := p.ctx.Now()
-	domains := make([]proto.DomainID, 0, len(st.summaries))
-	for d := range st.summaries {
-		domains = append(domains, d)
-	}
-	sort.Slice(domains, func(i, j int) bool { return domains[i] < domains[j] })
-	for _, d := range domains {
+	for _, d := range sortedMapKeys(st.summaries) {
 		seen, ok := st.summarySeen[d]
 		if !ok {
 			// Pre-aging entry (e.g. installed before a takeover enabled the

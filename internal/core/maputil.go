@@ -1,0 +1,19 @@
+package core
+
+import (
+	"cmp"
+	"sort"
+)
+
+// sortedMapKeys returns m's keys in ascending order. This is the one
+// justified raw map range in the package: every iteration whose order
+// could escape (into messages, logs, or scheduler calls) goes through
+// it, so the determinism argument lives in exactly one place.
+func sortedMapKeys[K cmp.Ordered, V any](m map[K]V) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m { //lint:maporder commutative — keys are sorted below before anything observes them
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}

@@ -8,7 +8,6 @@ import (
 	"hash"
 	"hash/fnv"
 	"math"
-	"sort"
 
 	"repro/internal/env"
 	"repro/internal/proto"
@@ -210,20 +209,10 @@ func (p *Peer) StateDigest() uint64 {
 // sortedStringKeys returns m's keys sorted; the generic constraint keeps
 // one helper serving the three session maps and the submit table.
 func sortedStringKeys[V any](m map[string]V) []string {
-	keys := make([]string, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	return keys
+	return sortedMapKeys(m)
 }
 
 // sortedDomainIDs returns the summary table's domains in order.
 func sortedDomainIDs(m map[proto.DomainID]proto.DomainSummary) []proto.DomainID {
-	out := make([]proto.DomainID, 0, len(m))
-	for d := range m {
-		out = append(out, d)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return sortedMapKeys(m)
 }

@@ -95,10 +95,9 @@ type rmSession struct {
 // iteration order never leaks into message ordering.
 func (s *rmState) sortedKnownRMs() []proto.RMRef {
 	out := make([]proto.RMRef, 0, len(s.knownRMs))
-	for d, rmNode := range s.knownRMs {
-		out = append(out, proto.RMRef{Domain: d, RM: rmNode})
+	for _, d := range sortedMapKeys(s.knownRMs) {
+		out = append(out, proto.RMRef{Domain: d, RM: s.knownRMs[d]})
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Domain < out[j].Domain })
 	return out
 }
 
@@ -327,7 +326,7 @@ func (s *rmState) pickRedirectRM(maxPeers int) env.NodeID {
 		util float64
 	}
 	var cands []cand
-	for d, rmNode := range s.knownRMs {
+	for _, d := range sortedMapKeys(s.knownRMs) {
 		util := 0.5
 		if sum, ok := s.summaries[d]; ok {
 			util = sum.AvgUtil
@@ -335,7 +334,7 @@ func (s *rmState) pickRedirectRM(maxPeers int) env.NodeID {
 				continue
 			}
 		}
-		cands = append(cands, cand{rmNode, util})
+		cands = append(cands, cand{s.knownRMs[d], util})
 	}
 	if len(cands) == 0 {
 		return env.NoNode
@@ -353,12 +352,11 @@ func (s *rmState) pickRedirectRM(maxPeers int) env.NodeID {
 func (p *Peer) sendAccept(to env.NodeID) {
 	st := p.rm
 	members := make([]env.NodeID, 0, len(st.peers))
-	for id := range st.peers {
+	for _, id := range sortedPeerIDs(st.peers) {
 		if id != to {
 			members = append(members, id)
 		}
 	}
-	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
 	p.ctx.Send(to, proto.JoinAccept{
 		Domain: st.domain,
 		RM:     p.ctx.Self(),
@@ -406,11 +404,7 @@ func (p *Peer) rmRemovePeer(id env.NodeID, reason string) {
 
 // sortedSessions returns sessions in deterministic task-ID order.
 func sortedSessions(m map[string]*rmSession) []*rmSession {
-	keys := make([]string, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
+	keys := sortedMapKeys(m)
 	out := make([]*rmSession, len(keys))
 	for i, k := range keys {
 		out[i] = m[k]
@@ -530,20 +524,15 @@ func (p *Peer) rmSnapshot() proto.DomainState {
 		}
 	}
 	ds.KnownRMs = append(ds.KnownRMs, proto.RMRef{Domain: st.domain, RM: p.ctx.Self()})
-	for d, rmNode := range st.knownRMs {
-		ds.KnownRMs = append(ds.KnownRMs, proto.RMRef{Domain: d, RM: rmNode})
+	for _, d := range sortedMapKeys(st.knownRMs) {
+		ds.KnownRMs = append(ds.KnownRMs, proto.RMRef{Domain: d, RM: st.knownRMs[d]})
 	}
 	sort.Slice(ds.KnownRMs, func(i, j int) bool { return ds.KnownRMs[i].Domain < ds.KnownRMs[j].Domain })
 	return ds
 }
 
 func sortedPeerIDs(m map[env.NodeID]*peerRecord) []env.NodeID {
-	ids := make([]env.NodeID, 0, len(m))
-	for id := range m {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	return ids
+	return sortedMapKeys(m)
 }
 
 // --- resource graph maintenance (§3.4) ---
@@ -686,7 +675,8 @@ func (st *rmState) pickObjectDomain(object string) env.NodeID {
 		util float64
 	}
 	var cands []cand
-	for d, sum := range st.summaries {
+	for _, d := range sortedMapKeys(st.summaries) {
+		sum := st.summaries[d]
 		if d == st.domain || len(sum.ObjectBloom) == 0 {
 			continue
 		}
@@ -747,8 +737,8 @@ func (p *Peer) rmSearch(spec proto.TaskSpec, pv *graph.PeerView) (searchResult, 
 	}
 	// Goal candidates: every known format state satisfying the constraint.
 	var goals []graph.VertexID
-	for key, f := range st.formats {
-		if f.Satisfies(spec.Constraint) {
+	for _, key := range sortedMapKeys(st.formats) {
+		if st.formats[key].Satisfies(spec.Constraint) {
 			if v, ok := st.gr.Lookup(key); ok {
 				goals = append(goals, v)
 			}
@@ -1371,12 +1361,7 @@ func (p *Peer) SessionIDs() []string {
 	if p.rm == nil {
 		return nil
 	}
-	out := make([]string, 0, len(p.rm.sessions))
-	for id := range p.rm.sessions {
-		out = append(out, id)
-	}
-	sort.Strings(out)
-	return out
+	return sortedMapKeys(p.rm.sessions)
 }
 
 // KnownDomains reports how many other domains this RM has heard of.

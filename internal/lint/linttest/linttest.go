@@ -175,10 +175,14 @@ func wants(t *testing.T, fset *token.FileSet, files []*ast.File) []*expectation 
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				rest, ok := strings.CutPrefix(c.Text, "// want ")
-				if !ok {
+				// The marker may open the comment or trail other content
+				// (e.g. a //lint: directive that is itself expected to be
+				// reported carries its expectation in the same comment).
+				idx := strings.Index(c.Text, "// want ")
+				if idx < 0 || (idx > 0 && !strings.HasPrefix(c.Text, "//")) {
 					continue
 				}
+				rest := c.Text[idx+len("// want "):]
 				pos := fset.Position(c.Pos())
 				for _, q := range quoted.FindAllString(rest, -1) {
 					s, err := strconv.Unquote(q)

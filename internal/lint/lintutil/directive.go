@@ -1,0 +1,174 @@
+package lintutil
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// This file implements the second-generation suppression plane shared by
+// the SSA-era analyzers (maporder, lockorder). Unlike the original
+// //lint:allow marker, these directives make the justification mandatory
+// and are themselves checked: a directive that never suppresses anything
+// is reported, so stale escapes cannot accumulate silently.
+//
+// Two forms are recognised:
+//
+//	//lint:ignore <analyzer> — <reason>
+//	//lint:maporder commutative — <reason>
+//
+// The reason is required and follows an em-dash (—) or a double dash
+// (--). The directive acts on its own line and the line directly below
+// it (so it can sit above the offending statement), or suppresses a
+// diagnostic on its own line when written as a trailing comment.
+
+// Directive is one parsed //lint: control comment.
+type Directive struct {
+	// Analyzer is the analyzer the directive addresses.
+	Analyzer string
+	// Kind is "ignore" for the generic form, or the analyzer-specific
+	// verb ("commutative" for //lint:maporder commutative).
+	Kind string
+	// Reason is the mandatory justification after the dash; empty when
+	// the author forgot it (reported by Suppressor.Finish).
+	Reason string
+	// Pos/Line locate the directive comment itself.
+	Pos  token.Pos
+	Line int
+
+	used bool
+}
+
+const (
+	ignorePrefix   = "//lint:ignore "
+	maporderPrefix = "//lint:maporder "
+)
+
+// splitReason separates "rest — reason" into (rest, reason, found).
+func splitReason(s string) (string, string, bool) {
+	for _, dash := range []string{"—", "--"} {
+		if head, tail, ok := strings.Cut(s, dash); ok {
+			return strings.TrimSpace(head), strings.TrimSpace(tail), true
+		}
+	}
+	return strings.TrimSpace(s), "", false
+}
+
+// parseDirective parses one comment, returning nil when it is not a
+// lint directive.
+func parseDirective(fset *token.FileSet, c *ast.Comment) *Directive {
+	text := c.Text
+	// Fixture files append their "// want" expectation to the directive
+	// comment itself; it is not part of the reason.
+	if i := strings.Index(text, "// want "); i > 0 {
+		text = strings.TrimSpace(text[:i])
+	}
+	d := &Directive{Pos: c.Pos(), Line: fset.Position(c.Pos()).Line}
+	switch {
+	case strings.HasPrefix(text, ignorePrefix):
+		rest := strings.TrimPrefix(text, ignorePrefix)
+		head, reason, _ := splitReason(rest)
+		name, _, _ := strings.Cut(head, " ")
+		if name == "" {
+			return nil
+		}
+		d.Analyzer, d.Kind, d.Reason = name, "ignore", reason
+	case strings.HasPrefix(text, maporderPrefix):
+		rest := strings.TrimPrefix(text, maporderPrefix)
+		head, reason, _ := splitReason(rest)
+		verb, _, _ := strings.Cut(head, " ")
+		if verb != "commutative" {
+			return nil
+		}
+		d.Analyzer, d.Kind, d.Reason = "maporder", "commutative", reason
+	default:
+		return nil
+	}
+	return d
+}
+
+// Suppressor holds the directives addressed to one analyzer in one
+// package, tracks which of them actually suppressed a diagnostic, and
+// reports the defective ones (missing reason, never used) when the
+// analyzer finishes.
+type Suppressor struct {
+	pass       *analysis.Pass
+	analyzer   string
+	directives []*Directive
+}
+
+// NewSuppressor collects the directives for the named analyzer from
+// every file of the pass.
+func NewSuppressor(pass *analysis.Pass, analyzer string) *Suppressor {
+	s := &Suppressor{pass: pass, analyzer: analyzer}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if d := parseDirective(pass.Fset, c); d != nil && d.Analyzer == analyzer {
+					s.directives = append(s.directives, d)
+				}
+			}
+		}
+	}
+	return s
+}
+
+// at returns the directive of the given kind covering pos (same line or
+// the line above), or nil.
+func (s *Suppressor) at(pos token.Pos, kind string) *Directive {
+	line := s.pass.Fset.Position(pos).Line
+	for _, d := range s.directives {
+		if d.Kind != kind {
+			continue
+		}
+		if d.Line == line || d.Line == line-1 {
+			return d
+		}
+	}
+	return nil
+}
+
+// Suppressed reports whether a diagnostic at pos is covered by a
+// //lint:ignore directive, marking the directive used. A directive with
+// a missing reason still suppresses — the missing reason is reported
+// once, by Finish, at the directive itself.
+func (s *Suppressor) Suppressed(pos token.Pos) bool {
+	if d := s.at(pos, "ignore"); d != nil {
+		d.used = true
+		return true
+	}
+	return false
+}
+
+// Justified looks for an analyzer-specific directive of the given kind
+// (e.g. "commutative") at pos, marking it used.
+func (s *Suppressor) Justified(pos token.Pos, kind string) (*Directive, bool) {
+	if d := s.at(pos, kind); d != nil {
+		d.used = true
+		return d, true
+	}
+	return nil, false
+}
+
+// Finish reports the directives that are defective: a missing
+// justification, or a directive that suppressed nothing (stale escape).
+// Call it once, at the end of the analyzer's run.
+func (s *Suppressor) Finish() {
+	for _, d := range s.directives {
+		if InTestFile(s.pass, d.Pos) {
+			continue
+		}
+		verb := "//lint:" + "ignore " + d.Analyzer
+		if d.Kind != "ignore" {
+			verb = "//lint:" + d.Analyzer + " " + d.Kind
+		}
+		if d.used && d.Reason == "" {
+			s.pass.Reportf(d.Pos, "%s needs a written justification: %s — <reason>", verb, verb)
+		}
+		if !d.used {
+			s.pass.Reportf(d.Pos, "unused %s directive: no %s diagnostic here to suppress (delete it, or it hides a future regression)", verb, s.analyzer)
+		}
+	}
+}

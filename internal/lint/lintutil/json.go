@@ -1,0 +1,94 @@
+package lintutil
+
+import (
+	"encoding/json"
+	"go/token"
+	"io"
+	"sort"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// The machine-readable diagnostics plane: every p2plint mode that emits
+// findings for CI (cmd/p2plint -json) flattens analysis.Diagnostics into
+// Finding records — one JSON object per diagnostic with a stable field
+// set and a stable sort — so the findings file diffs cleanly between
+// runs and uploads as a build artifact.
+
+// Finding is one diagnostic in the machine-readable output.
+type Finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	// SuggestedFix carries the first suggested fix's message when the
+	// analyzer attached one (the fix edits themselves stay in the
+	// analysis framework; the record names the remedy).
+	SuggestedFix string `json:"suggested_fix,omitempty"`
+}
+
+// NewFinding flattens one diagnostic.
+func NewFinding(fset *token.FileSet, analyzer string, d analysis.Diagnostic) Finding {
+	pos := fset.Position(d.Pos)
+	f := Finding{
+		File:     pos.Filename,
+		Line:     pos.Line,
+		Col:      pos.Column,
+		Analyzer: analyzer,
+		Message:  d.Message,
+	}
+	if len(d.SuggestedFixes) > 0 {
+		f.SuggestedFix = d.SuggestedFixes[0].Message
+	}
+	return f
+}
+
+// SortFindings orders findings by file, line, column, analyzer, message
+// — the stable order the JSON emitter relies on.
+func SortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+// WriteFindings emits the findings as an indented JSON array (never
+// null: an empty run writes []) after sorting them.
+func WriteFindings(w io.Writer, fs []Finding) error {
+	SortFindings(fs)
+	if fs == nil {
+		fs = []Finding{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(fs)
+}
+
+// TrimRoot rewrites each finding's file path relative to root (CI runs
+// from the repo root; absolute runner paths would make artifacts diff
+// dirty between runs).
+func TrimRoot(fs []Finding, root string) {
+	if root == "" {
+		return
+	}
+	if !strings.HasSuffix(root, "/") {
+		root += "/"
+	}
+	for i := range fs {
+		fs[i].File = strings.TrimPrefix(fs[i].File, root)
+	}
+}

@@ -1,0 +1,107 @@
+package lintutil_test
+
+import (
+	"bytes"
+	"go/ast"
+	"go/token"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/lintutil"
+)
+
+// toycheck reports every call to a function literally named "flagme",
+// honoring the lintutil suppression plane. It exists to test the plane,
+// not the finding.
+var toycheck = &analysis.Analyzer{
+	Name: "toycheck",
+	Doc:  "test analyzer for the //lint:ignore suppression plane",
+	Run: func(pass *analysis.Pass) (any, error) {
+		sup := lintutil.NewSuppressor(pass, "toycheck")
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "flagme" {
+					if !sup.Suppressed(call.Pos()) {
+						pass.Reportf(call.Pos(), "call to flagme")
+					}
+				}
+				return true
+			})
+		}
+		sup.Finish()
+		return nil, nil
+	},
+}
+
+func TestSuppressionPlane(t *testing.T) {
+	linttest.Run(t, toycheck, linttest.Target{
+		Dir:  "testdata/src/suppkg",
+		Path: "p2plint.example/suppkg",
+	})
+}
+
+func TestWriteFindings(t *testing.T) {
+	fset := token.NewFileSet()
+	f := fset.AddFile("/repo/internal/core/gossip.go", -1, 1000)
+	f.SetLinesForContent(bytes.Repeat([]byte("x\n"), 500))
+	pos := func(line, col int) token.Pos { return f.LineStart(line) + token.Pos(col-1) }
+
+	findings := []lintutil.Finding{
+		lintutil.NewFinding(fset, "maporder", analysis.Diagnostic{
+			Pos:     pos(42, 2),
+			Message: "range over map st.summaries: iteration order can escape",
+			SuggestedFixes: []analysis.SuggestedFix{
+				{Message: "iterate sortedKeys(st.summaries)"},
+			},
+		}),
+		lintutil.NewFinding(fset, "clockcheck", analysis.Diagnostic{
+			Pos:     pos(7, 1),
+			Message: "time.Now in deterministic package",
+		}),
+	}
+	lintutil.TrimRoot(findings, "/repo")
+
+	var buf bytes.Buffer
+	if err := lintutil.WriteFindings(&buf, findings); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	want := `[
+  {
+    "file": "internal/core/gossip.go",
+    "line": 7,
+    "col": 1,
+    "analyzer": "clockcheck",
+    "message": "time.Now in deterministic package"
+  },
+  {
+    "file": "internal/core/gossip.go",
+    "line": 42,
+    "col": 2,
+    "analyzer": "maporder",
+    "message": "range over map st.summaries: iteration order can escape",
+    "suggested_fix": "iterate sortedKeys(st.summaries)"
+  }
+]
+`
+	if got != want {
+		t.Errorf("findings JSON mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestWriteFindingsEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := lintutil.WriteFindings(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(buf.String()) != "[]" {
+		t.Errorf("empty findings must encode as [], got %q", buf.String())
+	}
+}

@@ -1,0 +1,51 @@
+// Package suppkg exercises the //lint:ignore suppression plane through
+// a toy analyzer that reports every call to flagme.
+package suppkg
+
+func flagme() {}
+
+// bare is reported: no suppression.
+func bare() {
+	flagme() // want `call to flagme`
+}
+
+// sameLine suppresses with a trailing directive.
+func sameLine() {
+	flagme() //lint:ignore toycheck — exercised deliberately by the fixture
+}
+
+// lineAbove suppresses from the line above.
+func lineAbove() {
+	//lint:ignore toycheck — the directive reaches one line down
+	flagme()
+}
+
+// reasonless suppresses but owes a justification.
+func reasonless() {
+	//lint:ignore toycheck // want `needs a written justification`
+	flagme()
+}
+
+// doubleDash accepts the ASCII separator.
+func doubleDash() {
+	flagme() //lint:ignore toycheck -- ascii dashes work too
+}
+
+// unused directives are themselves defects.
+func unused() {
+	//lint:ignore toycheck — nothing here to suppress // want `unused //lint:ignore toycheck directive`
+	_ = 1
+}
+
+// otherAnalyzer directives are ignored by this analyzer entirely.
+func otherAnalyzer() {
+	//lint:ignore elsecheck — not ours to consume or to flag
+	flagme() // want `call to flagme`
+}
+
+// tooFar does not reach: two lines above is out of range.
+func tooFar() {
+	//lint:ignore toycheck — too far away to bind // want `unused //lint:ignore toycheck directive`
+
+	flagme() // want `call to flagme`
+}

@@ -9,7 +9,12 @@
 // enclosing function, a <recv>.mu.Lock() or <recv>.mu.RLock() call on
 // the same receiver expression appears before the access, or when the
 // enclosing function's name ends in "Locked" (the convention for
-// helpers whose callers hold the mutex). Anything else is reported.
+// helpers whose callers hold the mutex). Mutations — assignment targets
+// (directly or through an index, sub-field, or dereference),
+// increments, address-of, and delete on a guarded map — are held to the
+// stronger requirement: only the full Lock qualifies, since writing
+// under an RLock races with every other reader. Anything else is
+// reported.
 // Suppress a deliberate exception with //lint:allow lockfield <reason>.
 //
 // The analyzer also reports annotations it cannot honor: a
@@ -18,6 +23,7 @@ package lockfield
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 
@@ -140,10 +146,17 @@ func checkAccesses(pass *analysis.Pass, ins *inspector.Inspector, guardedSet map
 		if !ok || !guardedSet[guardedField{named, selection.Index()[0]}] {
 			return true
 		}
-		if lockHeld(pass, stack, lintutil.ExprString(se.X)) {
+		write := isWrite(pass, stack, se)
+		if lockHeld(pass, stack, lintutil.ExprString(se.X), write) {
 			return true
 		}
 		if lintutil.InTestFile(pass, se.Pos()) || lintutil.Allowed(pass, se.Pos(), name) {
+			return true
+		}
+		if write && lockHeld(pass, stack, lintutil.ExprString(se.X), false) {
+			pass.Reportf(se.Pos(),
+				"%s.%s is guarded by mu but written with only %s.mu.RLock held (writes need the full Lock)",
+				named.Obj().Name(), se.Sel.Name, lintutil.ExprString(se.X))
 			return true
 		}
 		pass.Reportf(se.Pos(),
@@ -153,10 +166,58 @@ func checkAccesses(pass *analysis.Pass, ins *inspector.Inspector, guardedSet map
 	})
 }
 
+// isWrite reports whether the selector is a mutation of the guarded
+// field: an assignment target (directly, or through an index, a
+// sub-field, or a dereference), an increment/decrement, an address-of
+// (the pointer can be written through later), or the map argument of
+// delete.
+func isWrite(pass *analysis.Pass, stack []ast.Node, se *ast.SelectorExpr) bool {
+	var cur ast.Node = se
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch p := stack[i].(type) {
+		case *ast.ParenExpr:
+			cur = p
+		case *ast.IndexExpr:
+			if p.X != cur {
+				return false // the selector is the index, not the target
+			}
+			cur = p
+		case *ast.SelectorExpr:
+			if p.X != cur {
+				return false
+			}
+			cur = p
+		case *ast.StarExpr:
+			cur = p
+		case *ast.UnaryExpr:
+			return p.Op == token.AND
+		case *ast.IncDecStmt:
+			return p.X == cur
+		case *ast.AssignStmt:
+			for _, lhs := range p.Lhs {
+				if lhs == cur {
+					return true
+				}
+			}
+			return false
+		case *ast.CallExpr:
+			if id, ok := p.Fun.(*ast.Ident); ok && len(p.Args) > 0 && p.Args[0] == cur {
+				if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "delete" {
+					return true
+				}
+			}
+			return false
+		default:
+			return false
+		}
+	}
+	return false
+}
+
 // lockHeld applies the heuristic: the enclosing function locked
-// <recv>.mu (Lock or RLock) before this position, or is a *Locked
-// helper.
-func lockHeld(pass *analysis.Pass, stack []ast.Node, recv string) bool {
+// <recv>.mu before this position (for writes only the full Lock
+// qualifies; reads also accept RLock), or is a *Locked helper.
+func lockHeld(pass *analysis.Pass, stack []ast.Node, recv string, write bool) bool {
 	var fn ast.Node
 	for _, n := range stack {
 		switch n.(type) {
@@ -181,7 +242,7 @@ func lockHeld(pass *analysis.Pass, stack []ast.Node, recv string) bool {
 			return true
 		}
 		fun := lintutil.ExprString(call.Fun)
-		if fun == recv+".mu.Lock" || fun == recv+".mu.RLock" {
+		if fun == recv+".mu.Lock" || (!write && fun == recv+".mu.RLock") {
 			held = true
 		}
 		return true

@@ -11,12 +11,42 @@ type Store struct {
 	name  string         // immutable after construction, unannotated
 }
 
-// Get locks before reading.
+// Get read-locks, which covers the read — but the hit-counter bump is a
+// write racing every other RLock holder.
 func (s *Store) Get(k string) int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	s.hits++
+	s.hits++ // want `Store\.hits is guarded by mu but written with only s\.mu\.RLock held`
 	return s.items[k]
+}
+
+// Touch takes the full lock, so both writes are fine.
+func (s *Store) Touch(k string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hits++
+	delete(s.items, k)
+}
+
+// Evict deletes a map entry under the read lock.
+func (s *Store) Evict(k string) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	delete(s.items, k) // want `Store\.items is guarded by mu but written with only s\.mu\.RLock held`
+}
+
+// Set writes an element under the read lock.
+func (s *Store) Set(k string, v int) {
+	s.mu.RLock()
+	s.items[k] = v // want `Store\.items is guarded by mu but written with only s\.mu\.RLock held`
+	s.mu.RUnlock()
+}
+
+// HitsPtr leaks a writable pointer while only read-locked.
+func (s *Store) HitsPtr() *int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return &s.hits // want `Store\.hits is guarded by mu but written with only s\.mu\.RLock held`
 }
 
 // Put locks before writing.

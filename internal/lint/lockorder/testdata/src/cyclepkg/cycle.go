@@ -1,0 +1,58 @@
+// Package cyclepkg seeds a lock-order inversion: the scheduler locks
+// sched.mu then reaches the table's lock through a helper call, while
+// the table's compaction path locks table.mu and then calls back into
+// the scheduler. The lockorder analyzer must report the cycle with both
+// acquisition paths.
+package cyclepkg
+
+import "sync"
+
+// Sched owns the run queue.
+type Sched struct {
+	mu    sync.Mutex
+	queue []int
+	tab   *Table
+}
+
+// Table owns the routing entries.
+type Table struct {
+	mu      sync.RWMutex
+	entries map[int]int
+	sched   *Sched
+}
+
+// Dispatch holds sched.mu and reads the table through lookup: the edge
+// Sched.mu -> Table.mu.
+func (s *Sched) Dispatch(k int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.queue = append(s.queue, k)
+	return s.tab.lookup(k)
+}
+
+// lookup takes the table read lock.
+func (t *Table) lookup(k int) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.entries[k]
+}
+
+// Compact holds table.mu and re-enqueues evicted entries through the
+// scheduler: the inverted edge Table.mu -> Sched.mu.
+func (t *Table) Compact() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for k := range t.entries {
+		if k < 0 {
+			delete(t.entries, k)
+			t.sched.enqueue(k)
+		}
+	}
+}
+
+// enqueue takes the scheduler lock.
+func (s *Sched) enqueue(k int) {
+	s.mu.Lock()
+	s.queue = append(s.queue, k)
+	s.mu.Unlock()
+}

@@ -1,0 +1,54 @@
+// Package orderpkg nests its locks consistently: manager before
+// session, directly and through a call. The analyzer must produce the
+// two edges, no cycle, and rank Manager.mu above Session.mu.
+package orderpkg
+
+import "sync"
+
+// Manager owns sessions.
+type Manager struct {
+	mu       sync.Mutex
+	sessions map[int]*Session
+}
+
+// Session is per-stream state.
+type Session struct {
+	mu   sync.Mutex
+	seq  int
+	open bool
+}
+
+// Close nests directly: Manager.mu -> Session.mu.
+func (m *Manager) Close(id int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if s, ok := m.sessions[id]; ok {
+		s.mu.Lock()
+		s.open = false
+		s.mu.Unlock()
+		delete(m.sessions, id)
+	}
+}
+
+// Bump nests through a call, same direction.
+func (m *Manager) Bump(id int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if s, ok := m.sessions[id]; ok {
+		s.advance()
+	}
+}
+
+// advance takes only the session lock.
+func (s *Session) advance() {
+	s.mu.Lock()
+	s.seq++
+	s.mu.Unlock()
+}
+
+// Standalone touches one lock: no edges.
+func (s *Session) Standalone() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seq
+}

@@ -1,0 +1,17 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/maporder"
+)
+
+func TestMapOrder(t *testing.T) {
+	linttest.Run(t, maporder.Analyzer, linttest.Target{
+		Dir: "testdata/src/mappkg",
+		// The suffix places the fixture inside the determinism-critical
+		// marker set.
+		Path: "p2plint.example/internal/core",
+	})
+}

@@ -1,0 +1,196 @@
+// Package mappkg exercises the maporder order-insensitivity prover.
+package mappkg
+
+// sink consumes a value so the compiler keeps the loops.
+var sink int
+
+// commutativeFolds are proven order-insensitive: no diagnostics.
+func commutativeFolds(m map[string]int) (int, float64) {
+	total := 0
+	var mean float64
+	n := 0
+	for _, v := range m {
+		total += v
+		mean += float64(v)
+		n++
+	}
+	if n > 0 {
+		mean /= float64(n) // outside the loop: free
+	}
+	return total, mean
+}
+
+// setBuild writes a distinct key per iteration: proven commutative.
+func setBuild(m map[string]int) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k, v := range m {
+		if v > 0 {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+// keyedCopy copies through the iteration key, values from the range
+// value variable: proven commutative.
+func keyedCopy(m map[int]int) map[int]int {
+	out := make(map[int]int, len(m))
+	for k, v := range m {
+		out[k] = v * 2
+	}
+	return out
+}
+
+// membership tests and per-iteration locals are fine.
+func membership(m map[string]int, allow map[string]bool) int {
+	hits := 0
+	for k, v := range m {
+		w := v + 1
+		if _, ok := allow[k]; ok && w > 1 {
+			hits += w
+		}
+	}
+	return hits
+}
+
+// histogram accumulates into buckets selected by iteration values.
+func histogram(m map[string]int) map[int]int {
+	counts := map[int]int{}
+	for _, v := range m {
+		counts[v/10]++
+	}
+	return counts
+}
+
+// pruneKeyed deletes by the iteration key: commutative.
+func pruneKeyed(m map[string]int, dead map[string]bool) {
+	for k := range dead {
+		delete(m, k)
+	}
+}
+
+// appendEscape publishes iteration order through an outer slice.
+func appendEscape(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `range over map m: iteration order can escape`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// lastWriterWins leaks order through a plain outer assignment.
+func lastWriterWins(m map[string]int) string {
+	var last string
+	for k := range m { // want `range over map m: iteration order can escape`
+		last = k
+	}
+	return last
+}
+
+// stringFold concatenation is not commutative.
+func stringFold(m map[string]string) string {
+	out := ""
+	for _, v := range m { // want `range over map m: iteration order can escape`
+		out += v
+	}
+	return out
+}
+
+// partialFold reads an accumulator the loop also writes.
+func partialFold(m map[string]int) int {
+	total, weighted := 0, 0
+	for _, v := range m { // want `range over map m: iteration order can escape`
+		total += v
+		weighted += total * v
+	}
+	return weighted
+}
+
+// callEscape hands the iteration order to a function.
+func callEscape(m map[string]int) {
+	for k := range m { // want `range over map m: iteration order can escape`
+		observe(k)
+	}
+}
+
+func observe(string) {}
+
+// justified carries the mandatory commutativity justification: the
+// diagnostic is suppressed.
+func justified(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	//lint:maporder commutative — keys are sorted by the caller before use
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// reasonless forgets the written justification.
+func reasonless(m map[string]int) []string {
+	var keys []string
+	//lint:maporder commutative // want `needs a written justification`
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// overJustified annotates a loop the prover already accepts: the stale
+// directive is reported so escapes stay minimal.
+func overJustified(m map[string]int) int {
+	total := 0
+	//lint:maporder commutative — plain sum // want `unused //lint:maporder commutative directive`
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// ignored uses the generic suppression form.
+func ignored(m map[string]int) []string {
+	var keys []string
+	//lint:ignore maporder — diagnostic output only, consumed by a sorted printer
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// unusedIgnore suppresses nothing.
+func unusedIgnore(m map[string]int) int {
+	total := 0
+	//lint:ignore maporder — stale escape // want `unused //lint:ignore maporder directive`
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// sliceRange is not a map range: out of scope.
+func sliceRange(xs []int) []int {
+	var out []int
+	for _, v := range xs {
+		out = append(out, v*2)
+	}
+	return out
+}
+
+// nestedInner ranges a slice inside a map range: allowed when the inner
+// body is itself commutative.
+func nestedInner(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		for _, v := range vs {
+			total += v
+		}
+	}
+	return total
+}
+
+// indexNotKey writes through a key the loop does not own.
+func indexNotKey(m map[string]int, out map[string]int) {
+	for _, v := range m { // want `range over map m: iteration order can escape`
+		out["latest"] = v
+	}
+}

@@ -106,7 +106,7 @@ func (n *Network) Stats() Stats {
 // critique is about.
 func (s Stats) MaxPerNode() uint64 {
 	var max uint64
-	for _, v := range s.PerNode {
+	for _, v := range s.PerNode { //lint:maporder commutative — max fold; the result is independent of visit order
 		if v > max {
 			max = v
 		}
@@ -270,7 +270,7 @@ func (nd *node) Logf(format string, args ...any) {
 // for experiment tables).
 func (s Stats) TypeCounts() string {
 	keys := make([]string, 0, len(s.PerType))
-	for k := range s.PerType {
+	for k := range s.PerType { //lint:maporder commutative — keys are sorted below before rendering
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)

@@ -147,11 +147,11 @@ func CompareTraces(recorded, replayed []trace.Event) (*TraceDiff, error) {
 	}
 	tids := make([]int, 0, len(want)+len(got))
 	seen := make(map[int]bool)
-	for tid := range want {
+	for tid := range want { //lint:maporder commutative — tids are sorted below before comparison
 		tids = append(tids, tid)
 		seen[tid] = true
 	}
-	for tid := range got {
+	for tid := range got { //lint:maporder commutative — tids are sorted below before comparison
 		if !seen[tid] {
 			tids = append(tids, tid)
 		}

@@ -2,6 +2,7 @@ package replay
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/env"
 	"repro/internal/rng"
@@ -178,6 +179,16 @@ type digester interface{ StateDigest() uint64 }
 // diverge records the first divergence and halts the engine. Later
 // mismatches are suppressed: everything after the first divergence is
 // expected to cascade.
+// sortedNodeIDs returns the replayer's node IDs in ascending order.
+func (rp *replayer) sortedNodeIDs() []env.NodeID {
+	ids := make([]env.NodeID, 0, len(rp.nodes))
+	for id := range rp.nodes { //lint:maporder commutative — ids are sorted below before any use
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
 func (rp *replayer) diverge(node env.NodeID, index int, kind, detail string) {
 	if rp.res.Diverged != nil {
 		return
@@ -414,9 +425,12 @@ func Replay(lg *Log, opts Options) (*Result, error) {
 	rp.eng.Run()
 
 	// Nodes alive at end of recording: every recorded send must have
-	// been reproduced.
+	// been reproduced. The scan stops at the first violation, so it must
+	// visit nodes in ID order — otherwise which node gets reported (and
+	// therefore the result) would follow map iteration order.
 	if rp.res.Diverged == nil {
-		for _, n := range rp.nodes {
+		for _, id := range rp.sortedNodeIDs() {
+			n := rp.nodes[id]
 			if !n.started || n.stopped || n.sendIdx >= len(n.expected) {
 				continue
 			}
@@ -429,8 +443,10 @@ func Replay(lg *Log, opts Options) (*Result, error) {
 	}
 
 	// Final digests for nodes still running, for callers asserting on
-	// end-state equality.
-	for _, n := range rp.nodes {
+	// end-state equality. StateDigest is a call into actor code; keep the
+	// visit order deterministic.
+	for _, id := range rp.sortedNodeIDs() {
+		n := rp.nodes[id]
 		if n.started && !n.stopped {
 			if d, ok := n.actor.(digester); ok {
 				rp.res.FinalDigests[n.id] = d.StateDigest()
