@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet fmt build lint lint-json lockorder-golden test race chaos fuzz-wire replay obs bench-trace bench bench-all
+.PHONY: check vet fmt build lint lint-json lockorder-golden test race chaos fuzz-wire replay obs scenario bench-trace bench bench-all
 
 # check is the pre-commit gate referenced from README: static checks,
 # full build, race-enabled tests, the record/replay gate, and the
@@ -91,6 +91,29 @@ obs: bin/p2pnode bin/p2ptop
 	sleep 8; \
 	./bin/p2ptop -nodes http://127.0.0.1:9461,http://127.0.0.1:9462 -once -check; \
 	rc=$$?; kill $$pa $$pb 2>/dev/null; wait $$pa $$pb 2>/dev/null; exit $$rc
+
+# scenario runs the committed chaos suite: every file in scenarios/ on
+# the deterministic simulator (JSON reports land in
+# bin/scenario-reports/), then the two-daemon TCP smoke — the same
+# tcp-smoke.yaml split across two real p2pnode processes
+# (-scenario-part 0/2 and 1/2). p2ptop -scenario re-checks the
+# collected reports and fails if any verdict is FAIL.
+scenario: bin/p2psim bin/p2pnode bin/p2ptop
+	rm -rf bin/scenario-reports && mkdir -p bin/scenario-reports
+	@set -e; for f in scenarios/*.yaml; do \
+		name=$$(basename $$f .yaml); \
+		echo "== $$f (sim)"; \
+		./bin/p2psim -scenario $$f -scenario-report bin/scenario-reports/$$name.sim.json; \
+	done
+	@echo "== scenarios/tcp-smoke.yaml (live, 2 daemons)"; \
+	./bin/p2pnode -scenario scenarios/tcp-smoke.yaml -scenario-part 0/2 \
+		-scenario-peers "127.0.0.1:7471,127.0.0.1:7472" -scenario-pace 2 \
+		-scenario-report bin/scenario-reports/tcp-smoke.live0.json & pa=$$!; \
+	./bin/p2pnode -scenario scenarios/tcp-smoke.yaml -scenario-part 1/2 \
+		-scenario-peers "127.0.0.1:7471,127.0.0.1:7472" -scenario-pace 2 \
+		-scenario-report bin/scenario-reports/tcp-smoke.live1.json; \
+	rb=$$?; wait $$pa; ra=$$?; [ $$ra -eq 0 ] && [ $$rb -eq 0 ]
+	./bin/p2ptop -scenario bin/scenario-reports/*.json
 
 bin/p2ptop: FORCE
 	$(GO) build -o bin/p2ptop ./cmd/p2ptop

@@ -11,6 +11,7 @@
 //	p2pbench -regress [-regress-bench '.'] [-regress-count 5]
 //	         [-regress-benchtime 1s] [-regress-dir bench]
 //	         [-regress-tolerance 0.20]
+//	p2pbench -scenario f.yaml [-scenario-runs 3] [-seed N]
 //
 // Output columns (sweep mode):
 //
@@ -90,6 +91,9 @@ func main() {
 		regDate    = flag.String("regress-date", "", "snapshot date stamp (default: today, YYYY-MM-DD)")
 		regDry     = flag.Bool("regress-dry", false, "compare only; do not write a new snapshot")
 		regVerbose = flag.Bool("regress-v", false, "echo raw go test -bench output")
+
+		scenFile = flag.String("scenario", "", "scenario timing mode: run this declarative scenario file on the simulator and emit per-run timing CSV (skips the sweep)")
+		scenRuns = flag.Int("scenario-runs", 3, "with -scenario: number of runs (seeds seed, seed+1, ...)")
 	)
 	flag.Parse()
 
@@ -99,6 +103,12 @@ func main() {
 		die(stopCPU())
 		die(profutil.WriteHeap(*memProfile))
 		os.Exit(code)
+	}
+
+	if *scenFile != "" {
+		seedSet := false
+		flag.Visit(func(f *flag.Flag) { seedSet = seedSet || f.Name == "seed" })
+		exit(runScenarioBench(*scenFile, *seed, seedSet, *scenRuns))
 	}
 
 	if *regress {

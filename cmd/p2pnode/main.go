@@ -14,6 +14,14 @@
 //
 // The -submit node issues a transcoding query once joined and prints the
 // session report.
+//
+// Scenario mode replaces daemon mode and drives a whole fleet from one
+// declarative file (the same format p2psim -scenario runs on the
+// virtual clock):
+//
+//	p2pnode -scenario f.yaml [-scenario-pace 2] [-scenario-report out.json]
+//	p2pnode -scenario f.yaml -scenario-part 0/2 -scenario-peers ":7461,:7462"
+//	p2pnode -scenario f.yaml -scenario-part 1/2 -scenario-peers ":7461,:7462"
 package main
 
 import (
@@ -49,11 +57,22 @@ func main() {
 		httpAddr  = flag.String("http", "", "HTTP diagnostics address, e.g. :9090 (/metrics, /sketches, /decisions, /trace, /healthz, /debug/pprof)")
 		record    = flag.String("record", "", "flight-recorder directory: log all nondeterministic inputs for 'p2psim -replay'")
 		seed      = flag.Uint64("seed", 0, "run seed; give every node of the overlay the same value so span IDs agree across processes and p2ptop stitches their traces (0 derives a per-node seed from -id)")
+		scenFile  = flag.String("scenario", "", "run a declarative scenario file on the live runtime instead of daemon mode (same file format as p2psim -scenario)")
+		scenPart  = flag.String("scenario-part", "", "with -scenario: host the fleet slice 'k/n' (node indexes with index%n == k); requires -scenario-peers for n > 1")
+		scenPeers = flag.String("scenario-peers", "", "with -scenario-part k/n: comma-separated TCP listen addresses of all n parts, index-aligned")
+		scenPace  = flag.Float64("scenario-pace", 1, "with -scenario: divide scripted times (2 = run the timeline twice as fast)")
+		scenOut   = flag.String("scenario-report", "", "with -scenario: write the machine-readable assertion report (JSON) here")
 	)
 	var faults faultFlag
 	flag.Var(&faults, "fault",
 		"fault-injection rule 'FROM->TO:drop=0.2,dup=0.1,delay=50ms,sever' ('*' = any node); repeatable")
 	flag.Parse()
+
+	if *scenFile != "" {
+		seedSet := false
+		flag.Visit(func(f *flag.Flag) { seedSet = seedSet || f.Name == "seed" })
+		os.Exit(runScenario(*scenFile, *scenPart, *scenPeers, *scenPace, *seed, seedSet, *scenOut))
+	}
 
 	cfg := p2prm.DefaultConfig()
 	info := p2prm.PeerInfo{

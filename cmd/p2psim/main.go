@@ -5,6 +5,7 @@
 //
 //	p2psim [-exp all|E1,...|A2] [-seed N] [-quick] [-md] [-parallel N]
 //	p2psim -trace out.jsonl [-seed N] [-quick]
+//	p2psim -scenario f.yaml [-scenario-report out.json] [-seed N]
 //
 // Examples:
 //
@@ -45,6 +46,8 @@ func main() {
 		traceOut = flag.String("trace", "", "run a traced standard scenario and write Chrome trace-event JSONL here (skips -exp)")
 		obsOut   = flag.String("obs", "", "run a traced standard scenario and write the observability documents (trace.jsonl, sketches.json, decisions.json, metrics.json) into this directory for p2ptop -dir (skips -exp)")
 		replayIn = flag.String("replay", "", "replay a flight-recorder directory (p2pnode -record) and verify determinism (skips -exp)")
+		scenFile = flag.String("scenario", "", "run a declarative scenario file on the deterministic simulator and evaluate its assertions (skips -exp)")
+		scenOut  = flag.String("scenario-report", "", "with -scenario: write the machine-readable assertion report (JSON) here")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -85,6 +88,12 @@ func main() {
 
 	if *replayIn != "" {
 		exit(runReplay(*replayIn))
+	}
+
+	if *scenFile != "" {
+		seedSet := false
+		flag.Visit(func(f *flag.Flag) { seedSet = seedSet || f.Name == "seed" })
+		exit(runScenario(*scenFile, *seed, seedSet, *scenOut))
 	}
 
 	suite := experiments.Suite()

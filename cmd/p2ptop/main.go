@@ -18,6 +18,10 @@
 //	         one stitched cross-node session and a non-zero allocation
 //	         latency p99 — the smoke-test gate `make obs` runs
 //	-json    emit the merged fleet view as JSON instead of the dashboard
+//
+// Scenario-report mode renders chaos-suite verdicts instead of scraping:
+//
+//	p2ptop -scenario reports/*.json     # exit 1 if any report failed
 package main
 
 import (
@@ -41,8 +45,17 @@ func main() {
 		once      = flag.Bool("once", false, "render one frame and exit")
 		check     = flag.Bool("check", false, "with -once: exit 1 unless the view shows a stitched cross-node session and a non-zero alloc p99")
 		asJSON    = flag.Bool("json", false, "emit the merged fleet view as JSON")
+		scenario  = flag.Bool("scenario", false, "treat the positional arguments as scenario assertion reports (JSON): render each and exit 1 if any failed")
 	)
 	flag.Parse()
+
+	if *scenario {
+		if flag.NArg() == 0 {
+			fmt.Fprintln(os.Stderr, "p2ptop: -scenario needs report paths as arguments")
+			os.Exit(2)
+		}
+		os.Exit(runScenarioReports(flag.Args()))
+	}
 
 	if (*nodesFlag == "") == (*dir == "") {
 		fmt.Fprintln(os.Stderr, "p2ptop: need exactly one of -nodes or -dir")

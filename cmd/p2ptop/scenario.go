@@ -1,0 +1,37 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/scenario"
+)
+
+// runScenarioReports renders one or more scenario assertion reports
+// (the JSON documents `p2psim -scenario-report` / `p2pnode
+// -scenario-report` write) as the human pass/fail table — the dashboard
+// view of a chaos-suite run. Exit 1 when any report failed or could not
+// be read, so CI can gate on the aggregated artifacts.
+func runScenarioReports(paths []string) int {
+	code := 0
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "p2ptop: %v\n", err)
+			code = 1
+			continue
+		}
+		rep, err := scenario.ReadReport(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "p2ptop: %s: %v\n", path, err)
+			code = 1
+			continue
+		}
+		fmt.Printf("%s:\n", path)
+		rep.Render(os.Stdout)
+		if !rep.Pass {
+			code = 1
+		}
+	}
+	return code
+}

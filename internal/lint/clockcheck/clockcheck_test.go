@@ -27,3 +27,15 @@ func TestNonDeterministicPackageIgnored(t *testing.T) {
 		Deps: deps,
 	})
 }
+
+// TestScenarioPackage pins internal/scenario in the deterministic set:
+// scenario interpretation may draw only from injected rng streams and
+// injected clock hooks, and the fixture proves the analyzer flags any
+// drift back to the process clock or global randomness.
+func TestScenarioPackage(t *testing.T) {
+	linttest.Run(t, clockcheck.Analyzer, linttest.Target{
+		Dir:  "testdata/src/scenariopkg",
+		Path: "p2plint.example/internal/scenario",
+		Deps: deps,
+	})
+}

@@ -1,0 +1,48 @@
+// Package scenario is the chaos-engine fixture: its import path ends in
+// internal/scenario, so clockcheck applies. Scenario interpretation must
+// draw randomness and time only from injected streams and hooks — the
+// wall clock enters through CLI-supplied hooks, never directly.
+package scenario
+
+import (
+	"math/rand"
+	"time"
+)
+
+// expandLikePlan mirrors plan expansion: every draw comes off an
+// injected stream, which the analyzer leaves alone.
+func expandLikePlan(r *rand.Rand) []int {
+	victims := make([]int, 0, 3)
+	for i := 0; i < 3; i++ {
+		victims = append(victims, r.Intn(10))
+	}
+	return victims
+}
+
+// hooks mirrors the live runner's injected clock: calling a supplied
+// func value is fine; only the package-level clock is forbidden.
+type hooks struct {
+	nowMicros func() int64
+}
+
+func runLikeRunner(h hooks) int64 {
+	return h.nowMicros()
+}
+
+// durationConversionsAreFine: time.Duration arithmetic never observes
+// the environment.
+func durationConversionsAreFine(us int64) time.Duration {
+	return time.Duration(us) * 1000
+}
+
+// driftIntoWallClock is the regression the list entry exists to catch:
+// a runner "just timing" an action with the process clock would break
+// byte-reproducible expansion.
+func driftIntoWallClock() time.Time {
+	time.Sleep(5)     // want `time\.Sleep reads wall clock`
+	return time.Now() // want `time\.Now reads wall clock`
+}
+
+func driftIntoGlobalRandomness() int {
+	return rand.Intn(7) // want `rand\.Intn reads global randomness`
+}

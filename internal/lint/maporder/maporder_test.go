@@ -15,3 +15,13 @@ func TestMapOrder(t *testing.T) {
 		Path: "p2plint.example/internal/core",
 	})
 }
+
+// TestMapOrderScenarioPath proves internal/scenario sits in the
+// determinism-critical marker set: the same fixture diagnostics fire
+// when the package path ends in internal/scenario.
+func TestMapOrderScenarioPath(t *testing.T) {
+	linttest.Run(t, maporder.Analyzer, linttest.Target{
+		Dir:  "testdata/src/mappkg",
+		Path: "p2plint.example/internal/scenario",
+	})
+}

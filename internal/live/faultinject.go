@@ -85,9 +85,21 @@ func (f *FaultInjector) Heal(from, to env.NodeID) {
 
 // Reset removes every rule.
 func (f *FaultInjector) Reset() {
+	f.Clear()
+}
+
+// Clear atomically removes every rule and returns how many it healed,
+// so a finished chaos block can restore the fleet in one call and
+// report what it undid.
+func (f *FaultInjector) Clear() int {
+	if f == nil {
+		return 0
+	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	n := len(f.rules)
 	f.rules = make(map[faultKey]FaultRule)
+	return n
 }
 
 // FaultRuleEntry is one installed rule, as listed by Rules and the

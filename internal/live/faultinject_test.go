@@ -167,8 +167,19 @@ func TestFaultsEndpoint(t *testing.T) {
 	if len(doc.Rules) != 1 || doc.Rules[0].To != 3 {
 		t.Fatalf("after heal rules = %+v", doc.Rules)
 	}
-	if code, _ := do(http.MethodDelete, ""); code != 200 {
+	code, body := do(http.MethodDelete, "")
+	if code != 200 {
 		t.Fatal("DELETE all failed")
+	}
+	var clearRes struct {
+		Status  string `json:"status"`
+		Cleared int    `json:"cleared"`
+	}
+	if err := json.Unmarshal([]byte(body), &clearRes); err != nil {
+		t.Fatalf("DELETE all body %q: %v", body, err)
+	}
+	if clearRes.Status != "ok" || clearRes.Cleared != 1 {
+		t.Fatalf("DELETE all = %+v, want status ok cleared 1", clearRes)
 	}
 	_, body = do(http.MethodGet, "")
 	doc.Rules = nil
@@ -186,5 +197,142 @@ func TestFaultsEndpoint(t *testing.T) {
 	}
 	if code, _ := do(http.MethodPost, "?delay=fast"); code != http.StatusBadRequest {
 		t.Fatal("bad delay accepted")
+	}
+}
+
+func TestFaultInjectorClear(t *testing.T) {
+	var nilFI *FaultInjector
+	if n := nilFI.Clear(); n != 0 {
+		t.Fatalf("nil Clear = %d", n)
+	}
+	fi := NewFaultInjector(rng.New(5))
+	if n := fi.Clear(); n != 0 {
+		t.Fatalf("empty Clear = %d", n)
+	}
+	fi.Set(1, 2, FaultRule{Drop: 1})
+	fi.Set(AnyNode, 3, FaultRule{Sever: true})
+	fi.Sever(4, 5) // installs both directions
+	if n := fi.Clear(); n != 4 {
+		t.Fatalf("Clear = %d, want 4", n)
+	}
+	if rules := fi.Rules(); len(rules) != 0 {
+		t.Fatalf("rules after Clear = %+v", rules)
+	}
+	if d := fi.decide(1, 2); d.drop || d.dup || d.delay != 0 {
+		t.Fatalf("decide after Clear impaired traffic: %+v", d)
+	}
+	// The injector stays usable: new rules after Clear take effect.
+	fi.Set(1, 2, FaultRule{Drop: 1})
+	if d := fi.decide(1, 2); !d.drop {
+		t.Fatal("rule installed after Clear was ignored")
+	}
+}
+
+// TestFaultRulePrecedenceInProcessDelivery pins the specificity order
+// (from,to) > (from,*) > (*,to) > (*,*) on the Runtime's in-process
+// delivery hook: a blanket sever must not shadow a more specific
+// delay-only rule, and healing the specific rule falls back to the
+// blanket one.
+func TestFaultRulePrecedenceInProcessDelivery(t *testing.T) {
+	rt := NewRuntime(33)
+	defer rt.Shutdown()
+	a := &collector{}
+	b := &collector{}
+	ida := rt.AddNode(a)
+	idb := rt.AddNode(b)
+	fi := rt.EnsureFaultInjector()
+
+	send := func() { rt.Call(ida, func() { a.ctx.Send(idb, note{S: "x"}) }) }
+
+	fi.Set(AnyNode, AnyNode, FaultRule{Sever: true})
+	send()
+	waitFor(t, time.Second, func() bool { return fi.Stats().Dropped == 1 })
+	if b.count() != 0 {
+		t.Fatal("(*,*) sever let an in-process message through")
+	}
+
+	// (*,to) delay beats the blanket sever.
+	fi.Set(AnyNode, idb, FaultRule{Delay: time.Millisecond})
+	send()
+	waitFor(t, time.Second, func() bool { return b.count() == 1 })
+
+	// (from,*) sever beats (*,to).
+	fi.Set(ida, AnyNode, FaultRule{Sever: true})
+	send()
+	waitFor(t, time.Second, func() bool { return fi.Stats().Dropped == 2 })
+	if b.count() != 1 {
+		t.Fatal("(from,*) sever did not shadow (*,to)")
+	}
+
+	// (from,to) beats everything.
+	fi.Set(ida, idb, FaultRule{Delay: time.Millisecond})
+	send()
+	waitFor(t, time.Second, func() bool { return b.count() == 2 })
+
+	// Healing the exact pair falls back to (from,*) sever.
+	fi.Heal(ida, idb)
+	send()
+	waitFor(t, time.Second, func() bool { return fi.Stats().Dropped == 3 })
+	if b.count() != 2 {
+		t.Fatal("heal of the exact rule did not fall back to (from,*)")
+	}
+}
+
+// TestFaultRulePrecedenceTCPOutbound pins the same specificity order on
+// the TCP transport's outbound hook (sender-side impairment of real
+// socket traffic between two runtimes).
+func TestFaultRulePrecedenceTCPOutbound(t *testing.T) {
+	rtA := NewRuntime(34)
+	rtB := NewRuntime(35)
+	defer rtA.Shutdown()
+	defer rtB.Shutdown()
+	trA := NewTCPTransport(rtA)
+	defer trA.Close()
+	trB := NewTCPTransport(rtB)
+	defer trB.Close()
+	addrB, err := trB.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := &collector{}
+	b := &collector{}
+	rtA.AddNodeWithID(0, a)
+	rtB.AddNodeWithID(1, b)
+	trA.Register(1, addrB)
+	fi := rtA.EnsureFaultInjector()
+
+	send := func() { rtA.Call(0, func() { a.ctx.Send(1, note{S: "x"}) }) }
+
+	// Warm the path unimpaired first so drops below are unambiguous.
+	send()
+	waitFor(t, 2*time.Second, func() bool { return b.count() == 1 })
+
+	fi.Set(AnyNode, AnyNode, FaultRule{Sever: true})
+	send()
+	waitFor(t, time.Second, func() bool { return fi.Stats().Dropped == 1 })
+
+	// (*,to) delay beats the blanket sever.
+	fi.Set(AnyNode, 1, FaultRule{Delay: time.Millisecond})
+	send()
+	waitFor(t, 2*time.Second, func() bool { return b.count() == 2 })
+
+	// (from,*) sever beats (*,to).
+	fi.Set(0, AnyNode, FaultRule{Sever: true})
+	send()
+	waitFor(t, time.Second, func() bool { return fi.Stats().Dropped == 2 })
+
+	// (from,to) beats everything.
+	fi.Set(0, 1, FaultRule{Delay: time.Millisecond})
+	send()
+	waitFor(t, 2*time.Second, func() bool { return b.count() == 3 })
+
+	// Clear heals the whole matrix in one call.
+	if n := fi.Clear(); n != 4 {
+		t.Fatalf("Clear = %d, want 4", n)
+	}
+	send()
+	waitFor(t, 2*time.Second, func() bool { return b.count() == 4 })
+	if st := trA.Stats(); st.Drops[DropFault.String()] != 2 {
+		t.Fatalf("transport fault-drop count = %d, want 2", st.Drops[DropFault.String()])
 	}
 }

@@ -186,17 +186,19 @@ func (rt *Runtime) handleFaults(w http.ResponseWriter, r *http.Request) {
 		}
 		q := r.URL.Query()
 		if q.Get("from") == "" && q.Get("to") == "" {
-			fi.Reset()
-		} else {
-			from, err1 := faultQueryNode(q.Get("from"))
-			to, err2 := faultQueryNode(q.Get("to"))
-			if err := errors.Join(err1, err2); err != nil {
-				w.WriteHeader(http.StatusBadRequest)
-				json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
-				return
-			}
-			fi.Heal(from, to)
+			// Heal everything atomically and report how many rules went.
+			cleared := fi.Clear()
+			json.NewEncoder(w).Encode(map[string]any{"status": "ok", "cleared": cleared})
+			return
 		}
+		from, err1 := faultQueryNode(q.Get("from"))
+		to, err2 := faultQueryNode(q.Get("to"))
+		if err := errors.Join(err1, err2); err != nil {
+			w.WriteHeader(http.StatusBadRequest)
+			json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+			return
+		}
+		fi.Heal(from, to)
 		json.NewEncoder(w).Encode(map[string]string{"status": "ok"})
 	default:
 		w.WriteHeader(http.StatusMethodNotAllowed)

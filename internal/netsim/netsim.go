@@ -43,25 +43,53 @@ func UniformLatency(d sim.Time) func(env.NodeID, env.NodeID) sim.Time {
 }
 
 // Stats counts network activity for the experiment harnesses (E4's
-// message-overhead measurements).
+// message-overhead measurements). The Fault* counters attribute
+// impairments injected through SetFault separately from the model's own
+// loss, so chaos scenarios can assert on what the injector actually did.
 type Stats struct {
-	Sent      uint64
-	Delivered uint64
-	Dropped   uint64 // loss or dead receiver
-	KBytes    float64
-	PerType   map[string]uint64     // message type name -> sent count
-	PerNode   map[env.NodeID]uint64 // receiver -> delivered count (hotspot metric)
+	Sent       uint64
+	Delivered  uint64
+	Dropped    uint64 // loss or dead receiver
+	FaultDrops uint64 // dropped by an installed fault rule (incl. severs)
+	FaultDups  uint64 // duplicated by an installed fault rule
+	FaultDelay uint64 // delayed by an installed fault rule
+	KBytes     float64
+	PerType    map[string]uint64     // message type name -> sent count
+	PerNode    map[env.NodeID]uint64 // receiver -> delivered count (hotspot metric)
+}
+
+// FaultRule describes injected impairments for one directed node pair —
+// the sim mirror of live.FaultRule. Sever blackholes the pair entirely;
+// otherwise Drop and Dup are independent probabilities and Delay is
+// added to the modeled link delay.
+type FaultRule struct {
+	Drop  float64
+	Dup   float64
+	Delay sim.Time
+	Sever bool
+}
+
+// zero reports whether the rule imposes nothing.
+func (r FaultRule) zero() bool {
+	return !r.Sever && r.Drop == 0 && r.Dup == 0 && r.Delay == 0
+}
+
+// faultKey is one directed pair; env.NoNode is the wildcard.
+type faultKey struct {
+	from, to env.NodeID
 }
 
 // Network hosts simulated nodes. Not safe for concurrent use: everything
 // runs on the engine's single logical thread.
 type Network struct {
-	eng   *sim.Engine
-	r     *rng.Rand
-	cfg   Config
-	nodes map[env.NodeID]*node
-	next  env.NodeID
-	stats Stats
+	eng    *sim.Engine
+	r      *rng.Rand
+	cfg    Config
+	nodes  map[env.NodeID]*node
+	next   env.NodeID
+	stats  Stats
+	faults map[faultKey]FaultRule
+	faultR *rng.Rand // rolls for installed rules; split lazily so fault-free runs draw identically
 }
 
 // node is the per-actor runtime state.
@@ -112,6 +140,69 @@ func (s Stats) MaxPerNode() uint64 {
 		}
 	}
 	return max
+}
+
+// SetFault installs (or, with a zero rule, removes) a fault rule for
+// the directed pair from→to. env.NoNode acts as a wildcard on either
+// side; the most specific installed rule wins, in the same precedence
+// order as the live injector: (from,to), then (from,*), then (*,to),
+// then (*,*). Rolls draw from a dedicated stream split from the network
+// generator on first installation, so runs that never install a rule
+// see exactly the draws they always did.
+func (n *Network) SetFault(from, to env.NodeID, rule FaultRule) {
+	if n.faults == nil {
+		if rule.zero() {
+			return
+		}
+		n.faults = make(map[faultKey]FaultRule)
+		n.faultR = n.r.Split()
+	}
+	k := faultKey{from, to}
+	if rule.zero() {
+		delete(n.faults, k)
+		return
+	}
+	n.faults[k] = rule
+}
+
+// Sever blackholes both directions between a and b (use env.NoNode to
+// cut a node off from everyone).
+func (n *Network) Sever(a, b env.NodeID) {
+	n.SetFault(a, b, FaultRule{Sever: true})
+	n.SetFault(b, a, FaultRule{Sever: true})
+}
+
+// Heal removes the fault rules between a pair in both directions.
+func (n *Network) Heal(a, b env.NodeID) {
+	n.SetFault(a, b, FaultRule{})
+	n.SetFault(b, a, FaultRule{})
+}
+
+// ClearFaults removes every installed fault rule atomically and reports
+// how many were cleared — the "heal everything" call a finished chaos
+// block uses to restore the fleet.
+func (n *Network) ClearFaults() int {
+	cleared := len(n.faults)
+	n.faults = nil
+	return cleared
+}
+
+// FaultRuleCount reports how many fault rules are installed.
+func (n *Network) FaultRuleCount() int { return len(n.faults) }
+
+// lookupFault resolves the most specific rule for from→to.
+func (n *Network) lookupFault(from, to env.NodeID) (FaultRule, bool) {
+	if n.faults == nil {
+		return FaultRule{}, false
+	}
+	for _, k := range [...]faultKey{
+		{from, to}, {from, env.NoNode}, {env.NoNode, to}, {env.NoNode, env.NoNode},
+	} {
+		if r, ok := n.faults[k]; ok {
+			return r, true
+		}
+	}
+	return FaultRule{}, false
 }
 
 // AddNode registers an actor, assigns it the next NodeID, and schedules
@@ -174,30 +265,65 @@ func (n *Network) Actor(id env.NodeID) env.Actor {
 	return nil
 }
 
-// deliver routes m from src to dst after the modeled delay.
+// deliver routes m from src to dst: the installed fault rule (if any)
+// is rolled first, then each surviving copy traverses the modeled link.
 func (n *Network) deliver(src, dst env.NodeID, m env.Message) {
+	var extra sim.Time
+	dup := false
+	if rule, ok := n.lookupFault(src, dst); ok {
+		// Mirror live.FaultInjector.decide: sever and drop preempt the
+		// other impairments; dup rolls only on surviving messages.
+		if rule.Sever || (rule.Drop > 0 && n.faultR.Bool(rule.Drop)) {
+			n.accountSend(m)
+			n.stats.FaultDrops++
+			return
+		}
+		dup = rule.Dup > 0 && n.faultR.Bool(rule.Dup)
+		if rule.Delay > 0 {
+			n.stats.FaultDelay++
+			extra = rule.Delay
+		}
+	}
+	n.transmit(src, dst, m, extra)
+	if dup {
+		// The duplicate is a real second transmission: it pays its own
+		// loss roll, jitter and serialization delay.
+		n.stats.FaultDups++
+		n.transmit(src, dst, m, extra)
+	}
+}
+
+// accountSend counts one transmission attempt.
+func (n *Network) accountSend(m env.Message) float64 {
 	n.stats.Sent++
 	if n.stats.PerType == nil {
 		n.stats.PerType = make(map[string]uint64)
 	}
 	n.stats.PerType[typeName(m)]++
-
 	var kb float64
 	if s, ok := m.(env.Sized); ok {
 		kb = s.SizeKB()
 	}
 	n.stats.KBytes += kb
+	return kb
+}
+
+// transmit sends one copy of m across the modeled link, extra being
+// fault-injected delay added on top of the link model.
+func (n *Network) transmit(src, dst env.NodeID, m env.Message, extra sim.Time) {
+	kb := n.accountSend(m)
 
 	if n.cfg.LossRate > 0 && n.r.Bool(n.cfg.LossRate) {
 		n.stats.Dropped++
 		return
 	}
-	var delay sim.Time
+	delay := extra
 	if n.cfg.Latency != nil && src != dst {
-		delay = n.cfg.Latency(src, dst)
+		d := n.cfg.Latency(src, dst)
 		if n.cfg.JitterFrac > 0 {
-			delay += sim.Time(n.r.Uniform(0, n.cfg.JitterFrac) * float64(delay))
+			d += sim.Time(n.r.Uniform(0, n.cfg.JitterFrac) * float64(d))
 		}
+		delay += d
 	}
 	if kb > 0 && n.cfg.BandwidthKbps != nil {
 		if bw := n.cfg.BandwidthKbps(src, dst); bw > 0 {

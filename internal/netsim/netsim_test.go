@@ -342,3 +342,134 @@ func TestStopOnCrashedNodeIsNoop(t *testing.T) {
 		t.Fatal("Stop hook ran on crashed node")
 	}
 }
+
+func TestFaultSeverBlackholesPair(t *testing.T) {
+	eng, net := newNet(Config{})
+	a, b := &echoActor{}, &echoActor{}
+	ida := net.AddNode(a)
+	idb := net.AddNode(b)
+	net.Sever(ida, idb)
+	eng.After(0, func() { net.nodes[ida].Send(idb, ping{Body: "x"}) })
+	eng.After(0, func() { net.nodes[idb].Send(ida, ping{Body: "y"}) })
+	eng.Run()
+	if len(a.received) != 0 || len(b.received) != 0 {
+		t.Fatalf("severed pair still delivered: a=%v b=%v", a.received, b.received)
+	}
+	if got := net.Stats().FaultDrops; got != 2 {
+		t.Fatalf("FaultDrops = %d, want 2", got)
+	}
+	net.Heal(ida, idb)
+	eng.After(0, func() { net.nodes[ida].Send(idb, ping{Body: "z"}) })
+	eng.Run()
+	if len(b.received) != 1 {
+		t.Fatalf("healed pair did not deliver: b=%v", b.received)
+	}
+}
+
+// TestFaultPrecedence pins the rule-specificity contract on the sim
+// fault table: (from,to) beats (from,*) beats (*,to) beats (*,*).
+func TestFaultPrecedence(t *testing.T) {
+	eng, net := newNet(Config{})
+	a, b, c := &echoActor{}, &echoActor{}, &echoActor{}
+	ida := net.AddNode(a)
+	idb := net.AddNode(b)
+	idc := net.AddNode(c)
+
+	// Wildcard-everything severs; the exact pair rule re-opens a→b.
+	net.SetFault(env.NoNode, env.NoNode, FaultRule{Sever: true})
+	net.SetFault(ida, idb, FaultRule{Delay: sim.Millisecond})
+	eng.After(0, func() {
+		net.nodes[ida].Send(idb, ping{Body: "exact"})
+		net.nodes[ida].Send(idc, ping{Body: "wild"})
+	})
+	eng.Run()
+	if len(b.received) != 1 || b.received[0] != "exact" {
+		t.Fatalf("(from,to) rule did not override (*,*): b=%v", b.received)
+	}
+	// b's pong reply to a is severed by the (*,*) rule.
+	if len(c.received) != 0 {
+		t.Fatalf("(*,*) sever did not apply to a→c: c=%v", c.received)
+	}
+
+	// (from,*) beats (*,to): sever everything from a, but allow *→b.
+	if n := net.ClearFaults(); n != 2 {
+		t.Fatalf("ClearFaults = %d, want 2", n)
+	}
+	net.SetFault(ida, env.NoNode, FaultRule{Sever: true})
+	net.SetFault(env.NoNode, idb, FaultRule{Delay: sim.Millisecond})
+	before := len(b.received)
+	eng.After(0, func() {
+		net.nodes[ida].Send(idb, ping{Body: "fromwild"})
+		net.nodes[idc].Send(idb, ping{Body: "towild"})
+	})
+	eng.Run()
+	got := b.received[before:]
+	if len(got) != 1 || got[0] != "towild" {
+		t.Fatalf("(from,*) should beat (*,to) for a→b: got %v", got)
+	}
+}
+
+func TestFaultDropAndDupProbabilities(t *testing.T) {
+	eng, net := newNet(Config{})
+	a, b := &echoActor{}, &echoActor{}
+	ida := net.AddNode(a)
+	idb := net.AddNode(b)
+	// Drain the Init events so the send loop below starts clean.
+	eng.Run()
+
+	net.SetFault(ida, idb, FaultRule{Drop: 0.5})
+	const sends = 2000
+	for i := 0; i < sends; i++ {
+		net.nodes[ida].Send(idb, bigMsg{})
+	}
+	eng.Run()
+	st := net.Stats()
+	if st.FaultDrops < sends/3 || st.FaultDrops > sends*2/3 {
+		t.Fatalf("FaultDrops = %d of %d, want roughly half", st.FaultDrops, sends)
+	}
+	if got := len(b.received); got != sends-int(st.FaultDrops) {
+		t.Fatalf("delivered %d, want %d", got, sends-int(st.FaultDrops))
+	}
+
+	net.ClearFaults()
+	net.SetFault(ida, idb, FaultRule{Dup: 1.0})
+	before := len(b.received)
+	net.nodes[ida].Send(idb, bigMsg{})
+	eng.Run()
+	if got := len(b.received) - before; got != 2 {
+		t.Fatalf("Dup=1 delivered %d copies, want 2", got)
+	}
+	if net.Stats().FaultDups != 1 {
+		t.Fatalf("FaultDups = %d, want 1", net.Stats().FaultDups)
+	}
+}
+
+// TestFaultFreeDrawsUnchanged guards the reproducibility contract: a
+// run that never installs a fault rule must draw exactly the values it
+// drew before the fault layer existed (i.e. installing the layer is
+// free until used).
+func TestFaultFreeDrawsUnchanged(t *testing.T) {
+	run := func(withFaults bool) []string {
+		eng, net := newNet(Config{Latency: UniformLatency(2 * sim.Millisecond), JitterFrac: 0.5, LossRate: 0.2})
+		a, b := &echoActor{}, &echoActor{}
+		ida := net.AddNode(a)
+		idb := net.AddNode(b)
+		if withFaults {
+			// Install then fully remove before any traffic: the lazy
+			// fault stream split advances the parent generator, which
+			// is allowed to perturb later draws, so remove via zero
+			// rules on a never-populated table instead.
+			net.SetFault(ida, idb, FaultRule{})
+		}
+		eng.Run()
+		for i := 0; i < 50; i++ {
+			net.nodes[ida].Send(idb, ping{Body: "x"})
+		}
+		eng.Run()
+		return b.received
+	}
+	x, y := run(false), run(true)
+	if strings.Join(x, ",") != strings.Join(y, ",") {
+		t.Fatalf("zero-rule SetFault perturbed deliveries: %d vs %d received", len(x), len(y))
+	}
+}

@@ -1,0 +1,188 @@
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Assertions are first-class scenario clauses evaluated against the
+// run's core.Events counters, the windowed quantile sketches and the RM
+// decision log. The catalog, keyed by the assert mapping's keys:
+//
+//	<counter>_min / <counter>_max    integer bounds on an outcome counter;
+//	    counters: submitted, admitted, rejected, redirected, aborted,
+//	    repairs, migrations, preemptions, failovers, domains, peers_dead
+//	deadline_miss_rate_max           aggregate chunk-deadline miss rate
+//	failover_time_max                max RM takeover latency (duration)
+//	repair_time_max                  max session repair latency (duration)
+//	failover_p99_max                 sketch p99 bounds (durations)
+//	alloc_p99_max
+//	rtt_p99_max
+//	fault_drops_min / fault_drops_max  messages dropped by injected faults
+//	net_drops_max                    messages lost by the network model
+//	decisions_<action>_min           decision-log count by action, e.g.
+//	    decisions_admit_min, decisions_failover_min
+type check struct {
+	spec AssertSpec
+	eval func(o *Outcome) (got string, pass bool)
+}
+
+// Outcome is the runtime-neutral result surface assertions read. Either
+// runner fills it after its run completes.
+type Outcome struct {
+	Events    core.EventsData
+	MissRate  float64
+	NowMicros int64 // sketch read timestamp (virtual in sim)
+	// Quantile reads a windowed sketch (stats.Sketch* name); nil when the
+	// runtime exposes no sketches.
+	Quantile   func(name string, nowMicros int64, q float64) float64
+	Decisions  []core.Decision
+	FaultDrops uint64 // drops attributed to injected fault rules
+	FaultDups  uint64
+	NetDrops   uint64 // drops from the network model itself (sim only)
+}
+
+// counterFields maps assertable counter names onto EventsData.
+var counterFields = []struct {
+	name string
+	get  func(e *core.EventsData) int
+}{
+	{"submitted", func(e *core.EventsData) int { return e.Submitted }},
+	{"admitted", func(e *core.EventsData) int { return e.Admitted }},
+	{"rejected", func(e *core.EventsData) int { return e.Rejected }},
+	{"redirected", func(e *core.EventsData) int { return e.Redirected }},
+	{"aborted", func(e *core.EventsData) int { return e.Aborted }},
+	{"repairs", func(e *core.EventsData) int { return e.Repairs }},
+	{"migrations", func(e *core.EventsData) int { return e.Migrations }},
+	{"preemptions", func(e *core.EventsData) int { return e.Preemptions }},
+	{"failovers", func(e *core.EventsData) int { return e.Failovers }},
+	{"domains", func(e *core.EventsData) int { return e.DomainsCreated }},
+	{"peers_dead", func(e *core.EventsData) int { return e.PeersDeclaredDead }},
+}
+
+// compileAssert resolves one clause to its evaluator; unknown keys and
+// malformed bounds fail at Parse time so a bad scenario file never runs.
+func compileAssert(a AssertSpec) (*check, error) {
+	c := &check{spec: a}
+	intBound := func(get func(o *Outcome) int, min bool) error {
+		want, err := strconv.Atoi(a.Value)
+		if err != nil {
+			return yerrf(a.Line, "assert %s: %q is not an integer", a.Key, a.Value)
+		}
+		c.eval = func(o *Outcome) (string, bool) {
+			got := get(o)
+			if min {
+				return strconv.Itoa(got), got >= want
+			}
+			return strconv.Itoa(got), got <= want
+		}
+		return nil
+	}
+	durBound := func(get func(o *Outcome) int64) error {
+		want, err := parseDur(a.Value)
+		if err != nil {
+			return yerrf(a.Line, "assert %s: %v", a.Key, err)
+		}
+		c.eval = func(o *Outcome) (string, bool) {
+			got := get(o)
+			return fmtDur(sim.Time(got)), got <= int64(want)
+		}
+		return nil
+	}
+	sketchBound := func(name string) error {
+		want, err := parseDur(a.Value)
+		if err != nil {
+			return yerrf(a.Line, "assert %s: %v", a.Key, err)
+		}
+		c.eval = func(o *Outcome) (string, bool) {
+			if o.Quantile == nil {
+				return "no-sketches", false
+			}
+			gotSec := o.Quantile(name, o.NowMicros, 0.99)
+			got := int64(gotSec * 1e6)
+			return fmtDur(sim.Time(got)), got <= int64(want)
+		}
+		return nil
+	}
+
+	for _, cf := range counterFields {
+		get := cf.get
+		if a.Key == cf.name+"_min" {
+			return c, intBound(func(o *Outcome) int { return get(&o.Events) }, true)
+		}
+		if a.Key == cf.name+"_max" {
+			return c, intBound(func(o *Outcome) int { return get(&o.Events) }, false)
+		}
+	}
+	switch a.Key {
+	case "deadline_miss_rate_max":
+		want, err := strconv.ParseFloat(a.Value, 64)
+		if err != nil {
+			return nil, yerrf(a.Line, "assert %s: %q is not a number", a.Key, a.Value)
+		}
+		c.eval = func(o *Outcome) (string, bool) {
+			return fmt.Sprintf("%.4f", o.MissRate), o.MissRate <= want
+		}
+		return c, nil
+	case "failover_time_max":
+		return c, durBound(func(o *Outcome) int64 { return maxMicros(o.Events.FailoverMicros) })
+	case "repair_time_max":
+		return c, durBound(func(o *Outcome) int64 { return maxMicros(o.Events.RepairMicros) })
+	case "failover_p99_max":
+		return c, sketchBound(stats.SketchFailover)
+	case "alloc_p99_max":
+		return c, sketchBound(stats.SketchAllocLatency)
+	case "rtt_p99_max":
+		return c, sketchBound(stats.SketchDeliveryRTT)
+	case "fault_drops_min":
+		return c, intBound(func(o *Outcome) int { return int(o.FaultDrops) }, true)
+	case "fault_drops_max":
+		return c, intBound(func(o *Outcome) int { return int(o.FaultDrops) }, false)
+	case "net_drops_max":
+		return c, intBound(func(o *Outcome) int { return int(o.NetDrops) }, false)
+	}
+	if action, ok := strings.CutPrefix(a.Key, "decisions_"); ok {
+		action, isMin := strings.CutSuffix(action, "_min")
+		if !isMin {
+			return nil, yerrf(a.Line, "assert %s: decision bounds are _min only", a.Key)
+		}
+		if !validDecisionAction(action) {
+			return nil, yerrf(a.Line, "assert %s: unknown decision action %q", a.Key, action)
+		}
+		return c, intBound(func(o *Outcome) int {
+			n := 0
+			for _, d := range o.Decisions {
+				if d.Action == action {
+					n++
+				}
+			}
+			return n
+		}, true)
+	}
+	return nil, yerrf(a.Line, "unknown assertion %q", a.Key)
+}
+
+func validDecisionAction(a string) bool {
+	switch a {
+	case core.DecisionAdmit, core.DecisionReject, core.DecisionRedirect,
+		core.DecisionPreempt, core.DecisionRepair, core.DecisionMigrate,
+		core.DecisionFailover:
+		return true
+	}
+	return false
+}
+
+func maxMicros(xs []int64) int64 {
+	var m int64
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

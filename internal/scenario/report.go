@@ -1,0 +1,140 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Report is the machine-readable verdict of one scenario run. Field
+// order is fixed by the struct, and sim reports carry no wall-clock
+// readings, so equal-seed sim runs marshal to identical bytes.
+type Report struct {
+	Scenario       string        `json:"scenario"`
+	Runtime        string        `json:"runtime"` // "sim" or "live"
+	Seed           uint64        `json:"seed"`
+	DurationMicros int64         `json:"duration_micros"`
+	Pass           bool          `json:"pass"`
+	Checks         []CheckResult `json:"checks"`
+	Summary        Summary       `json:"summary"`
+}
+
+// CheckResult is one evaluated assertion clause.
+type CheckResult struct {
+	Assert string `json:"assert"` // "failovers_min 1"
+	Got    string `json:"got"`
+	Pass   bool   `json:"pass"`
+}
+
+// Summary condenses the outcome counters the assertions read, so a
+// failing report is diagnosable without re-running.
+type Summary struct {
+	Submitted         int     `json:"submitted"`
+	Admitted          int     `json:"admitted"`
+	Rejected          int     `json:"rejected"`
+	Redirected        int     `json:"redirected"`
+	Aborted           int     `json:"aborted"`
+	Completed         int     `json:"completed"`
+	Repairs           int     `json:"repairs"`
+	Migrations        int     `json:"migrations"`
+	Preemptions       int     `json:"preemptions"`
+	Failovers         int     `json:"failovers"`
+	FailoverMaxMicros int64   `json:"failover_max_micros"`
+	RepairMaxMicros   int64   `json:"repair_max_micros"`
+	DomainsCreated    int     `json:"domains_created"`
+	PeersDeclaredDead int     `json:"peers_declared_dead"`
+	MissRate          float64 `json:"miss_rate"`
+	Decisions         int     `json:"decisions"`
+	FaultDrops        uint64  `json:"fault_drops"`
+	FaultDups         uint64  `json:"fault_dups"`
+	NetDrops          uint64  `json:"net_drops"`
+}
+
+// Evaluate runs every assertion of the spec against an outcome.
+func Evaluate(s *Spec, runtime string, seed uint64, o *Outcome) *Report {
+	rep := &Report{
+		Scenario:       s.Name,
+		Runtime:        runtime,
+		Seed:           seed,
+		DurationMicros: int64(s.Duration),
+		Pass:           true,
+		Checks:         []CheckResult{},
+		Summary: Summary{
+			Submitted:         o.Events.Submitted,
+			Admitted:          o.Events.Admitted,
+			Rejected:          o.Events.Rejected,
+			Redirected:        o.Events.Redirected,
+			Aborted:           o.Events.Aborted,
+			Completed:         len(o.Events.Reports),
+			Repairs:           o.Events.Repairs,
+			Migrations:        o.Events.Migrations,
+			Preemptions:       o.Events.Preemptions,
+			Failovers:         o.Events.Failovers,
+			FailoverMaxMicros: maxMicros(o.Events.FailoverMicros),
+			RepairMaxMicros:   maxMicros(o.Events.RepairMicros),
+			DomainsCreated:    o.Events.DomainsCreated,
+			PeersDeclaredDead: o.Events.PeersDeclaredDead,
+			MissRate:          o.MissRate,
+			Decisions:         len(o.Decisions),
+			FaultDrops:        o.FaultDrops,
+			FaultDups:         o.FaultDups,
+			NetDrops:          o.NetDrops,
+		},
+	}
+	for _, a := range s.Asserts {
+		c, err := compileAssert(a)
+		if err != nil {
+			// Parse validated every clause; reaching here means the spec
+			// was mutated after Parse. Surface it as a failing check.
+			rep.Checks = append(rep.Checks, CheckResult{
+				Assert: a.Key + " " + a.Value, Got: err.Error(), Pass: false})
+			rep.Pass = false
+			continue
+		}
+		got, pass := c.eval(o)
+		rep.Checks = append(rep.Checks, CheckResult{
+			Assert: a.Key + " " + a.Value, Got: got, Pass: pass})
+		if !pass {
+			rep.Pass = false
+		}
+	}
+	return rep
+}
+
+// WriteJSON writes the report as one indented JSON document.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Render writes a human-oriented pass/fail table (the CLI's -v view).
+func (r *Report) Render(w io.Writer) {
+	status := "PASS"
+	if !r.Pass {
+		status = "FAIL"
+	}
+	fmt.Fprintf(w, "%s scenario=%s runtime=%s seed=%d\n", status, r.Scenario, r.Runtime, r.Seed)
+	for _, c := range r.Checks {
+		mark := "ok  "
+		if !c.Pass {
+			mark = "FAIL"
+		}
+		fmt.Fprintf(w, "  %s %-40s got %s\n", mark, c.Assert, c.Got)
+	}
+	fmt.Fprintf(w, "  summary: submitted=%d admitted=%d rejected=%d completed=%d aborted=%d\n",
+		r.Summary.Submitted, r.Summary.Admitted, r.Summary.Rejected, r.Summary.Completed, r.Summary.Aborted)
+	fmt.Fprintf(w, "           repairs=%d failovers=%d (max %dus) migrations=%d preemptions=%d\n",
+		r.Summary.Repairs, r.Summary.Failovers, r.Summary.FailoverMaxMicros, r.Summary.Migrations, r.Summary.Preemptions)
+	fmt.Fprintf(w, "           miss_rate=%.4f fault_drops=%d net_drops=%d peers_dead=%d domains=%d\n",
+		r.Summary.MissRate, r.Summary.FaultDrops, r.Summary.NetDrops, r.Summary.PeersDeclaredDead, r.Summary.DomainsCreated)
+}
+
+// ReadReport parses a report written by WriteJSON (p2ptop -scenario).
+func ReadReport(data []byte) (*Report, error) {
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("scenario report: %w", err)
+	}
+	return &r, nil
+}

@@ -1,0 +1,245 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/env"
+	"repro/internal/live"
+	"repro/internal/metrics"
+	"repro/internal/stats"
+)
+
+// LiveHooks injects wall-clock access into the live runner. This
+// package is on the determinism-critical lint list — scenario
+// interpretation itself never reads the process clock; the hooks are
+// supplied by the CLI (live.Nanotime and a real sleep). Conversions
+// like time.Duration below are fine: they do not observe the
+// environment.
+type LiveHooks struct {
+	// NowMicros returns monotonic microseconds since an arbitrary epoch.
+	NowMicros func() int64
+	// SleepMicros blocks for the given duration.
+	SleepMicros func(int64)
+	// Nanotime, when non-nil, is handed to core.Config.Nanotime so
+	// allocator costing uses real CPU time (live.Nanotime).
+	Nanotime func() int64
+}
+
+// LiveOptions configures RunLive.
+type LiveOptions struct {
+	// Part/Parts split the fleet across processes: this process hosts
+	// node indexes with index%Parts == Part. Parts <= 1 hosts everything
+	// in-process.
+	Part, Parts int
+	// PartAddrs lists each part's TCP listen address, index-aligned with
+	// parts. Required when Parts > 1; this part listens on its own entry
+	// and routes every foreign node index to its owner's entry.
+	PartAddrs []string
+	// Pace divides scripted times: 2.0 runs the timeline twice as fast.
+	// Zero means 1.
+	Pace float64
+	// Transport tunes the TCP transport (Parts > 1 only).
+	Transport live.TransportConfig
+	Hooks     LiveHooks
+}
+
+// RunLive executes an expanded plan on the live goroutine runtime: the
+// same file that drives the simulator maps onto live.FaultInjector
+// rules and supervisor lifecycle (Kill/Stop). The returned report
+// reflects this process's share of the fleet.
+func RunLive(p *Plan, opts LiveOptions) (*Report, error) {
+	if opts.Hooks.NowMicros == nil || opts.Hooks.SleepMicros == nil {
+		return nil, fmt.Errorf("scenario: RunLive needs clock hooks")
+	}
+	parts := opts.Parts
+	if parts <= 1 {
+		parts, opts.Part = 1, 0
+	}
+	if parts > 1 && len(opts.PartAddrs) != parts {
+		return nil, fmt.Errorf("scenario: %d parts need %d addresses, got %d", parts, parts, len(opts.PartAddrs))
+	}
+	pace := opts.Pace
+	if pace <= 0 {
+		pace = 1
+	}
+
+	cfg := core.DefaultConfig()
+	if opts.Hooks.Nanotime != nil {
+		cfg.Nanotime = opts.Hooks.Nanotime
+	}
+	rt := live.NewRuntime(p.Seed)
+	events := &core.Events{}
+	sk := stats.NewSet(0, 0, 0)
+	events.AttachSketches(sk)
+	dec := core.NewDecisionLog(0)
+	events.AttachDecisions(dec)
+	fi := rt.EnsureFaultInjector()
+
+	var tr *live.TCPTransport
+	if parts > 1 {
+		tr = live.NewTCPTransportOpts(rt, opts.Transport, metrics.NewRegistry(), nil)
+		if _, err := tr.Listen(opts.PartAddrs[opts.Part]); err != nil {
+			return nil, fmt.Errorf("scenario: part %d listen: %w", opts.Part, err)
+		}
+		for i := range p.Nodes {
+			if i%parts != opts.Part {
+				tr.Register(env.NodeID(i), opts.PartAddrs[i%parts])
+			}
+		}
+		defer tr.Close()
+	}
+	defer rt.Shutdown()
+
+	h := &liveHost{
+		rt: rt, fi: fi, cfg: cfg, events: events, plan: p,
+		part: opts.Part, parts: parts,
+		peers: make([]*core.Peer, len(p.Nodes)),
+	}
+	start := opts.Hooks.NowMicros()
+	for i := range p.Actions {
+		a := &p.Actions[i]
+		due := start + int64(float64(a.At)/pace)
+		if wait := due - opts.Hooks.NowMicros(); wait > 0 {
+			opts.Hooks.SleepMicros(wait)
+		}
+		h.apply(a)
+	}
+	endAt := start + int64(float64(p.Spec.Duration)/pace)
+	if wait := endAt - opts.Hooks.NowMicros(); wait > 0 {
+		opts.Hooks.SleepMicros(wait)
+	}
+
+	fs := fi.Stats()
+	o := &Outcome{
+		Events:     events.Snapshot(),
+		MissRate:   events.MissRate(),
+		NowMicros:  rt.NowMicros(),
+		Quantile:   sk.Quantile,
+		Decisions:  dec.Snapshot(),
+		FaultDrops: fs.Dropped,
+		FaultDups:  fs.Duplicated,
+	}
+	return Evaluate(p.Spec, "live", p.Seed, o), nil
+}
+
+// liveHost applies plan actions to a live runtime. Node indexes are the
+// global IDs (AddNodeWithID), so multi-part fleets agree on addressing.
+type liveHost struct {
+	rt     *live.Runtime
+	fi     *live.FaultInjector
+	cfg    core.Config
+	events *core.Events
+	plan   *Plan
+	part   int
+	parts  int
+	peers  []*core.Peer // locally hosted, by index; nil otherwise
+	dead   []int        // indexes this host killed or stopped
+}
+
+func (h *liveHost) owns(i int) bool { return i%h.parts == h.part }
+
+// id resolves a plan target. For TargetRM only locally hosted peers are
+// consulted (multi-part scenarios should avoid rm targets); lowest
+// RM-holding index wins so concurrent runs agree when one RM exists.
+func (h *liveHost) id(target int) (env.NodeID, bool) {
+	switch {
+	case target == TargetAny:
+		return live.AnyNode, true
+	case target == TargetRM:
+		for i, p := range h.peers {
+			if p == nil || containsInt(h.dead, i) {
+				continue
+			}
+			is := false
+			pp := p
+			h.rt.Call(env.NodeID(i), func() { is = pp.IsRM() })
+			if is {
+				return env.NodeID(i), true
+			}
+		}
+		return 0, false
+	case target >= 0 && target < len(h.peers):
+		return env.NodeID(target), !containsInt(h.dead, target)
+	}
+	return 0, false
+}
+
+func (h *liveHost) apply(a *Action) {
+	switch a.Kind {
+	case ActStart:
+		if !h.owns(a.A) {
+			return
+		}
+		n := &h.plan.Nodes[a.A]
+		boot := env.NoNode
+		if n.Bootstrap >= 0 {
+			boot = env.NodeID(n.Bootstrap)
+		}
+		p := core.New(h.cfg, n.Info, boot, h.events)
+		h.rt.AddNodeWithID(env.NodeID(a.A), p)
+		h.peers[a.A] = p
+	case ActSubmit:
+		if !h.owns(a.A) {
+			return
+		}
+		if p := h.peers[a.A]; p != nil && !containsInt(h.dead, a.A) {
+			spec := a.Spec
+			spec.Origin = env.NodeID(a.A)
+			h.rt.Call(env.NodeID(a.A), func() { p.SubmitTask(spec) })
+		}
+	case ActCrash, ActLeave:
+		id, ok := h.id(a.A)
+		if !ok || !h.owns(int(id)) || h.peers[int(id)] == nil {
+			return
+		}
+		if a.Kind == ActCrash {
+			h.rt.Kill(id)
+		} else {
+			h.rt.Stop(id)
+		}
+		h.dead = append(h.dead, int(id))
+	case ActSever:
+		// Installed on every part: each sender suppresses its own side.
+		ia, oka := h.id(a.A)
+		ib, okb := h.id(a.B)
+		if oka && okb {
+			h.fi.Sever(ia, ib)
+		}
+	case ActHeal:
+		ia, oka := h.id(a.A)
+		ib, okb := h.id(a.B)
+		if oka && okb {
+			h.fi.Heal(ia, ib)
+		}
+	case ActHealAll:
+		h.fi.Clear()
+	case ActFault:
+		ia, oka := h.id(a.A)
+		ib, okb := h.id(a.B)
+		if oka && okb {
+			h.fi.Set(ia, ib, live.FaultRule{
+				Drop:  a.Fault.Drop,
+				Dup:   a.Fault.Dup,
+				Delay: time.Duration(a.Fault.DelayMicros) * time.Microsecond,
+			})
+		}
+	case ActLoad:
+		id, ok := h.id(a.A)
+		if !ok || !h.owns(int(id)) {
+			return
+		}
+		if p := h.peers[int(id)]; p != nil {
+			h.rt.Call(id, func() { p.SetBackgroundLoad(p.Info().SpeedWU * a.Frac) })
+		}
+	case ActPartition:
+		for _, pair := range CrossPairs(a.Groups) {
+			h.fi.Sever(env.NodeID(pair[0]), env.NodeID(pair[1]))
+		}
+	case ActHealPairs:
+		for _, pair := range a.Pairs {
+			h.fi.Heal(env.NodeID(pair[0]), env.NodeID(pair[1]))
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package scenario
+
+import "testing"
+
+// FuzzParseYAML asserts the hand-rolled decoder never panics or hangs
+// on arbitrary input — it either returns a tree or a positioned error.
+// CI runs the seed corpus via plain `go test`; use `make fuzz-scenario`
+// to explore further.
+func FuzzParseYAML(f *testing.F) {
+	seeds := []string{
+		"",
+		"a: 1",
+		"a:\n  b: 2\n  c: [1, 2, [3]]",
+		"fleet:\n  - name: x\n    weight: 2\n  - name: y",
+		"run:\n  - at: 2s\n    do: sever 0 1\n",
+		"msg: \"q\\n\\\"x\\\"\"",
+		"- 1\n- 2\n-\n- - 3",
+		"a: [",
+		"a: \"",
+		"\t",
+		"---",
+		"a: &x",
+		"k:\n k:\n  k:\n   k:",
+		"assert:\n  groups: [[0,1],[2]]",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		node, err := parseYAML(data)
+		if err == nil && node == nil {
+			t.Fatal("nil node with nil error")
+		}
+	})
+}

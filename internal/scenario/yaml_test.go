@@ -1,0 +1,134 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseYAMLBasicDocument(t *testing.T) {
+	src := `
+# a scenario-shaped document
+name: chaos-basic
+seed: 42
+duration: 30s
+fleet:
+  - name: strong
+    weight: 3
+    profile: strong
+  - name: weak
+    weight: 1
+run:
+  - at: 2s
+    do: sever 0 1
+  - at: 5s
+    do: heal
+assert:
+  deadline_miss_rate_max: 0.25
+  groups: [[0, 1], [2, 3]]
+`
+	root, err := parseYAML([]byte(src))
+	if err != nil {
+		t.Fatalf("parseYAML: %v", err)
+	}
+	if root.kind != yMap {
+		t.Fatalf("root kind = %v, want map", root.kind)
+	}
+	if got := root.get("name").scalar; got != "chaos-basic" {
+		t.Errorf("name = %q", got)
+	}
+	fleet := root.get("fleet")
+	if fleet == nil || fleet.kind != ySeq || len(fleet.items) != 2 {
+		t.Fatalf("fleet = %+v", fleet)
+	}
+	if got := fleet.items[0].get("weight").scalar; got != "3" {
+		t.Errorf("fleet[0].weight = %q", got)
+	}
+	if got := fleet.items[1].get("name").scalar; got != "weak" {
+		t.Errorf("fleet[1].name = %q", got)
+	}
+	run := root.get("run")
+	if run == nil || len(run.items) != 2 {
+		t.Fatalf("run = %+v", run)
+	}
+	if got := run.items[1].get("do").scalar; got != "heal" {
+		t.Errorf("run[1].do = %q", got)
+	}
+	groups := root.get("assert").get("groups")
+	if groups == nil || groups.kind != ySeq || len(groups.items) != 2 {
+		t.Fatalf("groups = %+v", groups)
+	}
+	if got := groups.items[1].items[0].scalar; got != "2" {
+		t.Errorf("groups[1][0] = %q", got)
+	}
+}
+
+func TestParseYAMLQuotedScalars(t *testing.T) {
+	root, err := parseYAML([]byte(`msg: "hello # not a comment\n\"x\""`))
+	if err != nil {
+		t.Fatalf("parseYAML: %v", err)
+	}
+	want := "hello # not a comment\n\"x\""
+	if got := root.get("msg").scalar; got != want {
+		t.Errorf("msg = %q, want %q", got, want)
+	}
+}
+
+func TestParseYAMLColonInScalar(t *testing.T) {
+	root, err := parseYAML([]byte("addr: 127.0.0.1:7461"))
+	if err != nil {
+		t.Fatalf("parseYAML: %v", err)
+	}
+	if got := root.get("addr").scalar; got != "127.0.0.1:7461" {
+		t.Errorf("addr = %q", got)
+	}
+}
+
+func TestParseYAMLErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"tab", "a:\n\tb: 1", "tabs are not allowed"},
+		{"dup key", "a: 1\na: 2", "duplicate key"},
+		{"bad indent", "a: 1\n   b: 2", "unexpected indent"},
+		{"seq in map", "a: 1\n- b", "sequence item where a mapping"},
+		{"unterminated quote", `a: "oops`, "unterminated quoted string"},
+		{"unterminated flow", "a: [1, 2", "unterminated flow sequence"},
+		{"flow trailing", "a: [1] junk", "trailing content"},
+		{"anchor", "a: &x 1", "unsupported YAML feature"},
+		{"flow map", "a: {b: 1}", "unsupported YAML feature"},
+		{"multi doc", "---\na: 1", "multi-document"},
+		{"empty", "   \n# only a comment\n", "empty document"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseYAML([]byte(tc.src))
+			if err == nil {
+				t.Fatalf("parseYAML(%q) succeeded, want error containing %q", tc.src, tc.wantSub)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error = %q, want substring %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestParseYAMLErrorsCarryLineNumbers(t *testing.T) {
+	_, err := parseYAML([]byte("a: 1\nb: 2\nb: 3\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("error = %v, want line 3 position", err)
+	}
+}
+
+func TestParseYAMLDepthLimit(t *testing.T) {
+	// Deep block nesting must be rejected, not overflow the stack.
+	var b strings.Builder
+	for i := 0; i < maxBlockDepth+8; i++ {
+		b.WriteString(strings.Repeat(" ", i) + "k:\n")
+	}
+	if _, err := parseYAML([]byte(b.String())); err == nil {
+		t.Fatal("deep nesting accepted, want depth error")
+	}
+	if _, err := parseYAML([]byte("a: " + strings.Repeat("[", maxFlowDepth+8))); err == nil {
+		t.Fatal("deep flow nesting accepted, want depth error")
+	}
+}
