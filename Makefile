@@ -58,9 +58,12 @@ chaos:
 	$(GO) test -race -run 'Chaos|Failover' -count=1 ./internal/live/...
 
 # fuzz-wire exercises the live transport's inbound framing with random
-# byte streams (CI runs the seed corpus via plain go test).
+# byte streams (CI runs the seed corpus via plain go test): first the
+# legacy v1 length-prefix/gob path, then the v2 compact dialect
+# (varint frames, codec payloads, credit grants, gob fallback).
 fuzz-wire:
 	$(GO) test -run '^$$' -fuzz FuzzWireFrame -fuzztime 30s ./internal/live/
+	$(GO) test -run '^$$' -fuzz FuzzWireCodec -fuzztime 30s ./internal/live/
 
 # replay is the flight-recorder gate: the record/replay round-trip
 # property tests under the race detector (a chaos recording replays to
@@ -129,16 +132,35 @@ bench-trace:
 		-benchmem -benchtime 50x .
 
 # bench is the Quick regression gate (CI smoke job): the Figure-3
-# allocation hot path, min of 3 runs, compared against the latest
+# allocation hot path, the wire-codec encode/decode benchmarks, and the
+# TCP delivery benchmark (the wire-protocol-v2 ratchet: msgs/sec/core
+# and allocs/msg), each min of 3 runs, compared against the latest
 # committed snapshot in bench/. Fails on >20% ns/op or allocs/op
-# regression; writes bench/BENCH_<today>.json on success.
+# regression; writes bench/BENCH_<today>.json on success (snapshots
+# merge by benchmark name, so the three invocations share one file).
+# All three ratchets run with a 50% tolerance: they time micro-scale
+# operations where shared-runner timer noise exceeds the default 20%
+# (observed min-of-N spread on a 1-core runner), and the regression
+# class they guard against — the compact codec silently degrading to
+# the gob fallback, an allocation landing on the per-message hot path —
+# shows up as 2-100x, not 1.2x.
 bench: bin/p2pbench
-	./bin/p2pbench -regress -regress-bench AllocationFigure3 -regress-count 3
+	./bin/p2pbench -regress -regress-bench AllocationFigure3 -regress-count 3 \
+		-regress-tolerance 0.5
+	./bin/p2pbench -regress -regress-pkg ./internal/proto -regress-bench WireCodec \
+		-regress-count 5 -regress-tolerance 0.5
+	./bin/p2pbench -regress -regress-pkg ./internal/replay -regress-bench 'Deliver/tcp' \
+		-regress-count 5 -regress-tolerance 0.5
 
-# bench-all snapshots every root benchmark (min of 5 runs); use this to
-# refresh the committed baseline after intentional performance changes.
+# bench-all snapshots every root benchmark (min of 5 runs) plus the
+# codec and delivery ratchets; use this to refresh the committed
+# baseline after intentional performance changes.
 bench-all: bin/p2pbench
 	./bin/p2pbench -regress -regress-count 5 -regress-benchtime 1s
+	./bin/p2pbench -regress -regress-pkg ./internal/proto -regress-bench WireCodec \
+		-regress-count 5 -regress-tolerance 0.5
+	./bin/p2pbench -regress -regress-pkg ./internal/replay -regress-bench 'Deliver/tcp' \
+		-regress-count 5 -regress-tolerance 0.5
 
 bin/p2pbench: FORCE
 	$(GO) build -o bin/p2pbench ./cmd/p2pbench

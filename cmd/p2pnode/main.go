@@ -41,27 +41,31 @@ import (
 
 func main() {
 	var (
-		id        = flag.Int("id", 0, "this node's global ID")
-		listen    = flag.String("listen", ":7000", "TCP listen address")
-		book      = flag.String("book", "", "address book: 'id=host:port,id=host:port,...'")
-		founder   = flag.Bool("founder", false, "found domain 0 (first node of the overlay)")
-		bootstrap = flag.Int("bootstrap", -1, "node ID to join through (ignored with -founder)")
-		speed     = flag.Float64("speed", 10, "processing power (work units/s)")
-		bandwidth = flag.Float64("bw", 5000, "access bandwidth (Kbps)")
-		uptime    = flag.Float64("uptime", 7200, "historical uptime (s), used for RM qualification")
-		object    = flag.String("object", "", "host an object: 'name:durationSeconds'")
-		submit    = flag.String("submit", "", "submit a query for this object name once joined")
-		after     = flag.Duration("after", 3*time.Second, "delay before -submit")
-		linger    = flag.Duration("linger", 0, "keep running this long after the -submit report, so -http stays scrapable (e.g. by p2ptop)")
-		verbose   = flag.Bool("v", false, "log node diagnostics (structured key=value lines)")
-		httpAddr  = flag.String("http", "", "HTTP diagnostics address, e.g. :9090 (/metrics, /sketches, /decisions, /trace, /healthz, /debug/pprof)")
-		record    = flag.String("record", "", "flight-recorder directory: log all nondeterministic inputs for 'p2psim -replay'")
-		seed      = flag.Uint64("seed", 0, "run seed; give every node of the overlay the same value so span IDs agree across processes and p2ptop stitches their traces (0 derives a per-node seed from -id)")
-		scenFile  = flag.String("scenario", "", "run a declarative scenario file on the live runtime instead of daemon mode (same file format as p2psim -scenario)")
-		scenPart  = flag.String("scenario-part", "", "with -scenario: host the fleet slice 'k/n' (node indexes with index%n == k); requires -scenario-peers for n > 1")
-		scenPeers = flag.String("scenario-peers", "", "with -scenario-part k/n: comma-separated TCP listen addresses of all n parts, index-aligned")
-		scenPace  = flag.Float64("scenario-pace", 1, "with -scenario: divide scripted times (2 = run the timeline twice as fast)")
-		scenOut   = flag.String("scenario-report", "", "with -scenario: write the machine-readable assertion report (JSON) here")
+		id          = flag.Int("id", 0, "this node's global ID")
+		listen      = flag.String("listen", ":7000", "TCP listen address")
+		book        = flag.String("book", "", "address book: 'id=host:port,id=host:port,...'")
+		founder     = flag.Bool("founder", false, "found domain 0 (first node of the overlay)")
+		bootstrap   = flag.Int("bootstrap", -1, "node ID to join through (ignored with -founder)")
+		speed       = flag.Float64("speed", 10, "processing power (work units/s)")
+		bandwidth   = flag.Float64("bw", 5000, "access bandwidth (Kbps)")
+		uptime      = flag.Float64("uptime", 7200, "historical uptime (s), used for RM qualification")
+		object      = flag.String("object", "", "host an object: 'name:durationSeconds'")
+		submit      = flag.String("submit", "", "submit a query for this object name once joined")
+		after       = flag.Duration("after", 3*time.Second, "delay before -submit")
+		linger      = flag.Duration("linger", 0, "keep running this long after the -submit report, so -http stays scrapable (e.g. by p2ptop)")
+		verbose     = flag.Bool("v", false, "log node diagnostics (structured key=value lines)")
+		httpAddr    = flag.String("http", "", "HTTP diagnostics address, e.g. :9090 (/metrics, /sketches, /decisions, /trace, /healthz, /debug/pprof)")
+		record      = flag.String("record", "", "flight-recorder directory: log all nondeterministic inputs for 'p2psim -replay'")
+		seed        = flag.Uint64("seed", 0, "run seed; give every node of the overlay the same value so span IDs agree across processes and p2ptop stitches their traces (0 derives a per-node seed from -id)")
+		scenFile    = flag.String("scenario", "", "run a declarative scenario file on the live runtime instead of daemon mode (same file format as p2psim -scenario)")
+		scenPart    = flag.String("scenario-part", "", "with -scenario: host the fleet slice 'k/n' (node indexes with index%n == k); requires -scenario-peers for n > 1")
+		scenPeers   = flag.String("scenario-peers", "", "with -scenario-part k/n: comma-separated TCP listen addresses of all n parts, index-aligned")
+		scenPace    = flag.Float64("scenario-pace", 1, "with -scenario: divide scripted times (2 = run the timeline twice as fast)")
+		scenOut     = flag.String("scenario-report", "", "with -scenario: write the machine-readable assertion report (JSON) here")
+		flushBudget = flag.Duration("flush-budget", time.Millisecond,
+			"max time one coalesced transport write may keep draining a busy send queue (negative disables coalescing)")
+		wireVersion = flag.Int("wire-version", 2,
+			"wire dialect to speak when sending: 2 = compact binary codec with credit flow, 1 = legacy per-frame gob (receivers always accept both)")
 	)
 	var faults faultFlag
 	flag.Var(&faults, "fault",
@@ -99,6 +103,8 @@ func main() {
 	// stitches, and the buffer is bounded (trace.DefaultMaxEvents).
 	opts := p2prm.LiveOptions{Seed: runSeed, Listen: *listen, RecordDir: *record,
 		Tracer: p2prm.NewTracer()}
+	opts.Transport.FlushBudget = *flushBudget
+	opts.Transport.WireVersion = *wireVersion
 	if *verbose {
 		opts.LogTo = os.Stderr
 	}

@@ -26,6 +26,31 @@ func decisionCounter(r *metrics.Registry, domain, action string) {
 	r.Counter(MetricDecisions, "RM decisions.", metrics.Labels{"domain": domain, "result": action}).Inc()
 }
 
+// MetricDropped mirrors the live transport's per-reason drop counter;
+// the "reason" label distinguishes shed causes (queue_full, no_credit,
+// ...).
+const MetricDropped = "live_transport_dropped_total"
+
+// dropReason mirrors live.DropReason: the label value comes from a
+// String() method, not a literal.
+type dropReason int
+
+func (d dropReason) String() string {
+	if d == 0 {
+		return "queue_full"
+	}
+	return "no_credit"
+}
+
+func dropCounters(r *metrics.Registry) {
+	// "reason" is in the bounded set; the value — including the credit
+	// backpressure reason no_credit — is a label value and stays free.
+	// Mirrors the transport's per-reason registration loop.
+	for d := dropReason(0); d < 2; d++ {
+		r.Counter(MetricDropped, "Dropped, by reason.", metrics.Labels{"reason": d.String()}).Inc()
+	}
+}
+
 func decisionBadKey(r *metrics.Registry, action string) {
 	r.Counter(MetricDecisions, "RM decisions.", metrics.Labels{"action": action}).Inc() // want `metrics\.Labels key "action" is outside the bounded label set`
 }

@@ -36,6 +36,7 @@ const (
 	DropWriteError                    // connection broke mid-write, retry failed
 	DropNoRoute                       // destination not in the address book
 	DropFault                         // discarded by the fault-injection layer
+	DropNoCredit                      // receiver's credit window exhausted; shed at the source
 	numDropReasons
 )
 
@@ -54,6 +55,8 @@ func (r DropReason) String() string {
 		return "no_route"
 	case DropFault:
 		return "fault"
+	case DropNoCredit:
+		return "no_credit"
 	}
 	return "unknown"
 }
@@ -70,6 +73,7 @@ const (
 	MetricTransportFrameErrors  = "live_transport_frame_errors_total"
 	MetricTransportConnsOut     = "live_transport_conns_out"
 	MetricTransportConnsIn      = "live_transport_conns_in"
+	MetricTransportBatches      = "live_transport_batches_total"
 )
 
 // TransportConfig tunes the supervised transport. The zero value maps
@@ -100,6 +104,25 @@ type TransportConfig struct {
 	// CircuitCooldown is the probe cadence while a circuit is open.
 	// Default 2s.
 	CircuitCooldown time.Duration
+	// FlushBudget caps how long one coalesced write may keep draining a
+	// busy queue before its bytes hit the wire. An empty queue always
+	// flushes immediately, so the budget bounds worst-case batching
+	// latency without adding any. Default 1ms; negative disables
+	// coalescing (one write per message).
+	FlushBudget time.Duration
+	// WireVersion selects the dialect this transport speaks when
+	// sending: 2 (default) is the compact binary framing with credit
+	// flow, 1 is the legacy per-frame gob. Receivers always accept
+	// both.
+	WireVersion int
+	// CreditWindowMsgs and CreditWindowBytes size the credit window this
+	// transport grants each inbound v2 connection. Senders shed with
+	// reason no_credit once they exhaust the window, pushing overload
+	// back to the source. Defaults 8192 messages and 4 MiB; negative
+	// disables granting (remote senders then run uncapped, as with a v1
+	// receiver).
+	CreditWindowMsgs  int
+	CreditWindowBytes int
 	// Dial overrides the dialer (tests inject blackholed or failing
 	// dialers). Default net.DialTimeout("tcp", addr, timeout).
 	Dial func(addr string, timeout time.Duration) (net.Conn, error)
@@ -138,6 +161,24 @@ func (c TransportConfig) withDefaults() TransportConfig {
 	if c.CircuitCooldown <= 0 {
 		c.CircuitCooldown = 2 * time.Second
 	}
+	if c.FlushBudget == 0 {
+		c.FlushBudget = time.Millisecond
+	} else if c.FlushBudget < 0 {
+		c.FlushBudget = 0
+	}
+	if c.WireVersion == 0 {
+		c.WireVersion = 2
+	}
+	if c.CreditWindowMsgs == 0 {
+		c.CreditWindowMsgs = 8192
+	} else if c.CreditWindowMsgs < 0 {
+		c.CreditWindowMsgs = 0
+	}
+	if c.CreditWindowBytes == 0 {
+		c.CreditWindowBytes = 4 << 20
+	} else if c.CreditWindowBytes < 0 {
+		c.CreditWindowBytes = 0
+	}
 	if c.Dial == nil {
 		c.Dial = func(addr string, timeout time.Duration) (net.Conn, error) {
 			return net.DialTimeout("tcp", addr, timeout)
@@ -152,6 +193,7 @@ var (
 	errTransportClosed = errors.New("live: transport closed")
 	errCircuitOpen     = errors.New("live: peer circuit open")
 	errQueueFull       = errors.New("live: send queue full")
+	errNoCredit        = errors.New("live: peer credit window exhausted")
 )
 
 // TCPTransport connects live runtimes across processes. Each process
@@ -173,6 +215,7 @@ type TCPTransport struct {
 
 	// Always-on atomic stats (Stats); mirrored into m when attached.
 	sent         atomic.Uint64
+	batches      atomic.Uint64
 	framesRx     atomic.Uint64
 	decodeErrors atomic.Uint64
 	frameErrors  atomic.Uint64
@@ -191,6 +234,7 @@ type TCPTransport struct {
 type transportMetrics struct {
 	sent, connects, reconnects, circuitOpens *metrics.Counter
 	framesRx, decodeErrors, frameErrors      *metrics.Counter
+	batches                                  *metrics.Counter
 	drops                                    [numDropReasons]*metrics.Counter
 	connsOut, connsIn                        *metrics.Gauge
 }
@@ -208,6 +252,7 @@ func newTransportMetrics(reg *metrics.Registry) *transportMetrics {
 		framesRx:     reg.Counter(MetricTransportFramesRx, "Frames received and injected into the runtime.", nil),
 		decodeErrors: reg.Counter(MetricTransportDecodeErrors, "Inbound frames whose payload failed to decode (connection kept).", nil),
 		frameErrors:  reg.Counter(MetricTransportFrameErrors, "Inbound framing violations (oversized or truncated; connection closed).", nil),
+		batches:      reg.Counter(MetricTransportBatches, "Coalesced writes to remote peers (each carries one or more frames).", nil),
 		connsOut:     reg.Gauge(MetricTransportConnsOut, "Open outbound connections.", nil),
 		connsIn:      reg.Gauge(MetricTransportConnsIn, "Open inbound connections.", nil),
 	}
@@ -305,10 +350,13 @@ func (t *TCPTransport) acceptLoop(ln net.Listener) {
 	}
 }
 
-// readLoop reads length-prefixed frames from one inbound connection.
-// Payload decode errors are counted and skipped — the framing keeps the
-// stream in sync — while framing violations and read-deadline expiry
-// close the connection (the sender's supervisor redials on demand).
+// readLoop reads frames from one inbound connection. The sender's
+// first byte selects the dialect: wireV2Preamble starts a v2 stream,
+// anything else (a v1 length prefix always begins 0x00) replays the
+// legacy framing. Payload decode errors are counted and skipped — the
+// framing keeps the stream in sync — while framing violations and
+// read-deadline expiry close the connection (the sender's supervisor
+// redials on demand).
 func (t *TCPTransport) readLoop(c net.Conn) {
 	defer t.wg.Done()
 	defer func() {
@@ -321,36 +369,143 @@ func (t *TCPTransport) readLoop(c net.Conn) {
 		}
 	}()
 	br := bufio.NewReader(c)
+	if t.cfg.ReadIdleTimeout > 0 {
+		c.SetReadDeadline(time.Now().Add(t.cfg.ReadIdleTimeout))
+	}
+	first, err := br.Peek(1)
+	if err != nil {
+		return
+	}
+	if first[0] == wireV2Preamble {
+		br.ReadByte()
+		t.readLoopV2(c, br)
+		return
+	}
+	t.readLoopV1(c, br)
+}
+
+// readLoopV1 is the legacy framing: 4-byte length prefix, gob payload.
+func (t *TCPTransport) readLoopV1(c net.Conn, br *bufio.Reader) {
+	var buf []byte
 	for {
 		if t.cfg.ReadIdleTimeout > 0 {
 			c.SetReadDeadline(time.Now().Add(t.cfg.ReadIdleTimeout))
 		}
-		payload, err := readFrame(br, t.cfg.MaxFrame)
+		payload, err := readFrameBuf(br, t.cfg.MaxFrame, buf)
 		if err != nil {
-			if err != io.EOF && !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, net.ErrClosed) {
-				t.frameErrors.Add(1)
-				if t.m != nil {
-					t.m.frameErrors.Inc()
-				}
-				t.logTransport(c.RemoteAddr().String(), "framing error: "+err.Error())
-			}
+			t.noteFrameError(c, err)
 			return
 		}
+		buf = payload
 		wm, err := decodeFrame(payload)
 		if err != nil {
-			t.decodeErrors.Add(1)
-			if t.m != nil {
-				t.m.decodeErrors.Inc()
-			}
-			t.logTransport(c.RemoteAddr().String(), "decode error: "+err.Error())
+			t.noteDecodeError(c, err)
 			continue
 		}
-		t.framesRx.Add(1)
-		if t.m != nil {
-			t.m.framesRx.Inc()
-		}
+		t.noteFrameRx()
 		t.rt.Inject(wm.From, wm.To, wm.Payload)
 	}
+}
+
+// readLoopV2 is the compact framing (wire.go). The reader is also the
+// credit grantor: it issues an initial window as soon as the stream
+// opens and tops the sender back up once half the window has been
+// consumed, so a healthy connection always has credit in flight.
+func (t *TCPTransport) readLoopV2(c net.Conn, br *bufio.Reader) {
+	grantMsgs, grantBytes := t.cfg.CreditWindowMsgs, t.cfg.CreditWindowBytes
+	granting := grantMsgs > 0 && grantBytes > 0
+	var gbuf []byte
+	writeGrant := func(msgs, bytes int) bool {
+		if !granting {
+			return true
+		}
+		gbuf = appendCreditFrame(gbuf[:0], uint64(msgs), uint64(bytes))
+		c.SetWriteDeadline(time.Now().Add(t.cfg.WriteTimeout))
+		_, err := c.Write(gbuf)
+		return err == nil
+	}
+	if !writeGrant(grantMsgs, grantBytes) {
+		return
+	}
+	var buf []byte
+	usedMsgs, usedBytes := 0, 0
+	for {
+		if t.cfg.ReadIdleTimeout > 0 {
+			c.SetReadDeadline(time.Now().Add(t.cfg.ReadIdleTimeout))
+		}
+		body, err := readFrameV2(br, t.cfg.MaxFrame, buf)
+		if err != nil {
+			t.noteFrameError(c, err)
+			return
+		}
+		buf = body
+		if len(body) == 0 {
+			t.noteFrameError(c, errors.New("live: empty v2 frame"))
+			return
+		}
+		switch body[0] {
+		case frameData:
+			wm, err := decodeFrameV2Data(body)
+			if err != nil {
+				t.noteDecodeError(c, err)
+				break
+			}
+			t.noteFrameRx()
+			t.rt.Inject(wm.From, wm.To, wm.Payload)
+		case frameDataGob:
+			wm, err := decodeFrame(body[1:])
+			if err != nil {
+				t.noteDecodeError(c, err)
+				break
+			}
+			t.noteFrameRx()
+			t.rt.Inject(wm.From, wm.To, wm.Payload)
+		default:
+			// Unknown (or misdirected credit) frame kind: the framing is
+			// still in sync, so count it and keep the connection.
+			t.noteDecodeError(c, fmt.Errorf("live: unexpected v2 frame kind 0x%02x", body[0]))
+		}
+		// Credit accounting counts every frame read, decodable or not —
+		// the sender spent window for each.
+		usedMsgs++
+		usedBytes += len(body)
+		if granting && (usedMsgs*2 >= grantMsgs || usedBytes*2 >= grantBytes) {
+			if !writeGrant(usedMsgs, usedBytes) {
+				return
+			}
+			usedMsgs, usedBytes = 0, 0
+		}
+	}
+}
+
+// noteFrameRx counts one inbound frame injected into the runtime.
+func (t *TCPTransport) noteFrameRx() {
+	t.framesRx.Add(1)
+	if t.m != nil {
+		t.m.framesRx.Inc()
+	}
+}
+
+// noteFrameError counts one inbound framing violation (quietly ignoring
+// orderly shutdown errors).
+func (t *TCPTransport) noteFrameError(c net.Conn, err error) {
+	if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) {
+		return
+	}
+	t.frameErrors.Add(1)
+	if t.m != nil {
+		t.m.frameErrors.Inc()
+	}
+	t.logTransport(c.RemoteAddr().String(), "framing error: "+err.Error())
+}
+
+// noteDecodeError counts one inbound payload that failed to decode.
+func (t *TCPTransport) noteDecodeError(c net.Conn, err error) {
+	t.decodeErrors.Add(1)
+	if t.m != nil {
+		t.m.decodeErrors.Inc()
+	}
+	t.logTransport(c.RemoteAddr().String(), "decode error: "+err.Error())
 }
 
 // send routes one outbound message; it is installed as Runtime.remote.
@@ -407,6 +562,10 @@ func (t *TCPTransport) enqueue(from, to env.NodeID, m env.Message) error {
 		t.countDrop(DropCircuitOpen)
 		return errCircuitOpen
 	}
+	if !s.spendCredit() {
+		t.countDrop(DropNoCredit)
+		return errNoCredit
+	}
 	select {
 	case s.queue <- wireMsg{From: from, To: to, Payload: m}:
 		// Guarded so the disabled path never pays the clock read: the
@@ -417,24 +576,44 @@ func (t *TCPTransport) enqueue(from, to env.NodeID, m env.Message) error {
 		}
 		return nil
 	default:
+		s.refundCredit()
 		t.countDrop(DropQueueFull)
 		return errQueueFull
 	}
 }
 
 // countSent records one frame written.
-func (t *TCPTransport) countSent() {
-	t.sent.Add(1)
+func (t *TCPTransport) countSent() { t.countSentN(1) }
+
+// countSentN records n frames written (one coalesced batch).
+func (t *TCPTransport) countSentN(n int) {
+	t.sent.Add(uint64(n))
 	if t.m != nil {
-		t.m.sent.Inc()
+		t.m.sent.Add(n)
 	}
 }
 
 // countDrop records one outbound drop under its reason.
-func (t *TCPTransport) countDrop(r DropReason) {
-	t.drops[r].Add(1)
+func (t *TCPTransport) countDrop(r DropReason) { t.countDropN(r, 1) }
+
+// countDropN records n outbound drops under one reason (a batch whose
+// write failed past retry).
+func (t *TCPTransport) countDropN(r DropReason, n int) {
+	t.drops[r].Add(uint64(n))
 	if t.m != nil {
-		t.m.drops[r].Inc()
+		t.m.drops[r].Add(n)
+	}
+}
+
+// noteBatch records one coalesced write carrying frames messages and
+// feeds the batch-size sketch.
+func (t *TCPTransport) noteBatch(frames int) {
+	t.batches.Add(1)
+	if t.m != nil {
+		t.m.batches.Inc()
+	}
+	if t.sk != nil {
+		t.sk.Observe(stats.SketchBatchFrames, t.rt.nowMicros(), float64(frames))
 	}
 }
 
@@ -492,6 +671,7 @@ func (t *TCPTransport) logTransport(addr, msg string) {
 // TransportStats is a point-in-time snapshot of the transport counters.
 type TransportStats struct {
 	Sent         uint64
+	Batches      uint64
 	FramesRx     uint64
 	DecodeErrors uint64
 	FrameErrors  uint64
@@ -506,6 +686,7 @@ type TransportStats struct {
 func (t *TCPTransport) Stats() TransportStats {
 	st := TransportStats{
 		Sent:         t.sent.Load(),
+		Batches:      t.batches.Load(),
 		FramesRx:     t.framesRx.Load(),
 		DecodeErrors: t.decodeErrors.Load(),
 		FrameErrors:  t.frameErrors.Load(),

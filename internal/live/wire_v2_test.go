@@ -1,0 +1,381 @@
+package live
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/env"
+	"repro/internal/proto"
+	"repro/internal/sim"
+)
+
+func TestWireV2FrameRoundTrip(t *testing.T) {
+	var scratch []byte
+	in := wireMsg{From: 3, To: 7, Payload: proto.HeartbeatReq{Seq: 42, Backup: 1}}
+	frame, err := appendFrameV2(nil, in, DefaultMaxFrame, &scratch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := readFrameV2(bufio.NewReader(bytes.NewReader(frame)), DefaultMaxFrame, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body[0] != frameData {
+		t.Fatalf("frame kind = %#x, want frameData", body[0])
+	}
+	out, err := decodeFrameV2Data(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.From != 3 || out.To != 7 || out.Payload.(proto.HeartbeatReq).Seq != 42 {
+		t.Fatalf("round trip mangled message: %#v", out)
+	}
+}
+
+func TestWireV2GobFallbackRoundTrip(t *testing.T) {
+	// note is not in the codec's core set, so the frame must degrade to
+	// a self-contained gob body and still round-trip.
+	var scratch []byte
+	in := wireMsg{From: 1, To: 2, Payload: note{S: "fallback"}}
+	frame, err := appendFrameV2(nil, in, DefaultMaxFrame, &scratch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := readFrameV2(bufio.NewReader(bytes.NewReader(frame)), DefaultMaxFrame, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body[0] != frameDataGob {
+		t.Fatalf("frame kind = %#x, want frameDataGob", body[0])
+	}
+	out, err := decodeFrame(body[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.From != 1 || out.To != 2 || out.Payload.(note).S != "fallback" {
+		t.Fatalf("round trip mangled message: %#v", out)
+	}
+}
+
+func TestWireV2CreditFrameRoundTrip(t *testing.T) {
+	frame := appendCreditFrame(nil, 8192, 4<<20)
+	body, err := readFrameV2(bufio.NewReader(bytes.NewReader(frame)), maxCreditFrame, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body[0] != frameCredit {
+		t.Fatalf("frame kind = %#x, want frameCredit", body[0])
+	}
+	msgs, bts, err := decodeCreditFrame(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msgs != 8192 || bts != 4<<20 {
+		t.Fatalf("credit round trip = (%d, %d), want (8192, %d)", msgs, bts, 4<<20)
+	}
+}
+
+func TestWireV2EncodeRejectsOversized(t *testing.T) {
+	var scratch []byte
+	_, err := appendFrameV2(nil, wireMsg{Payload: proto.TaskReject{Reason: string(make([]byte, 4096))}}, 64, &scratch)
+	if !errors.Is(err, errFrameTooLarge) {
+		t.Fatalf("err = %v, want errFrameTooLarge", err)
+	}
+}
+
+func TestWireV2ReadRejectsOversizedDeclaration(t *testing.T) {
+	hdr := binary.AppendUvarint(nil, 1<<40)
+	_, err := readFrameV2(bufio.NewReader(bytes.NewReader(hdr)), DefaultMaxFrame, nil)
+	if !errors.Is(err, errFrameTooLarge) {
+		t.Fatalf("err = %v, want errFrameTooLarge", err)
+	}
+}
+
+// FuzzWireCodec feeds arbitrary byte streams through the inbound v2
+// framing path (readFrameV2 + per-kind decode in a loop, as readLoopV2
+// does). No input may panic, allocate what a hostile length declares,
+// or wedge the reader. Frames that decode to a core message must also
+// satisfy the codec's round-trip stability property: re-encoding the
+// decoded message and decoding it again yields byte-identical bytes.
+func FuzzWireCodec(f *testing.F) {
+	var scratch []byte
+	seed := func(m env.Message) {
+		frame, err := appendFrameV2(nil, wireMsg{From: 1, To: 2, Payload: m}, DefaultMaxFrame, &scratch)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(frame)
+		f.Add(frame[:len(frame)/2]) // truncation
+	}
+	// Every kind in the core set, zero-valued, plus richer shapes for
+	// the hot-path messages and the gob fallback.
+	for _, m := range []env.Message{
+		proto.Join{}, proto.JoinRedirect{}, proto.JoinAccept{}, proto.BecomeRM{},
+		proto.Leave{}, proto.HeartbeatReq{}, proto.HeartbeatAck{}, proto.ProfileUpdate{},
+		proto.BackupSync{}, proto.TakeoverAnnounce{}, proto.TaskSubmit{}, proto.TaskReject{},
+		proto.GraphCompose{}, proto.ComposeAck{}, proto.SessionStart{}, proto.Chunk{},
+		proto.SessionAbort{}, proto.SessionEnd{}, proto.GossipDigest{}, proto.GossipSummaries{},
+		proto.HeartbeatReq{Seq: 1 << 40, Backup: 3},
+		proto.Chunk{TaskID: "t", Generation: 1, Index: 9, SizeKBv: 96.5, Deadline: 1, Emitted: 2},
+		proto.GossipDigest{From: proto.RMRef{Domain: 1, RM: 2}, Versions: map[proto.DomainID]uint64{1: 4, 9: 2}},
+		note{S: "gob fallback"},
+	} {
+		seed(m)
+	}
+	f.Add(appendCreditFrame(nil, 8192, 4<<20))
+	f.Add(binary.AppendUvarint(nil, 1<<40)) // hostile length declaration
+	f.Add([]byte{3, frameData, 0x80, 0x80}) // truncated varint routing
+	f.Add([]byte{2, frameCredit, 0xff})     // malformed credit body
+	f.Add([]byte{0})                        // empty frame
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		br := bufio.NewReader(bytes.NewReader(data))
+		var buf []byte
+		const maxFrame = 1 << 16
+		// Every iteration consumes at least the length uvarint's first
+		// byte, so the loop is bounded by len(data); cap it as a guard.
+		for i := 0; i <= len(data)+1; i++ {
+			body, err := readFrameV2(br, maxFrame, buf)
+			if err != nil {
+				return // stream over or unrecoverable: readLoop closes
+			}
+			buf = body
+			if len(body) == 0 {
+				return // readLoopV2 closes on an empty frame
+			}
+			switch body[0] {
+			case frameData:
+				wm, err := decodeFrameV2Data(body)
+				if err != nil {
+					continue // errors here keep the connection
+				}
+				enc1, ok := proto.AppendMessage(nil, wm.Payload)
+				if !ok {
+					t.Fatalf("decoded %T but cannot re-encode it", wm.Payload)
+				}
+				m2, err := proto.DecodeMessage(enc1)
+				if err != nil {
+					t.Fatalf("re-encoded %T does not decode: %v", wm.Payload, err)
+				}
+				enc2, _ := proto.AppendMessage(nil, m2)
+				if !bytes.Equal(enc1, enc2) {
+					t.Fatalf("%T: re-encoding is not byte-stable", wm.Payload)
+				}
+			case frameDataGob:
+				decodeFrame(body[1:])
+			case frameCredit:
+				decodeCreditFrame(body)
+			}
+		}
+		t.Fatalf("reader failed to make progress on %d bytes", len(data))
+	})
+}
+
+// TestWireInteropV1V2Session runs the real protocol stack across two
+// runtimes speaking different wire dialects: the founder's transport is
+// pinned to the legacy v1 gob framing while the joiners' transport
+// speaks v2. Join, heartbeat and profile traffic must flow cleanly in
+// both directions — the mixed-fleet upgrade scenario.
+func TestWireInteropV1V2Session(t *testing.T) {
+	proto.RegisterMessages()
+	cfg := core.DefaultConfig()
+	cfg.HeartbeatPeriod = 30 * sim.Millisecond
+	cfg.HeartbeatMisses = 3
+	cfg.ProfilePeriod = 50 * sim.Millisecond
+	cfg.BackupSyncPeriod = 60 * sim.Millisecond
+	cfg.GossipPeriod = 0
+	cfg.AdaptPeriod = 0
+
+	eventsA := &core.Events{}
+	eventsB := &core.Events{}
+	rtA := NewRuntime(70)
+	rtB := NewRuntime(71)
+	defer rtA.Shutdown()
+	defer rtB.Shutdown()
+	tcfgA := fastTransport()
+	tcfgA.WireVersion = 1 // legacy node
+	trA := NewTCPTransportOpts(rtA, tcfgA, nil, nil)
+	trB := NewTCPTransportOpts(rtB, fastTransport(), nil, nil) // v2 node
+	defer trA.Close()
+	defer trB.Close()
+	addrA, err := trA.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrB, err := trB.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	trA.Register(1, addrB)
+	trA.Register(2, addrB)
+	trB.Register(0, addrA)
+
+	mk := func() proto.PeerInfo {
+		return proto.PeerInfo{SpeedWU: 50, BandwidthKbps: 10000, UptimeSec: 7200}
+	}
+	founder := core.New(cfg, mk(), env.NoNode, eventsA)
+	p1 := core.New(cfg, mk(), 0, eventsB)
+	p2 := core.New(cfg, mk(), 0, eventsB)
+	rtA.AddNodeWithID(0, founder)
+	rtB.AddNodeWithID(1, p1)
+	rtB.AddNodeWithID(2, p2)
+
+	peersB := []*core.Peer{p1, p2}
+	waitFor(t, 10*time.Second, func() bool {
+		joined := 0
+		ok := false
+		rtA.Call(0, func() { ok = founder.Joined() })
+		if ok {
+			joined++
+		}
+		for i, p := range peersB {
+			p := p
+			ok := false
+			rtB.Call(env.NodeID(i+1), func() { ok = p.Joined() })
+			if ok {
+				joined++
+			}
+		}
+		return joined == 3
+	})
+
+	// Let heartbeats and profile updates cross the version boundary for
+	// a while, then require both directions decoded everything cleanly.
+	time.Sleep(300 * time.Millisecond)
+	stA, stB := trA.Stats(), trB.Stats()
+	if stA.FramesRx == 0 || stB.FramesRx == 0 {
+		t.Fatalf("no traffic in one direction: A rx %d, B rx %d", stA.FramesRx, stB.FramesRx)
+	}
+	if stA.DecodeErrors+stA.FrameErrors+stB.DecodeErrors+stB.FrameErrors != 0 {
+		t.Fatalf("mixed-version session corrupted frames: A %+v, B %+v", stA, stB)
+	}
+	// The v1 sender must never have been credit-capped: a v1 receiver
+	// grants nothing, and grants only restrict once received.
+	if stA.Drops["no_credit"]+stB.Drops["no_credit"] != 0 {
+		t.Fatalf("interop session shed on credits: A %+v, B %+v", stA, stB)
+	}
+}
+
+// TestCreditExhaustionShedsAtSource scripts the receiving side of a v2
+// connection by hand: it grants a tiny window, lets the sender exhaust
+// it, and requires the overflow to shed at the source with reason
+// no_credit. A later grant must reopen the window.
+func TestCreditExhaustionShedsAtSource(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	grantMore := make(chan struct{})
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		br := bufio.NewReader(c)
+		if b, err := br.ReadByte(); err != nil || b != wireV2Preamble {
+			return
+		}
+		c.Write(appendCreditFrame(nil, 2, 1<<20))
+		go io.Copy(io.Discard, br) // drain data frames so writes never block
+		<-grantMore
+		c.Write(appendCreditFrame(nil, 100, 1<<20))
+		<-grantMore // hold the connection open until the test ends
+	}()
+	defer close(grantMore)
+
+	rt := NewRuntime(72)
+	defer rt.Shutdown()
+	tr := NewTCPTransportOpts(rt, fastTransport(), nil, nil)
+	defer tr.Close()
+	addr := ln.Addr().String()
+	tr.Register(9, addr)
+
+	// First send spawns the supervisor; before the grant lands the
+	// window is unlimited, so it goes through.
+	if err := tr.send(0, 9, proto.HeartbeatReq{Seq: 0}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 2*time.Second, func() bool {
+		tr.mu.Lock()
+		s := tr.sups[addr]
+		tr.mu.Unlock()
+		return s != nil && s.creditOn.Load()
+	})
+
+	// The window holds 2 messages; the third must shed with no_credit.
+	sent, shed := 0, 0
+	for i := 1; i <= 8 && shed == 0; i++ {
+		if err := tr.send(0, 9, proto.HeartbeatReq{Seq: uint64(i)}); err == nil {
+			sent++
+		} else if errors.Is(err, errNoCredit) {
+			shed++
+		} else {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	if sent != 2 || shed != 1 {
+		t.Fatalf("admitted %d and shed %d against a 2-message window, want 2 and 1", sent, shed)
+	}
+	if got := tr.Stats().Drops["no_credit"]; got != 1 {
+		t.Fatalf("no_credit drops = %d, want 1", got)
+	}
+
+	// A replenishing grant reopens the window and sends flow again.
+	grantMore <- struct{}{}
+	waitFor(t, 2*time.Second, func() bool {
+		return tr.send(0, 9, proto.HeartbeatReq{Seq: 99}) == nil
+	})
+}
+
+// TestCoalescingBatchesBurst pushes a burst through one supervisor and
+// requires the flush loop to pack multiple frames per write: the batch
+// count must come in under the frame count, and every message must
+// still arrive.
+func TestCoalescingBatchesBurst(t *testing.T) {
+	rtA := NewRuntime(73)
+	rtB := NewRuntime(74)
+	defer rtA.Shutdown()
+	defer rtB.Shutdown()
+	trA := NewTCPTransportOpts(rtA, fastTransport(), nil, nil)
+	trB := NewTCPTransportOpts(rtB, fastTransport(), nil, nil)
+	defer trA.Close()
+	defer trB.Close()
+	addrB, err := trB.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	trA.Register(1, addrB)
+
+	b := &collector{}
+	rtB.AddNodeWithID(1, b)
+	a := &collector{}
+	rtA.AddNodeWithID(0, a)
+
+	const burst = 300
+	rtA.Call(0, func() {
+		for i := 0; i < burst; i++ {
+			a.ctx.Send(1, proto.HeartbeatReq{Seq: uint64(i)})
+		}
+	})
+	waitFor(t, 5*time.Second, func() bool { return b.count() == burst })
+
+	st := trA.Stats()
+	if st.Sent != burst {
+		t.Fatalf("sent %d frames, want %d", st.Sent, burst)
+	}
+	if st.Batches == 0 || st.Batches >= st.Sent {
+		t.Fatalf("batches = %d for %d frames; a burst must coalesce", st.Batches, st.Sent)
+	}
+	t.Logf("%d frames in %d writes (%.1f frames/write)",
+		st.Sent, st.Batches, float64(st.Sent)/float64(st.Batches))
+}

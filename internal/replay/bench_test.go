@@ -28,15 +28,15 @@ import (
 
 	"repro/internal/env"
 	"repro/internal/live"
+	"repro/internal/proto"
 	"repro/internal/replay"
 )
 
 type benchMsg struct{ N int }
-type benchEcho struct{ N int }
 
 func init() {
 	gob.Register(benchMsg{})
-	gob.Register(benchEcho{})
+	proto.RegisterMessages()
 }
 
 // sinkActor counts deliveries and signals done at a target count.
@@ -121,6 +121,9 @@ const echoWindow = 64
 
 // pumpActor drives the tcp benchmark from inside node 0's loop: it
 // keeps echoWindow requests outstanding and counts echoes until target.
+// The wire payloads are real protocol heartbeats so the benchmark
+// exercises the deployed codec path (compact v2 encoding), not the
+// gob fallback reserved for foreign types.
 type pumpActor struct {
 	ctx    env.Context
 	target int
@@ -135,13 +138,13 @@ func (a *pumpActor) Receive(from env.NodeID, m env.Message) {
 	switch m.(type) {
 	case benchMsg: // kick: open the window
 		for a.sent < a.target && a.sent < echoWindow {
-			a.ctx.Send(1, benchMsg{N: a.sent})
+			a.ctx.Send(1, proto.HeartbeatReq{Seq: uint64(a.sent)})
 			a.sent++
 		}
-	case benchEcho:
+	case proto.HeartbeatAck:
 		a.acked++
 		if a.sent < a.target {
-			a.ctx.Send(1, benchMsg{N: a.sent})
+			a.ctx.Send(1, proto.HeartbeatReq{Seq: uint64(a.sent)})
 			a.sent++
 		}
 		if a.acked == a.target {
@@ -150,14 +153,14 @@ func (a *pumpActor) Receive(from env.NodeID, m env.Message) {
 	}
 }
 
-// echoActor answers every request with an echo.
+// echoActor answers every request with an ack.
 type echoActor struct{ ctx env.Context }
 
 func (a *echoActor) Init(ctx env.Context) { a.ctx = ctx }
 func (a *echoActor) Stop()                {}
 func (a *echoActor) Receive(from env.NodeID, m env.Message) {
-	if p, ok := m.(benchMsg); ok {
-		a.ctx.Send(0, benchEcho{N: p.N})
+	if p, ok := m.(proto.HeartbeatReq); ok {
+		a.ctx.Send(0, proto.HeartbeatAck{Seq: p.Seq})
 	}
 }
 

@@ -8,8 +8,9 @@
 // diverges from the recording.
 //
 // The package implements live.Recorder structurally; it depends only on
-// env/rng/sim/trace, so internal/live never imports it and no cycle
-// exists. See DESIGN.md §7 for the format and divergence semantics.
+// env/rng/sim/trace/proto, so internal/live never imports it and no
+// cycle exists. See DESIGN.md §7 for the format and divergence
+// semantics.
 package replay
 
 import (
@@ -24,6 +25,7 @@ import (
 	"os"
 
 	"repro/internal/env"
+	"repro/internal/proto"
 )
 
 // Kind enumerates recorded event types.
@@ -34,9 +36,12 @@ const (
 	// actor-reconstruction blob (ReplayIniter), may be empty.
 	KStart Kind = iota + 1
 	// KDeliver: a message was dispatched to a node's actor. Node, Peer
-	// (sender), Time; Name = concrete Go type; Data = the payload's
-	// segment of the log's shared gob message stream (Aux = 1 marks a
-	// payload that was not gob-encodable); see Log.DecodeMessages.
+	// (sender), Time; Name = concrete Go type. Aux selects the payload
+	// encoding of Data: 0 = a segment of the log's shared gob message
+	// stream, 1 = the payload was not gob-encodable (Data empty), 2 = a
+	// standalone compact blob in the internal/proto wire codec (core
+	// protocol messages; several times smaller than gob); see
+	// Log.DecodeMessages.
 	KDeliver
 	// KTimer: a timer callback fired. Node, Time; Aux = per-node timer
 	// ID; Aux2 = logical deadline micros.
@@ -283,17 +288,19 @@ func (r *segmentReader) Read(p []byte) (int, error) {
 	return n, nil
 }
 
-// DecodeMessages decodes every KDeliver payload into Event.Msg. The
-// payloads form one gob stream across the log, so they must be decoded
-// front to back — callers must have gob-registered the message types
-// first (proto.RegisterMessages for the protocol set). Events whose
-// payload was unencodable at record time (Aux = 1) are skipped; the
-// replayer reports those as a divergence when they are reached.
+// DecodeMessages decodes every KDeliver payload into Event.Msg.
+// Compact payloads (Aux = 2) are standalone and decode independently
+// via the internal/proto wire codec. Gob payloads (Aux = 0) form one
+// gob stream across the log, so they must be decoded front to back —
+// callers must have gob-registered the message types first
+// (proto.RegisterMessages for the protocol set). Events whose payload
+// was unencodable at record time (Aux = 1) are skipped; the replayer
+// reports those as a divergence when they are reached.
 func (lg *Log) DecodeMessages() error {
 	sr := &segmentReader{}
 	for i := range lg.Events {
 		e := &lg.Events[i]
-		if e.Kind == KDeliver && e.Aux != 1 {
+		if e.Kind == KDeliver && e.Aux == 0 {
 			sr.segs = append(sr.segs, e.Data)
 		}
 	}
@@ -301,6 +308,14 @@ func (lg *Log) DecodeMessages() error {
 	for i := range lg.Events {
 		e := &lg.Events[i]
 		if e.Kind != KDeliver || e.Aux == 1 {
+			continue
+		}
+		if e.Aux == 2 {
+			m, err := proto.DecodeMessage(e.Data)
+			if err != nil {
+				return fmt.Errorf("replay: decoding compact message for event %d (%s): %w", i, e.Name, err)
+			}
+			e.Msg = m
 			continue
 		}
 		var box msgBox

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/env"
+	"repro/internal/proto"
 )
 
 // msgBox wraps a message payload so gob can encode the env.Message
@@ -85,6 +86,7 @@ type Recorder struct {
 	bytes     atomic.Uint64
 	dropped   atomic.Uint64
 	traceSeed atomic.Uint64
+	forceGob  atomic.Bool
 
 	mu     sync.Mutex
 	closed bool
@@ -127,6 +129,12 @@ func (r *Recorder) Dir() string { return r.dir }
 // written into meta.json at Close for the replayer to adopt.
 func (r *Recorder) SetTraceSeed(seed uint64) { r.traceSeed.Store(seed) }
 
+// ForceGobPayloads makes the writer skip the compact v2 payload
+// encoding and log every delivery through the legacy shared gob stream.
+// Replay accepts both, so this exists only to measure the size delta
+// between the encodings on identical runs.
+func (r *Recorder) ForceGobPayloads() { r.forceGob.Store(true) }
+
 // Counters returns (events enqueued, payload bytes written, events
 // dropped) so far. Safe to call concurrently with recording; the byte
 // count trails the event count by whatever the writer has queued.
@@ -165,6 +173,7 @@ func (r *Recorder) writeLoop() {
 		enc       = gob.NewEncoder(&msgBuf)
 		encBroken bool
 		frame     []byte
+		v2buf     []byte
 	)
 	for {
 		var p pending
@@ -184,11 +193,20 @@ func (r *Recorder) writeLoop() {
 		if p.m != nil {
 			e.Name = MessageType(p.m)
 			if e.Kind == KDeliver {
-				// Unencodable payloads (unregistered types) degrade to a
-				// typed marker: replay reports the gap instead of silently
-				// skipping. A failed Encode may have emitted partial
-				// stream bytes, so all later payloads degrade too.
-				if encBroken {
+				// Core protocol payloads take the compact v2 codec: a
+				// standalone, independently decodable Data blob (Aux=2),
+				// several times smaller than its gob stream segment.
+				// Payloads outside the core set fall back to the shared
+				// gob stream (Aux=0); unencodable payloads (unregistered
+				// types) degrade to a typed marker (Aux=1) so replay
+				// reports the gap instead of silently skipping. A failed
+				// Encode may have emitted partial stream bytes, so all
+				// later payloads degrade too.
+				if b, ok := proto.AppendMessage(v2buf[:0], p.m); ok && !r.forceGob.Load() {
+					v2buf = b
+					e.Aux = 2
+					e.Data = b
+				} else if encBroken {
 					e.Aux = 1
 				} else if err := enc.Encode(msgBox{M: p.m}); err != nil {
 					e.Aux = 1

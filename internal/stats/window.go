@@ -99,12 +99,14 @@ type Set struct {
 }
 
 // Sketch names fed by the middleware. Values are seconds except
-// occupancy, which is a 0..1 fraction of queue capacity.
+// occupancy (a 0..1 fraction of queue capacity) and batch frames (a
+// per-flush message count).
 const (
 	SketchAllocLatency = "alloc_latency_seconds"
 	SketchDeliveryRTT  = "delivery_rtt_seconds"
 	SketchFailover     = "failover_seconds"
 	SketchQueueOcc     = "supervisor_queue_occupancy"
+	SketchBatchFrames  = "live_batch_frames"
 )
 
 // NewSet creates an empty set; zero arguments select the defaults.

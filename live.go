@@ -36,6 +36,10 @@ type Live struct {
 	sk     *stats.Set
 	dec    *core.DecisionLog
 
+	// recForceGob pins the flight recorder to the legacy gob payload
+	// encoding (LiveOptions.RecordGobPayloads).
+	recForceGob bool
+
 	// Scrape-time tracer gauges, refreshed by syncTraceMetrics.
 	trBegun   *metrics.Gauge
 	trOpen    *metrics.Gauge
@@ -94,6 +98,11 @@ type LiveOptions struct {
 	// keeps allocator costing on the virtual clock (Config.Nanotime stays
 	// nil) so the replayed trace is byte-comparable.
 	RecordDir string
+	// RecordGobPayloads forces the flight recorder to log delivery
+	// payloads through the legacy shared gob stream instead of the
+	// compact wire codec. Replay accepts both encodings; this knob
+	// exists to measure the size difference on identical workloads.
+	RecordGobPayloads bool
 }
 
 // NewLive creates a live runtime.
@@ -137,6 +146,8 @@ func NewLive(cfg Config, opts LiveOptions) (*Live, error) {
 		seed:   opts.Seed,
 		sk:     sk,
 		dec:    dec,
+
+		recForceGob: opts.RecordGobPayloads,
 	}
 	l.recGauge = reg.Gauge("live_replay_recording",
 		"1 while a flight recorder is attached to the runtime", nil)
@@ -238,6 +249,9 @@ func (l *Live) Record(dir string) error {
 	rec, err := replay.NewRecorder(dir)
 	if err != nil {
 		return err
+	}
+	if l.recForceGob {
+		rec.ForceGobPayloads()
 	}
 	if l.tracer != nil {
 		rec.SetTraceSeed(l.seed)
