@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet fmt build lint lint-json lockorder-golden test race chaos fuzz-wire replay obs scenario bench-trace bench bench-all
+.PHONY: check vet fmt build lint lint-json lockorder-golden test race chaos fuzz-wire replay obs dht scenario bench-trace bench bench-all
 
 # check is the pre-commit gate referenced from README: static checks,
 # full build, race-enabled tests, the record/replay gate, and the
@@ -60,10 +60,12 @@ chaos:
 # fuzz-wire exercises the live transport's inbound framing with random
 # byte streams (CI runs the seed corpus via plain go test): first the
 # legacy v1 length-prefix/gob path, then the v2 compact dialect
-# (varint frames, codec payloads, credit grants, gob fallback).
+# (varint frames, codec payloads, credit grants, gob fallback), then
+# the DHT RPC messages through the compact codec round-trip.
 fuzz-wire:
 	$(GO) test -run '^$$' -fuzz FuzzWireFrame -fuzztime 30s ./internal/live/
 	$(GO) test -run '^$$' -fuzz FuzzWireCodec -fuzztime 30s ./internal/live/
+	$(GO) test -run '^$$' -fuzz FuzzDHTMessages -fuzztime 30s ./internal/proto/
 
 # replay is the flight-recorder gate: the record/replay round-trip
 # property tests under the race detector (a chaos recording replays to
@@ -94,6 +96,22 @@ obs: bin/p2pnode bin/p2ptop
 	sleep 8; \
 	./bin/p2ptop -nodes http://127.0.0.1:9461,http://127.0.0.1:9462 -once -check; \
 	rc=$$?; kill $$pa $$pb 2>/dev/null; wait $$pa $$pb 2>/dev/null; exit $$rc
+
+# dht is the structured-discovery smoke: two p2pnode daemons on the DHT
+# backend joined over real TCP, then a scrape of both /dht endpoints.
+# The gate fails unless both report Backend "dht" and the founder's
+# routing table has learned at least one contact.
+dht: bin/p2pnode
+	./bin/p2pnode -id 0 -founder -discovery dht -listen 127.0.0.1:7463 -http 127.0.0.1:9463 \
+		-book "1=127.0.0.1:7464" -object movie:30 -seed 7 & pa=$$!; \
+	./bin/p2pnode -id 1 -discovery dht -listen 127.0.0.1:7464 -http 127.0.0.1:9464 \
+		-book "0=127.0.0.1:7463" -bootstrap 0 -seed 7 & pb=$$!; \
+	sleep 6; rc=0; \
+	curl -sf http://127.0.0.1:9463/dht | grep -q '"Backend": *"dht"' || rc=1; \
+	curl -sf http://127.0.0.1:9463/dht | grep -q '"TableSize": *[1-9]' || rc=1; \
+	curl -sf http://127.0.0.1:9464/dht | grep -q '"Backend": *"dht"' || rc=1; \
+	kill $$pa $$pb 2>/dev/null; wait $$pa $$pb 2>/dev/null; \
+	[ $$rc -eq 0 ] && echo "dht smoke: ok"; exit $$rc
 
 # scenario runs the committed chaos suite: every file in scenarios/ on
 # the deterministic simulator (JSON reports land in
@@ -151,6 +169,8 @@ bench: bin/p2pbench
 		-regress-count 5 -regress-tolerance 0.5
 	./bin/p2pbench -regress -regress-pkg ./internal/replay -regress-bench 'Deliver/tcp' \
 		-regress-count 5 -regress-tolerance 0.5
+	./bin/p2pbench -regress -regress-pkg ./internal/dht -regress-bench DHTLookup \
+		-regress-count 5 -regress-tolerance 0.5
 
 # bench-all snapshots every root benchmark (min of 5 runs) plus the
 # codec and delivery ratchets; use this to refresh the committed
@@ -160,6 +180,8 @@ bench-all: bin/p2pbench
 	./bin/p2pbench -regress -regress-pkg ./internal/proto -regress-bench WireCodec \
 		-regress-count 5 -regress-tolerance 0.5
 	./bin/p2pbench -regress -regress-pkg ./internal/replay -regress-bench 'Deliver/tcp' \
+		-regress-count 5 -regress-tolerance 0.5
+	./bin/p2pbench -regress -regress-pkg ./internal/dht -regress-bench DHTLookup \
 		-regress-count 5 -regress-tolerance 0.5
 
 bin/p2pbench: FORCE

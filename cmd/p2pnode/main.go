@@ -53,6 +53,7 @@ func main() {
 		submit      = flag.String("submit", "", "submit a query for this object name once joined")
 		after       = flag.Duration("after", 3*time.Second, "delay before -submit")
 		linger      = flag.Duration("linger", 0, "keep running this long after the -submit report, so -http stays scrapable (e.g. by p2ptop)")
+		disc        = flag.String("discovery", "", "discovery backend: gossip or dht (default: gossip; with -scenario, the file's choice)")
 		verbose     = flag.Bool("v", false, "log node diagnostics (structured key=value lines)")
 		httpAddr    = flag.String("http", "", "HTTP diagnostics address, e.g. :9090 (/metrics, /sketches, /decisions, /trace, /healthz, /debug/pprof)")
 		record      = flag.String("record", "", "flight-recorder directory: log all nondeterministic inputs for 'p2psim -replay'")
@@ -75,10 +76,16 @@ func main() {
 	if *scenFile != "" {
 		seedSet := false
 		flag.Visit(func(f *flag.Flag) { seedSet = seedSet || f.Name == "seed" })
-		os.Exit(runScenario(*scenFile, *scenPart, *scenPeers, *scenPace, *seed, seedSet, *scenOut))
+		os.Exit(runScenario(*scenFile, *scenPart, *scenPeers, *scenPace, *seed, seedSet, *scenOut, *disc))
 	}
 
 	cfg := p2prm.DefaultConfig()
+	if *disc != "" {
+		if *disc != "gossip" && *disc != "dht" {
+			log.Fatalf("-discovery must be gossip or dht, got %q", *disc)
+		}
+		cfg.Discovery = *disc
+	}
 	info := p2prm.PeerInfo{
 		SpeedWU:       *speed,
 		BandwidthKbps: *bandwidth,

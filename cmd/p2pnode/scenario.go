@@ -18,7 +18,7 @@ import (
 // cooperating processes; peers lists every part's TCP listen address
 // (comma-separated, index-aligned). pace > 1 compresses the scripted
 // timeline. Exit 0 only when every assertion passed.
-func runScenario(path, partSpec, peers string, pace float64, seed uint64, seedSet bool, reportPath string) int {
+func runScenario(path, partSpec, peers string, pace float64, seed uint64, seedSet bool, reportPath, discovery string) int {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "scenario: %v\n", err)
@@ -28,6 +28,9 @@ func runScenario(path, partSpec, peers string, pace float64, seed uint64, seedSe
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "scenario %s: %v\n", path, err)
 		return 1
+	}
+	if discovery != "" {
+		spec.Discovery = discovery
 	}
 	if !seedSet || seed == 0 {
 		seed = spec.Seed

@@ -48,10 +48,16 @@ func main() {
 		replayIn = flag.String("replay", "", "replay a flight-recorder directory (p2pnode -record) and verify determinism (skips -exp)")
 		scenFile = flag.String("scenario", "", "run a declarative scenario file on the deterministic simulator and evaluate its assertions (skips -exp)")
 		scenOut  = flag.String("scenario-report", "", "with -scenario: write the machine-readable assertion report (JSON) here")
+		disc     = flag.String("discovery", "", "discovery backend for -scenario/-trace/-obs runs: gossip or dht (default: scenario file's choice, else gossip)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *disc != "" && *disc != "gossip" && *disc != "dht" {
+		fmt.Fprintf(os.Stderr, "-discovery must be gossip or dht, got %q\n", *disc)
+		os.Exit(2)
+	}
 
 	stopCPU, err := profutil.StartCPU(*cpuProf)
 	if err != nil {
@@ -71,7 +77,7 @@ func main() {
 	}
 
 	if *traceOut != "" {
-		if err := runTraced(*traceOut, *seed, *quick); err != nil {
+		if err := runTraced(*traceOut, *seed, *quick, *disc); err != nil {
 			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
 			exit(1)
 		}
@@ -79,7 +85,7 @@ func main() {
 	}
 
 	if *obsOut != "" {
-		if err := runObs(*obsOut, *seed, *quick); err != nil {
+		if err := runObs(*obsOut, *seed, *quick, *disc); err != nil {
 			fmt.Fprintf(os.Stderr, "obs: %v\n", err)
 			exit(1)
 		}
@@ -93,7 +99,7 @@ func main() {
 	if *scenFile != "" {
 		seedSet := false
 		flag.Visit(func(f *flag.Flag) { seedSet = seedSet || f.Name == "seed" })
-		exit(runScenario(*scenFile, *seed, seedSet, *scenOut))
+		exit(runScenario(*scenFile, *seed, seedSet, *scenOut, *disc))
 	}
 
 	suite := experiments.Suite()
@@ -170,13 +176,17 @@ func quickTag(q bool) string {
 // runTraced drives the standard overlay + workload with a session tracer
 // attached and writes the spans as Chrome trace-event JSONL (load it via
 // chrome://tracing after `jq -s . out.jsonl`, or directly in Perfetto).
-func runTraced(path string, seed uint64, quick bool) error {
+func runTraced(path string, seed uint64, quick bool, discovery string) error {
 	peers, rate, mins := 24, 2.0, 2
 	if quick {
 		peers, rate, mins = 12, 1.0, 1
 	}
 	tr := p2prm.NewTracer()
-	s := p2prm.NewSimulation(p2prm.DefaultConfig(), p2prm.SimOptions{Seed: seed, Tracer: tr})
+	cfg := p2prm.DefaultConfig()
+	if discovery != "" {
+		cfg.Discovery = discovery
+	}
+	s := p2prm.NewSimulation(cfg, p2prm.SimOptions{Seed: seed, Tracer: tr})
 	s.GrowStandard(peers, 2, 8, 3, 0.5)
 	warm := s.Now() + 5*p2prm.Second
 	end := warm + p2prm.Time(mins)*p2prm.Minute
@@ -201,7 +211,7 @@ func runTraced(path string, seed uint64, quick bool) error {
 // sink attached and writes the four fleet documents — trace.jsonl,
 // sketches.json, decisions.json, metrics.json — into dir, the file-mode
 // input of `p2ptop -dir`.
-func runObs(dir string, seed uint64, quick bool) error {
+func runObs(dir string, seed uint64, quick bool, discovery string) error {
 	peers, rate, mins := 24, 2.0, 2
 	if quick {
 		peers, rate, mins = 12, 1.0, 1
@@ -212,6 +222,9 @@ func runObs(dir string, seed uint64, quick bool) error {
 	tr := p2prm.NewTracer()
 	reg := p2prm.NewMetricsRegistry()
 	cfg := p2prm.DefaultConfig()
+	if discovery != "" {
+		cfg.Discovery = discovery
+	}
 	cfg.Nanotime = live.Nanotime // alloc latency is a real CPU-cost sketch, not simulated time
 	s := p2prm.NewSimulation(cfg,
 		p2prm.SimOptions{Seed: seed, Tracer: tr, Metrics: reg})

@@ -16,7 +16,7 @@ import (
 // seedSet says whether -seed was passed explicitly; otherwise the
 // file's own seed drives the run so committed scenarios reproduce their
 // committed reports.
-func runScenario(path string, seed uint64, seedSet bool, reportPath string) int {
+func runScenario(path string, seed uint64, seedSet bool, reportPath, discovery string) int {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "scenario: %v\n", err)
@@ -26,6 +26,9 @@ func runScenario(path string, seed uint64, seedSet bool, reportPath string) int 
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "scenario %s: %v\n", path, err)
 		return 1
+	}
+	if discovery != "" {
+		spec.Discovery = discovery
 	}
 	if !seedSet {
 		seed = spec.Seed

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"repro/internal/dht"
 	"repro/internal/graph"
 	"repro/internal/proto"
 	"repro/internal/sched"
@@ -34,6 +35,15 @@ type Config struct {
 	// GossipPeriod is the inter-domain anti-entropy interval (§4.4;
 	// swept by E8). Zero disables gossip.
 	GossipPeriod sim.Time
+
+	// Discovery selects the inter-domain discovery backend:
+	// DiscoveryGossip (the default, Bloom-summary anti-entropy) or
+	// DiscoveryDHT (the Kademlia-style overlay in internal/dht).
+	Discovery string
+
+	// DHT tunes the structured overlay when Discovery is DiscoveryDHT;
+	// zero values select the dht package defaults.
+	DHT dht.Config
 
 	// SummaryMaxAge ages out gossiped domain summaries that have not
 	// been refreshed within this window ("updated lazily" cuts both

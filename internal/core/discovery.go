@@ -1,0 +1,92 @@
+package core
+
+import (
+	"repro/internal/dht"
+	"repro/internal/env"
+	"repro/internal/proto"
+)
+
+// Discovery backend names (Config.Discovery).
+const (
+	DiscoveryGossip = "gossip"
+	DiscoveryDHT    = "dht"
+)
+
+// Discovery abstracts how peers find objects, services and domains beyond
+// their own domain boundary. Two implementations exist: the paper's lazy
+// Bloom-summary gossip (§4.4, the default) and a Kademlia-style
+// structured overlay (internal/dht) that trades gossip's zero-lookup-cost
+// stale summaries for exact, bounded-latency lookups.
+//
+// Like everything else on the peer, a Discovery is actor-confined: every
+// method runs on the owning peer's serialized loop.
+type Discovery interface {
+	// Init runs once on the owning actor's loop, right after the peer's
+	// context exists and before any join traffic.
+	Init()
+	// StartRM arms the backend's RM-side periodic work (gossip rounds or
+	// catalog republish). Called every time the peer (re)initializes its
+	// Resource-Manager state — founding, promotion, takeover.
+	StartRM()
+	// HandleMessage consumes backend protocol traffic; false means the
+	// message belongs to another subsystem.
+	HandleMessage(from env.NodeID, m env.Message) bool
+	// NoteContacts feeds overlay contacts learned through membership
+	// (bootstrap target, join-accept member lists).
+	NoteContacts(ids ...env.NodeID)
+	// CatalogChanged signals that the domain's object/service catalog or
+	// membership changed and remote advertisements should refresh.
+	CatalogChanged()
+	// LookupObject resolves the RM of another domain advertising the
+	// object, preferring low utilization; env.NoNode means unknown. done
+	// fires exactly once — synchronously from cached summaries (gossip)
+	// or after an iterative lookup (DHT). task and tc tie the lookup into
+	// the submitting task's trace.
+	LookupObject(task, object string, tc proto.TraceContext, done func(env.NodeID))
+	// RedirectRM picks another domain's RM for a join redirect, skipping
+	// domains known to be at capacity. Synchronous on both backends (the
+	// DHT answers from its periodically refreshed directory cache).
+	RedirectRM(maxPeers int) env.NodeID
+	// Diag snapshots backend state for the diagnostics endpoints.
+	Diag() DiscoveryDiag
+	// Stop cancels backend timers on graceful shutdown.
+	Stop()
+}
+
+// DiscoveryDiag is the backend-state snapshot served by the /dht and
+// status endpoints. Gossip fills the summary fields, the DHT the
+// routing-table and store fields.
+type DiscoveryDiag struct {
+	Backend      string
+	Domain       proto.DomainID
+	IsRM         bool
+	KnownDomains int
+
+	// Gossip.
+	Summaries int
+
+	// DHT.
+	TableSize    int
+	Buckets      [][2]int // non-empty k-buckets as (index, size) pairs
+	StoreKeys    int
+	StoreRecords int
+	Published    int
+	DirCache     int
+	DHT          dht.Stats
+}
+
+// newDiscovery builds the configured backend for a peer.
+func newDiscovery(p *Peer) Discovery {
+	if p.cfg.Discovery == DiscoveryDHT {
+		return newDHTDiscovery(p)
+	}
+	return newGossipDiscovery(p)
+}
+
+// DiscoveryDiag exposes the backend snapshot (tests, /dht endpoint).
+func (p *Peer) DiscoveryDiag() DiscoveryDiag {
+	if p.disc == nil {
+		return DiscoveryDiag{}
+	}
+	return p.disc.Diag()
+}

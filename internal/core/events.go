@@ -55,6 +55,10 @@ type EventsData struct {
 	DomainsCreated    int
 	PeersDeclaredDead int
 
+	StaleRedirectSkips int // redirect candidates skipped for stale summaries
+	DHTLookups         int // iterative DHT provider lookups finished
+	DHTLookupHits      int // ... that found at least one record
+
 	AllocNanos []int64 // wall-clock cost of each allocation computation
 }
 
@@ -81,6 +85,9 @@ const (
 	MetricPeerLoad    = "p2p_peer_load"
 	MetricPeerUtil    = "p2p_peer_util"
 	MetricDecisions   = "p2p_rm_decisions_total"
+	MetricStaleSkips  = "p2p_rm_redirects_stale_skipped_total"
+	MetricDHTLookups  = "p2p_dht_lookups_total"
+	MetricDHTLookupS  = "p2p_dht_lookup_seconds"
 )
 
 // AttachTracer installs a span-tracing sink. Must be called before any
@@ -295,6 +302,44 @@ func (e *Events) failover(d proto.DomainID, nowMicros, micros int64) {
 	}
 	if e.sk != nil {
 		e.sk.Observe(stats.SketchFailover, nowMicros, float64(micros)/1e6)
+	}
+}
+
+// staleRedirectSkipped counts a redirect candidate passed over because
+// its cached summary aged past the prune horizon.
+func (e *Events) staleRedirectSkipped(d proto.DomainID) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	e.StaleRedirectSkips++
+	e.mu.Unlock()
+	e.count(MetricStaleSkips, "Redirect candidates skipped because their summary aged past the prune horizon.", d)
+}
+
+// dhtLookup records one finished iterative DHT provider lookup.
+func (e *Events) dhtLookup(d proto.DomainID, nowMicros int64, hit bool, sec float64) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	e.DHTLookups++
+	if hit {
+		e.DHTLookupHits++
+	}
+	e.mu.Unlock()
+	if e.reg != nil {
+		result := "miss"
+		if hit {
+			result = "hit"
+		}
+		labels := metrics.Labels{"domain": strconv.Itoa(int(d)), "result": result}
+		e.reg.Counter(MetricDHTLookups, "Iterative DHT provider lookups by outcome.", labels).Inc()
+		e.reg.Histogram(MetricDHTLookupS, "Iterative DHT lookup latency in seconds.",
+			nil, domainLabels(d)).Observe(sec)
+	}
+	if e.sk != nil {
+		e.sk.Observe(stats.SketchDHTLookup, nowMicros, sec)
 	}
 }
 

@@ -63,6 +63,9 @@ type Peer struct {
 	// Resource-Manager state (nil unless this peer is an RM).
 	rm *rmState
 
+	// Inter-domain discovery backend (gossip or DHT), set at Init.
+	disc Discovery
+
 	// Completion continuations for chunk tasks on the local scheduler.
 	stageDone map[sched.TaskID]func(missed bool)
 
@@ -139,6 +142,8 @@ func (p *Peer) Init(ctx env.Context) {
 	p.prof = profiler.New(int(ctx.Self()), p.info.SpeedWU, p.cfg.EWMAAlpha)
 	p.conn = NewConnManager()
 	p.joinedAt = ctx.Now()
+	p.disc = newDiscovery(p)
+	p.disc.Init()
 
 	if p.bootstrap == env.NoNode {
 		p.becomeFounder()
@@ -180,6 +185,9 @@ func (p *Peer) Stop() {
 	}
 	if p.rm != nil {
 		p.rm.stopTimers()
+	}
+	if p.disc != nil {
+		p.disc.Stop()
 	}
 }
 
@@ -263,6 +271,11 @@ func (p *Peer) Receive(from env.NodeID, m env.Message) {
 	if from == p.rmID {
 		p.lastRMContact = p.ctx.Now()
 	}
+	// Discovery traffic first: gossip exchanges or DHT RPCs, depending on
+	// the configured backend.
+	if p.disc.HandleMessage(from, m) {
+		return
+	}
 	switch msg := m.(type) {
 	// --- membership, peer side ---
 	case proto.JoinRedirect:
@@ -327,10 +340,6 @@ func (p *Peer) Receive(from env.NodeID, m env.Message) {
 		p.rmHandleComposeAck(from, msg)
 	case proto.SessionEnd:
 		p.rmHandleSessionEnd(from, msg)
-	case proto.GossipDigest:
-		p.rmHandleGossipDigest(from, msg)
-	case proto.GossipSummaries:
-		p.rmHandleGossipSummaries(from, msg)
 	}
 }
 
@@ -348,6 +357,7 @@ func (p *Peer) handleJoinAccept(from env.NodeID, msg proto.JoinAccept) {
 	p.contacts = msg.Peers
 	p.lastRMContact = p.ctx.Now()
 	p.conn.Open(msg.RM)
+	p.disc.NoteContacts(append([]env.NodeID{msg.RM, msg.Backup}, msg.Peers...)...)
 	p.startMemberTimers()
 	p.ctx.Logf("joined domain %d under RM n%d", msg.Domain, msg.RM)
 }

@@ -211,9 +211,7 @@ func (p *Peer) startRM(id proto.DomainID, known []proto.RMRef, snapshot []proto.
 		env.Every(p.ctx, cfg.BackupSyncPeriod, cfg.BackupSyncPeriod, p.rmBackupSyncTick),
 		env.Every(p.ctx, cfg.ProfilePeriod, cfg.ProfilePeriod, p.rmOwnProfileTick),
 	)
-	if cfg.GossipPeriod > 0 {
-		st.timers = append(st.timers, env.Every(p.ctx, cfg.GossipPeriod, cfg.GossipPeriod, p.rmGossipTick))
-	}
+	p.disc.StartRM()
 	if cfg.AdaptPeriod > 0 {
 		st.timers = append(st.timers, env.Every(p.ctx, cfg.AdaptPeriod, cfg.AdaptPeriod, p.rmAdaptTick))
 	}
@@ -280,8 +278,16 @@ func (p *Peer) rmHandleJoin(from env.NodeID, msg proto.Join) {
 	}
 	st := p.rm
 	if rec, ok := st.peers[from]; ok {
-		// Re-join (e.g. retry after a lost accept): refresh info, re-accept.
+		// Re-join: a retry after a lost accept, or a member pushing a
+		// catalog change. Refresh info; only a real catalog change dirties
+		// the graph and re-advertises (plain retries differ just in uptime).
+		changed := !catalogEqual(rec.info, msg.Info)
 		rec.info = msg.Info
+		if changed {
+			st.grDirty = true
+			st.bumpVersion()
+			p.disc.CatalogChanged()
+		}
 		p.sendAccept(from)
 		return
 	}
@@ -290,6 +296,7 @@ func (p *Peer) rmHandleJoin(from env.NodeID, msg proto.Join) {
 		st.grDirty = true
 		st.electBackup(p)
 		st.bumpVersion()
+		p.disc.CatalogChanged()
 		p.sendAccept(from)
 		return
 	}
@@ -306,7 +313,7 @@ func (p *Peer) rmHandleJoin(from env.NodeID, msg proto.Join) {
 	// capacity — unless the joiner has already been bounced around, in
 	// which case admit past the cap rather than strand it.
 	if msg.Hops < p.cfg.MaxRedirects {
-		if target := st.pickRedirectRM(p.cfg.MaxDomainPeers); target != env.NoNode {
+		if target := p.disc.RedirectRM(p.cfg.MaxDomainPeers); target != env.NoNode {
 			p.ctx.Send(from, proto.JoinRedirect{Target: target, Reason: "domain-full"})
 			return
 		}
@@ -315,37 +322,8 @@ func (p *Peer) rmHandleJoin(from env.NodeID, msg proto.Join) {
 	st.peers[from] = &peerRecord{info: msg.Info, lastReport: p.ctx.Now()}
 	st.grDirty = true
 	st.bumpVersion()
+	p.disc.CatalogChanged()
 	p.sendAccept(from)
-}
-
-// pickRedirectRM chooses another domain's RM, preferring low utilization
-// and skipping domains whose last summary shows them at capacity.
-func (s *rmState) pickRedirectRM(maxPeers int) env.NodeID {
-	type cand struct {
-		rm   env.NodeID
-		util float64
-	}
-	var cands []cand
-	for _, d := range sortedMapKeys(s.knownRMs) {
-		util := 0.5
-		if sum, ok := s.summaries[d]; ok {
-			util = sum.AvgUtil
-			if sum.NumPeers >= maxPeers {
-				continue
-			}
-		}
-		cands = append(cands, cand{s.knownRMs[d], util})
-	}
-	if len(cands) == 0 {
-		return env.NoNode
-	}
-	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].util != cands[j].util {
-			return cands[i].util < cands[j].util
-		}
-		return cands[i].rm < cands[j].rm
-	})
-	return cands[0].rm
 }
 
 // sendAccept sends JoinAccept with the member list as fallback contacts.
@@ -385,6 +363,7 @@ func (p *Peer) rmRemovePeer(id env.NodeID, reason string) {
 	delete(st.outstanding, id)
 	st.grDirty = true
 	st.bumpVersion()
+	p.disc.CatalogChanged()
 	if st.backup == id {
 		st.electBackup(p)
 	}
@@ -643,59 +622,42 @@ func (p *Peer) rmHandleSubmit(from env.NodeID, msg proto.TaskSubmit) {
 			return
 		}
 	}
-	// Otherwise redirect toward a domain whose summary claims the object
-	// (§4.5), bounded by MaxRedirects.
+	// Otherwise redirect toward a domain advertising the object (§4.5),
+	// bounded by MaxRedirects. The discovery backend resolves the target —
+	// synchronously from gossiped summaries, or via an iterative DHT
+	// lookup whose continuation re-validates the RM role (the peer may
+	// have been demoted or taken over while the walk was in flight).
+	reject := func() {
+		p.ctx.Logf("task %s rejected: %s", spec.ID, why)
+		p.events.decide(Decision{TSMicros: int64(p.ctx.Now()), Task: spec.ID,
+			Node: int(p.ctx.Self()), Domain: int(p.domain), Action: DecisionReject,
+			Reason: why, Candidates: sr.considered})
+		p.rejectUpstream(spec.ID, spec.Origin, why)
+	}
 	if msg.Hops < p.cfg.MaxRedirects {
-		if target := st.pickObjectDomain(spec.ObjectName); target != env.NoNode {
+		hops := msg.Hops
+		p.disc.LookupObject(spec.ID, spec.ObjectName, p.traceCtx(spec.ID, "lookup"), func(target env.NodeID) {
+			if p.rm != st {
+				return
+			}
+			if target == env.NoNode {
+				reject()
+				return
+			}
 			p.events.redirected(p.domain)
 			if tr := p.events.Tracer(); tr != nil {
 				tr.Instant(int64(p.ctx.Now()), spec.ID, "redirect", int(p.ctx.Self()), int(p.domain),
-					trace.A("target_rm", int(target)), trace.A("hops", msg.Hops+1))
+					trace.A("target_rm", int(target)), trace.A("hops", hops+1))
 			}
 			p.events.decide(Decision{TSMicros: int64(p.ctx.Now()), Task: spec.ID,
 				Node: int(p.ctx.Self()), Domain: int(p.domain), Action: DecisionRedirect,
 				Reason: why, Candidates: sr.considered})
-			p.ctx.Send(target, proto.TaskSubmit{Spec: spec, Hops: msg.Hops + 1,
+			p.ctx.Send(target, proto.TaskSubmit{Spec: spec, Hops: hops + 1,
 				TC: p.traceCtx(spec.ID, "redirect")})
-			return
-		}
+		})
+		return
 	}
-	p.ctx.Logf("task %s rejected: %s", spec.ID, why)
-	p.events.decide(Decision{TSMicros: int64(p.ctx.Now()), Task: spec.ID,
-		Node: int(p.ctx.Self()), Domain: int(p.domain), Action: DecisionReject,
-		Reason: why, Candidates: sr.considered})
-	p.rejectUpstream(spec.ID, spec.Origin, why)
-}
-
-// pickObjectDomain finds a gossiped domain whose object Bloom filter
-// possibly contains the object, preferring low utilization.
-func (st *rmState) pickObjectDomain(object string) env.NodeID {
-	type cand struct {
-		rm   env.NodeID
-		util float64
-	}
-	var cands []cand
-	for _, d := range sortedMapKeys(st.summaries) {
-		sum := st.summaries[d]
-		if d == st.domain || len(sum.ObjectBloom) == 0 {
-			continue
-		}
-		f, err := bloomFrom(sum)
-		if err != nil || !f.ContainsString(object) {
-			continue
-		}
-		cands = append(cands, cand{sum.RM, sum.AvgUtil})
-	}
-	if len(cands) == 0 {
-		return env.NoNode
-	}
-	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].util != cands[j].util {
-			return cands[i].util < cands[j].util
-		}
-		return cands[i].rm < cands[j].rm
-	})
-	return cands[0].rm
+	reject()
 }
 
 // searchResult is the outcome of the Figure-3 search over goal states.

@@ -1,0 +1,86 @@
+package dht
+
+import (
+	"sort"
+
+	"repro/internal/proto"
+	"repro/internal/sim"
+)
+
+// Store holds TTL'd provider records keyed by DHT key. Each key maps
+// domains to their latest record, so a republish refreshes in place and
+// a domain's record expires independently of its neighbours'.
+type Store struct {
+	records map[proto.DHTKey]map[proto.DomainID]storedProvider
+}
+
+type storedProvider struct {
+	val     proto.DHTProvider
+	expires sim.Time
+}
+
+// NewStore creates an empty provider store.
+func NewStore() *Store {
+	return &Store{records: make(map[proto.DHTKey]map[proto.DomainID]storedProvider)}
+}
+
+// Put installs or refreshes a record, expiring ttl from now.
+func (s *Store) Put(key proto.DHTKey, v proto.DHTProvider, now sim.Time, ttl sim.Time) {
+	m, ok := s.records[key]
+	if !ok {
+		m = make(map[proto.DomainID]storedProvider)
+		s.records[key] = m
+	}
+	m[v.Domain] = storedProvider{val: v, expires: now + ttl}
+}
+
+// Get returns the unexpired records under key in domain order.
+func (s *Store) Get(key proto.DHTKey, now sim.Time) []proto.DHTProvider {
+	m := s.records[key]
+	if len(m) == 0 {
+		return nil
+	}
+	doms := make([]int, 0, len(m))
+	for d, rec := range m { //lint:maporder commutative — collected domains are sorted below before anything observes them
+		if rec.expires > now {
+			doms = append(doms, int(d))
+		}
+	}
+	sort.Ints(doms)
+	out := make([]proto.DHTProvider, 0, len(doms))
+	for _, d := range doms {
+		out = append(out, m[proto.DomainID(d)].val)
+	}
+	return out
+}
+
+// Expire drops every record past its deadline and empty keys, returning
+// how many records were dropped.
+func (s *Store) Expire(now sim.Time) int {
+	dropped := 0
+	for key, m := range s.records { //lint:maporder commutative — each iteration touches only its own key's entry map and a commutative counter
+		for d, rec := range m {
+			if rec.expires <= now {
+				delete(m, d)
+				dropped++
+			}
+		}
+		if len(m) == 0 {
+			delete(s.records, key)
+		}
+	}
+	return dropped
+}
+
+// Len returns the number of live keys held (some records under them may
+// be expired but not yet swept).
+func (s *Store) Len() int { return len(s.records) }
+
+// Records counts every stored record.
+func (s *Store) Records() int {
+	n := 0
+	for _, m := range s.records {
+		n += len(m)
+	}
+	return n
+}

@@ -1,0 +1,129 @@
+package dht
+
+import (
+	"sort"
+
+	"repro/internal/env"
+	"repro/internal/proto"
+)
+
+// Table is a Kademlia routing table: one bucket per distance bit, each
+// holding up to k contacts ordered least- to most-recently seen. The
+// table itself never evicts a live contact — when a bucket is full,
+// Update surfaces the least-recently-seen entry so the owning Node can
+// liveness-ping it and decide (Kademlia's "old contacts stay unless
+// proven dead" rule, which biases the table toward long-lived peers).
+type Table struct {
+	selfID  env.NodeID
+	self    proto.DHTKey
+	k       int
+	buckets [KeyBits][]env.NodeID // index 0 = closest half-space; front = oldest
+	keys    map[env.NodeID]proto.DHTKey
+}
+
+// NewTable creates a table for the given node with bucket capacity k.
+func NewTable(self env.NodeID, k int) *Table {
+	return &Table{
+		selfID: self,
+		self:   NodeKey(self),
+		k:      k,
+		keys:   make(map[env.NodeID]proto.DHTKey),
+	}
+}
+
+// SelfKey returns the owner's key-space ID.
+func (t *Table) SelfKey() proto.DHTKey { return t.self }
+
+// Len returns the number of contacts held.
+func (t *Table) Len() int { return len(t.keys) }
+
+// Contains reports whether the node is in the table.
+func (t *Table) Contains(node env.NodeID) bool {
+	_, ok := t.keys[node]
+	return ok
+}
+
+// Update records fresh evidence that node is alive. A known contact
+// moves to most-recently-seen; an unknown contact is inserted when its
+// bucket has room. When the bucket is full the unknown contact is NOT
+// inserted: Update returns the least-recently-seen occupant and
+// full=true, and the caller arbitrates by pinging it (Remove on
+// timeout, Update on ack).
+func (t *Table) Update(node env.NodeID) (evict env.NodeID, full bool) {
+	if node == t.selfID || node == env.NoNode {
+		return env.NoNode, false
+	}
+	key, known := t.keys[node]
+	if !known {
+		key = NodeKey(node)
+	}
+	i := BucketIndex(t.self, key)
+	if i < 0 {
+		return env.NoNode, false
+	}
+	b := t.buckets[i]
+	if known {
+		for j, id := range b {
+			if id == node {
+				t.buckets[i] = append(append(b[:j:j], b[j+1:]...), node)
+				return env.NoNode, false
+			}
+		}
+	}
+	if len(b) < t.k {
+		t.buckets[i] = append(b, node)
+		t.keys[node] = key
+		return env.NoNode, false
+	}
+	return b[0], true
+}
+
+// Remove drops a contact (liveness ping timed out, RPC failed).
+func (t *Table) Remove(node env.NodeID) {
+	key, ok := t.keys[node]
+	if !ok {
+		return
+	}
+	i := BucketIndex(t.self, key)
+	b := t.buckets[i]
+	for j, id := range b {
+		if id == node {
+			t.buckets[i] = append(b[:j:j], b[j+1:]...)
+			break
+		}
+	}
+	delete(t.keys, node)
+}
+
+// Closest returns up to n contacts ordered by XOR distance to target
+// (NodeID breaks exact ties, which cannot occur between distinct nodes
+// but keeps the sort total).
+func (t *Table) Closest(target proto.DHTKey, n int) []env.NodeID {
+	out := make([]env.NodeID, 0, len(t.keys))
+	for i := range t.buckets {
+		out = append(out, t.buckets[i]...)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		ka, kb := t.keys[out[a]], t.keys[out[b]]
+		if ka == kb {
+			return out[a] < out[b]
+		}
+		return CloserTo(target, ka, kb)
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// BucketSizes returns the occupancy of every non-empty bucket as
+// (index, size) pairs in index order — the /dht diagnostics payload.
+func (t *Table) BucketSizes() [][2]int {
+	var out [][2]int
+	for i := range t.buckets {
+		if n := len(t.buckets[i]); n > 0 {
+			out = append(out, [2]int{i, n})
+		}
+	}
+	return out
+}

@@ -1,0 +1,192 @@
+package experiments
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/env"
+	"repro/internal/media"
+	"repro/internal/proto"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// E12DiscoveryBackends compares the two inter-domain discovery backends
+// on the same fleet under churn: the paper's lazy Bloom-summary gossip
+// (§4.4) against the Kademlia-style structured overlay (internal/dht).
+// The fleet is ≥1000 peers (full mode) forming many domains; churn
+// crashes individual peers and annihilates whole domains. Gossip never
+// forgets a dead domain (its summary stays cached at the last version),
+// so probes for objects that died with their domain get redirected into
+// the void and resolve only when the submitter's 2·deadline+10s
+// watchdog gives up; the DHT's provider records expire by TTL, so the
+// same probes resolve to a prompt local rejection. The price is lookup
+// latency (gossip answers from cache in zero time) and control traffic.
+func E12DiscoveryBackends(opt Options) Result {
+	res := Result{
+		ID:    "E12",
+		Title: "Discovery backends under churn: gossip vs DHT",
+		Claim: "structured lookups trade per-query latency for exactness and bounded staleness",
+	}
+	res.Table.Header = []string{"backend", "peers", "domains", "hit_rate", "stale_timeout_rate", "stale_redirects", "lookup_p99_ms", "ctrl_msgs_per_peer"}
+
+	n, kills, domKills, probes := 1024, 48, 3, 96
+	if opt.Quick {
+		n, kills, domKills, probes = 96, 6, 1, 12
+	}
+	for _, backend := range []string{core.DiscoveryGossip, core.DiscoveryDHT} {
+		r := discoveryChurnRun(opt.Seed, backend, n, kills, domKills, probes)
+		res.Table.AddRow(backend, r.peers, r.domains, r.hitRate, r.staleTimeout, r.staleRedirects, r.lookupP99ms, r.ctrlMsgsPerPeer)
+	}
+	res.Notes = append(res.Notes,
+		"stale_timeout_rate: probes for whole-domain-dead objects still unresolved 12s after submission — redirected at a dead RM and waiting for the submitter's watchdog",
+		"ctrl_msgs_per_peer: control-plane messages per peer over a 30s idle window (no workload, no churn)")
+	return res
+}
+
+type discoveryChurnResult struct {
+	peers, domains  int
+	hitRate         float64
+	staleTimeout    float64
+	staleRedirects  int
+	lookupP99ms     float64
+	ctrlMsgsPerPeer float64
+}
+
+// discoveryChurnRun executes one backend's leg of E12. Phases: build the
+// fleet, converge, measure idle control traffic, churn (individual
+// crashes + whole-domain kills), let records age past the DHT TTL, then
+// probe cross-domain objects that are still alive (hit rate) and objects
+// that died with their whole domain (staleness).
+func discoveryChurnRun(seed uint64, backend string, n, kills, domKills, probes int) discoveryChurnResult {
+	h := fnv.New64a()
+	h.Write([]byte(backend))
+	cfg := core.DefaultConfig()
+	cfg.Discovery = backend
+	cfg.MaxDomainPeers = 16
+	cat := cluster.StandardCatalog()
+	infos := make([]proto.PeerInfo, n)
+	for i := range infos {
+		infos[i] = strongInfo(cat)
+		f := cat.Sources[i%len(cat.Sources)]
+		infos[i].Objects = []media.Object{{
+			Name:   fmt.Sprintf("e12-%d", i),
+			Format: f,
+			Bytes:  int64(20 * float64(f.BitrateKbps) * 1000 / 8),
+		}}
+	}
+	c := cluster.Build(cfg, defaultNet(), rng.Derive(seed, h.Sum64()), infos, 20*sim.Millisecond)
+	sk := stats.NewSet(0, 0, 0)
+	c.Events.AttachSketches(sk)
+	c.RunUntil(c.Eng.Now() + 45*sim.Second)
+
+	// Idle window: every message here is discovery/membership upkeep.
+	pre := c.Net.Stats().Sent
+	c.RunUntil(c.Eng.Now() + 30*sim.Second)
+	ctrlMsgs := float64(c.Net.Stats().Sent-pre) / float64(n)
+
+	// Churn: domKills whole domains die at once (their RM included), and
+	// kills individual peers crash spread across a 30s window.
+	r := rng.New(rng.Derive(seed, 0xe12))
+	var deadObjects []string
+	killed := make(map[env.NodeID]bool)
+	rms := c.RMs()
+	for i := 0; i < domKills && i < len(rms); i++ {
+		rm := rms[len(rms)-1-i] // late domains: founder's domain survives
+		dom := c.Peer(rm).Domain()
+		for _, id := range c.IDs() {
+			if c.Net.Alive(id) && c.Peer(id).Domain() == dom {
+				c.Crash(c.Eng.Now(), id)
+				killed[id] = true
+				for _, o := range infos[int(id)].Objects {
+					deadObjects = append(deadObjects, o.Name)
+				}
+			}
+		}
+	}
+	for i := 0; i < kills; i++ {
+		v := env.NodeID(r.Intn(n))
+		if killed[v] || !c.Net.Alive(v) {
+			continue
+		}
+		killed[v] = true
+		c.Crash(c.Eng.Now()+sim.Time(r.Intn(30))*sim.Second, v)
+	}
+	// Age past the DHT record TTL (30s) and heartbeat-based member
+	// removal, so both backends have had every chance to forget the dead.
+	c.RunUntil(c.Eng.Now() + 70*sim.Second)
+
+	// Phase A: probes for objects on live peers in other domains.
+	alive := func(id env.NodeID) bool { return c.Net.Alive(id) }
+	spec := func(id string, origin env.NodeID, object string) proto.TaskSpec {
+		return proto.TaskSpec{
+			ID:         id,
+			Origin:     origin,
+			ObjectName: object,
+			Constraint: media.Constraint{
+				Codecs:         []media.Codec{media.MPEG4},
+				MaxWidth:       640,
+				MaxHeight:      480,
+				MaxBitrateKbps: 64,
+			},
+			DeadlineMicros: 5_000_000,
+			DurationSec:    2,
+			ChunkSec:       1,
+		}
+	}
+	pick := func() (env.NodeID, env.NodeID) { // origin, holder in distinct domains
+		for {
+			o, t := env.NodeID(r.Intn(n)), env.NodeID(r.Intn(n))
+			if !alive(o) || !alive(t) || c.Peer(o).Domain() == c.Peer(t).Domain() {
+				continue
+			}
+			return o, t
+		}
+	}
+	ev0 := c.Events.Snapshot()
+	for i := 0; i < probes; i++ {
+		origin, holder := pick()
+		c.Submit(c.Eng.Now()+sim.Time(i)*200*sim.Millisecond, origin,
+			spec(fmt.Sprintf("hit-%d", i), origin, fmt.Sprintf("e12-%d", holder)))
+	}
+	c.RunUntil(c.Eng.Now() + sim.Time(probes)*200*sim.Millisecond + 30*sim.Second)
+	ev1 := c.Events.Snapshot()
+
+	// Phase B: probes for objects that died with their whole domain. A
+	// probe that resolves promptly (admit or direct rejection) shows up
+	// in the 12s snapshot; one redirected at a dead RM hangs until the
+	// submitter's watchdog (2·deadline+10s = 20s here) converts it to a
+	// late local rejection, so "unresolved at 12s" isolates exactly the
+	// probes lost to a stale redirect.
+	for i := 0; i < probes; i++ {
+		var origin env.NodeID
+		for {
+			origin = env.NodeID(r.Intn(n))
+			if alive(origin) {
+				break
+			}
+		}
+		object := deadObjects[r.Intn(len(deadObjects))]
+		c.Submit(c.Eng.Now()+sim.Time(i)*200*sim.Millisecond, origin,
+			spec(fmt.Sprintf("stale-%d", i), origin, object))
+	}
+	c.RunUntil(c.Eng.Now() + sim.Time(probes)*200*sim.Millisecond + 12*sim.Second)
+	evMid := c.Events.Snapshot()
+	c.RunUntil(c.Eng.Now() + 28*sim.Second) // drain the watchdogs
+	ev2 := c.Events.Snapshot()
+
+	resolvedFast := (evMid.Admitted - ev1.Admitted) + (evMid.Rejected - ev1.Rejected)
+	out := discoveryChurnResult{
+		peers:           n,
+		domains:         len(c.RMs()),
+		hitRate:         float64(ev1.Admitted-ev0.Admitted) / float64(probes),
+		staleTimeout:    float64(probes-resolvedFast) / float64(probes),
+		staleRedirects:  ev2.Redirected - ev1.Redirected,
+		lookupP99ms:     sk.Quantile(stats.SketchDHTLookup, int64(c.Eng.Now()), 0.99) * 1000,
+		ctrlMsgsPerPeer: ctrlMsgs,
+	}
+	return out
+}

@@ -153,6 +153,7 @@ func Suite() []NamedRunner {
 		{"E9", E9Adaptation},
 		{"E10", E10UpdatePeriod},
 		{"E11", E11Decentralization},
+		{"E12", E12DiscoveryBackends},
 		{"A1", A1ObjectiveAblation},
 		{"A2", A2BackupSync},
 		{"A3", A3Preemption},

@@ -41,7 +41,7 @@ var Analyzer = &analysis.Analyzer{
 }
 
 // deterministic lists the package-path suffixes the analyzer applies to.
-var deterministic = "internal/core,internal/sim,internal/sched,internal/graph,internal/experiments,internal/scenario"
+var deterministic = "internal/core,internal/sim,internal/sched,internal/graph,internal/experiments,internal/scenario,internal/dht"
 
 func init() {
 	Analyzer.Flags.StringVar(&deterministic, "deterministic", deterministic,

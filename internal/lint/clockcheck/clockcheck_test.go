@@ -39,3 +39,16 @@ func TestScenarioPackage(t *testing.T) {
 		Deps: deps,
 	})
 }
+
+// TestDHTPackage pins internal/dht in the deterministic set: the
+// structured overlay runs on both the sim scheduler and the live
+// runtime's actor loop, so its only clock and randomness are the ones
+// the env.Context injects. The fixture proves the analyzer fires when
+// the package path ends in internal/dht.
+func TestDHTPackage(t *testing.T) {
+	linttest.Run(t, clockcheck.Analyzer, linttest.Target{
+		Dir:  "testdata/src/detpkg",
+		Path: "p2plint.example/internal/dht",
+		Deps: deps,
+	})
+}

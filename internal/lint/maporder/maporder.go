@@ -79,7 +79,7 @@ var Analyzer = &analysis.Analyzer{
 // critical lists the determinism-critical package-path suffixes — the
 // marker set shared with clockcheck, plus the replay plane whose
 // divergence reports must themselves be reproducible.
-var critical = "internal/core,internal/sim,internal/graph,internal/sched,internal/netsim,internal/replay,internal/scenario"
+var critical = "internal/core,internal/sim,internal/graph,internal/sched,internal/netsim,internal/replay,internal/scenario,internal/dht"
 
 func init() {
 	Analyzer.Flags.StringVar(&critical, "critical", critical,

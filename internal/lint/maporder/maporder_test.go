@@ -25,3 +25,14 @@ func TestMapOrderScenarioPath(t *testing.T) {
 		Path: "p2plint.example/internal/scenario",
 	})
 }
+
+// TestMapOrderDHTPath proves internal/dht sits in the
+// determinism-critical marker set: k-bucket and store iteration feed
+// RPC fan-out, so an order-sensitive range over a routing map would
+// break equal-seed byte-identical runs.
+func TestMapOrderDHTPath(t *testing.T) {
+	linttest.Run(t, maporder.Analyzer, linttest.Target{
+		Dir:  "testdata/src/mappkg",
+		Path: "p2plint.example/internal/dht",
+	})
+}

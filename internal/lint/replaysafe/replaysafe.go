@@ -50,7 +50,7 @@ var Analyzer = &analysis.Analyzer{
 }
 
 // recorded lists the package-path suffixes the analyzer applies to.
-var recorded = "internal/live"
+var recorded = "internal/live,internal/dht"
 
 func init() {
 	Analyzer.Flags.StringVar(&recorded, "recorded", recorded,

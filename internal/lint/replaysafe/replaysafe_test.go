@@ -26,3 +26,15 @@ func TestUnscopedPackageIgnored(t *testing.T) {
 		Deps: deps,
 	})
 }
+
+// TestDHTRecordedPath proves internal/dht sits in the recorded set:
+// Node.HandleMessage carries the replay:recorded marker, so a wall
+// clock read creeping into DHT message handling (instead of the
+// injected env.Context clock) is flagged.
+func TestDHTRecordedPath(t *testing.T) {
+	linttest.Run(t, replaysafe.Analyzer, linttest.Target{
+		Dir:  "testdata/src/recpkg",
+		Path: "p2plint.example/internal/dht",
+		Deps: deps,
+	})
+}

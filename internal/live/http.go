@@ -42,6 +42,9 @@ type DiagSources struct {
 	Decisions func(io.Writer) error
 	// Trace writes the /trace JSONL document (the node's span events).
 	Trace func(io.Writer) error
+	// DHT writes the /dht JSON document (per-hosted-peer discovery
+	// backend snapshots: routing table, store, directory cache).
+	DHT func(io.Writer) error
 }
 
 // ServeDiagnostics starts the diagnostics endpoint on addr ("host:port",
@@ -54,6 +57,7 @@ type DiagSources struct {
 //	/sketches        windowed quantile sketches as JSON (mergeable)
 //	/decisions       the RM decision audit ring as JSON
 //	/trace           span events as Chrome trace-event JSONL
+//	/dht             discovery backend snapshots per hosted peer
 //	/faults          live fault injection: GET lists rules+stats,
 //	                 POST sets a rule (?from=&to=&drop=&dup=&delay=&sever=),
 //	                 DELETE heals one pair or, without params, all
@@ -112,6 +116,14 @@ func (rt *Runtime) ServeDiagnosticsOpts(addr string, reg *metrics.Registry, src 
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		if src.Trace != nil {
 			src.Trace(w)
+		}
+	})
+	mux.HandleFunc("/dht", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if src.DHT != nil {
+			src.DHT(w)
+		} else {
+			w.Write([]byte("{\"nodes\":[]}\n"))
 		}
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {

@@ -56,6 +56,11 @@ const (
 	kindSessionEnd       = 0x12
 	kindGossipDigest     = 0x13
 	kindGossipSummaries  = 0x14
+	kindFindNode         = 0x15
+	kindFindValue        = 0x16
+	kindStore            = 0x17
+	kindNodes            = 0x18
+	kindProviders        = 0x19
 )
 
 // AppendMessage appends the v2 encoding of m to b and reports whether
@@ -163,6 +168,32 @@ func AppendMessage(b []byte, m env.Message) ([]byte, bool) {
 		for _, d := range v.Want {
 			b = appendNum(b, int(d))
 		}
+	case FindNode:
+		b = append(b, kindFindNode)
+		b = binary.AppendUvarint(b, v.RPC)
+		b = append(b, v.Target[:]...)
+		b = appendTC(b, v.TC)
+	case FindValue:
+		b = append(b, kindFindValue)
+		b = binary.AppendUvarint(b, v.RPC)
+		b = append(b, v.Key[:]...)
+		b = appendTC(b, v.TC)
+	case Store:
+		b = append(b, kindStore)
+		b = append(b, v.Key[:]...)
+		b = appendProvider(b, v.Provider)
+	case Nodes:
+		b = append(b, kindNodes)
+		b = binary.AppendUvarint(b, v.RPC)
+		b = appendNodeIDs(b, v.IDs)
+	case Providers:
+		b = append(b, kindProviders)
+		b = binary.AppendUvarint(b, v.RPC)
+		b = binary.AppendUvarint(b, uint64(len(v.Values)))
+		for _, p := range v.Values {
+			b = appendProvider(b, p)
+		}
+		b = appendNodeIDs(b, v.IDs)
 	default:
 		return b, false
 	}
@@ -262,6 +293,24 @@ func DecodeMessage(b []byte) (env.Message, error) {
 			}
 		}
 		m = g
+	case kindFindNode:
+		m = FindNode{RPC: d.uvarint("rpc"), Target: d.dhtKey(), TC: d.tc()}
+	case kindFindValue:
+		m = FindValue{RPC: d.uvarint("rpc"), Key: d.dhtKey(), TC: d.tc()}
+	case kindStore:
+		m = Store{Key: d.dhtKey(), Provider: d.provider()}
+	case kindNodes:
+		m = Nodes{RPC: d.uvarint("rpc"), IDs: d.nodeIDs()}
+	case kindProviders:
+		p := Providers{RPC: d.uvarint("rpc")}
+		if n := d.count("providers"); n > 0 {
+			p.Values = make([]DHTProvider, n)
+			for i := range p.Values {
+				p.Values[i] = d.provider()
+			}
+		}
+		p.IDs = d.nodeIDs()
+		m = p
 	default:
 		return nil, fmt.Errorf("proto: codec: unknown message kind %#x", b[0])
 	}
@@ -436,6 +485,13 @@ func appendDomainSummary(b []byte, s DomainSummary) []byte {
 	b = appendBlob(b, s.ServiceBloom)
 	b = binary.AppendUvarint(b, s.BloomM)
 	return binary.AppendUvarint(b, uint64(s.BloomK))
+}
+
+func appendProvider(b []byte, p DHTProvider) []byte {
+	b = appendNum(b, int(p.Domain))
+	b = appendNum(b, int(p.RM))
+	b = appendNum(b, p.NumPeers)
+	return appendF64(b, p.AvgUtil)
 }
 
 // appendReport encodes a profiler snapshot. Both maps are emitted in
@@ -780,6 +836,27 @@ func (d *wireDecoder) report() profiler.Report {
 		}
 	}
 	return r
+}
+
+// dhtKey reads the fixed 20-byte key.
+func (d *wireDecoder) dhtKey() DHTKey {
+	var k DHTKey
+	if len(d.b) < len(k) {
+		d.fail("dht key")
+		return k
+	}
+	copy(k[:], d.b)
+	d.b = d.b[len(k):]
+	return k
+}
+
+func (d *wireDecoder) provider() DHTProvider {
+	return DHTProvider{
+		Domain:   DomainID(d.num("provider domain")),
+		RM:       env.NodeID(d.num("provider rm")),
+		NumPeers: d.num("provider peers"),
+		AvgUtil:  d.f64("provider util"),
+	}
 }
 
 func (d *wireDecoder) versions() map[DomainID]uint64 {

@@ -119,7 +119,31 @@ func codecSamples() []env.Message {
 			}},
 			Want: []DomainID{3, 7},
 		},
+		FindNode{RPC: 1 << 50, Target: sampleKey(0x11), TC: TraceContext{Trace: 7, Parent: 2}},
+		FindNode{},
+		FindValue{RPC: 99, Key: sampleKey(0xfe), TC: TraceContext{Trace: 1}},
+		Store{Key: sampleKey(0x42), Provider: DHTProvider{Domain: 3, RM: 14, NumPeers: 8, AvgUtil: 0.625}},
+		Nodes{RPC: 5, IDs: []env.NodeID{9, 0, 3}},
+		Nodes{RPC: 6},
+		Providers{
+			RPC: 7,
+			Values: []DHTProvider{
+				{Domain: 1, RM: 4, NumPeers: 2, AvgUtil: 0.25},
+				{Domain: 9, RM: 9, NumPeers: 16, AvgUtil: 1},
+			},
+			IDs: []env.NodeID{2, 4},
+		},
+		Providers{RPC: 8},
 	}
+}
+
+// sampleKey fills a DHTKey with a recognizable byte pattern.
+func sampleKey(fill byte) DHTKey {
+	var k DHTKey
+	for i := range k {
+		k[i] = fill ^ byte(i)
+	}
+	return k
 }
 
 func TestCodecRoundTrip(t *testing.T) {
@@ -200,6 +224,10 @@ func TestCodecHostileCounts(t *testing.T) {
 		"bad flag":     {kindComposeAck, 0, 0, 0, 2, 0},
 		"empty":        {},
 		"unknown kind": {0x7f},
+		// FindNode with RPC 0 and only 3 of the 20 key bytes.
+		"short dht key": {kindFindNode, 0, 0xaa, 0xbb, 0xcc},
+		// Providers with RPC 0 and a 2^60 provider count.
+		"provider count": {kindProviders, 0, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x10},
 	}
 	for name, b := range cases {
 		if _, err := DecodeMessage(b); err == nil {

@@ -371,6 +371,65 @@ type GossipSummaries struct {
 	Want []DomainID
 }
 
+// --- Structured discovery (DHT) ---
+
+// DHTKey is a 160-bit key in the XOR metric space. Node IDs are derived
+// locally and deterministically from env.NodeID (internal/dht.NodeKey),
+// so contacts travel as bare NodeIDs; only lookup targets and provider
+// keys appear on the wire.
+type DHTKey [20]byte
+
+// DHTProvider is one provider record: a domain that can serve a key (an
+// object or service catalog entry), carrying the redirect target plus
+// the load signals the RM uses to rank candidates — the structured
+// counterpart of a DomainSummary row.
+type DHTProvider struct {
+	Domain   DomainID
+	RM       env.NodeID
+	NumPeers int
+	AvgUtil  float64
+}
+
+// FindNode asks a DHT node for its closest known contacts to Target.
+// RPC matches the response to the outstanding request; TC propagates the
+// causal trace of the task (if any) that triggered the lookup.
+type FindNode struct {
+	RPC    uint64
+	Target DHTKey
+	TC     TraceContext
+}
+
+// FindValue asks for provider records under Key, falling back to the
+// closest contacts when the receiver has none (classic Kademlia
+// either/or, collapsed into the Providers response).
+type FindValue struct {
+	RPC uint64
+	Key DHTKey
+	TC  TraceContext
+}
+
+// Store asks the receiver to hold a provider record under Key until the
+// receiver-side TTL expires; publishers refresh by republishing.
+type Store struct {
+	Key      DHTKey
+	Provider DHTProvider
+}
+
+// Nodes answers a FindNode with the receiver's closest contacts.
+type Nodes struct {
+	RPC uint64
+	IDs []env.NodeID
+}
+
+// Providers answers a FindValue: any provider records held under the
+// key plus the closest contacts, so the iterative lookup can both
+// collect values and keep converging.
+type Providers struct {
+	RPC    uint64
+	Values []DHTProvider
+	IDs    []env.NodeID
+}
+
 // RegisterMessages registers every message type with encoding/gob for the
 // live TCP transport. Call once per process.
 func RegisterMessages() {
@@ -394,6 +453,11 @@ func RegisterMessages() {
 	gob.Register(SessionEnd{})
 	gob.Register(GossipDigest{})
 	gob.Register(GossipSummaries{})
+	gob.Register(FindNode{})
+	gob.Register(FindValue{})
+	gob.Register(Store{})
+	gob.Register(Nodes{})
+	gob.Register(Providers{})
 }
 
 // String implements fmt.Stringer for log readability.

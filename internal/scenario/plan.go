@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/media"
 	"repro/internal/proto"
 	"repro/internal/rng"
 	"repro/internal/sim"
@@ -46,6 +47,7 @@ const (
 	ActLoad
 	ActPartition
 	ActHealPairs
+	ActCatalog
 )
 
 // String names an action kind for traces and errors.
@@ -73,6 +75,8 @@ func (k ActionKind) String() string {
 		return "partition"
 	case ActHealPairs:
 		return "heal-pairs"
+	case ActCatalog:
+		return "catalog"
 	default:
 		return "unknown"
 	}
@@ -97,6 +101,8 @@ type Action struct {
 	Frac   float64  // ActLoad background-load fraction
 	Groups [][]int  // ActPartition
 	Pairs  [][2]int // ActHealPairs
+	Op     string   // ActCatalog: "add" or "rm"
+	Name   string   // ActCatalog object name
 }
 
 // NodeSpec is one planned peer: nodes are indexed 0..n-1 in start
@@ -115,6 +121,23 @@ type Plan struct {
 	Catalog cluster.Catalog
 	Nodes   []NodeSpec
 	Actions []Action // sorted by At; equal times keep expansion order
+}
+
+// CatalogObject materializes the object a `catalog X add O` command
+// installs. Format, hash and size derive from the name alone, so both
+// runtimes (and every part of a multi-process fleet) build an identical
+// object without coordinating.
+func (p *Plan) CatalogObject(name string) media.Object {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	hv := h.Sum64()
+	f := p.Catalog.Sources[hv%uint64(len(p.Catalog.Sources))]
+	return media.Object{
+		Name:   name,
+		Format: f,
+		Hash:   rng.Derive(hv, uint64(len(name))),
+		Bytes:  int64(20 * float64(f.BitrateKbps) * 1000 / 8),
+	}
 }
 
 // stream derives the labeled rng substream of a run seed. Distinct
@@ -524,6 +547,7 @@ type cmd struct {
 	rate      float64  // cmdRate
 	spikeN    int      // cmdSpike
 	spikeOver sim.Time // cmdSpike
+	op, name  string   // ActCatalog
 }
 
 // expand maps a parsed command to plan actions at time at.
@@ -535,6 +559,8 @@ func (c *cmd) expand(at sim.Time) []Action {
 		return []Action{{At: at, Kind: ActFault, A: c.a, B: c.b, Fault: c.fault}}
 	case ActLoad:
 		return []Action{{At: at, Kind: ActLoad, A: c.a, Frac: c.frac}}
+	case ActCatalog:
+		return []Action{{At: at, Kind: ActCatalog, A: c.a, Op: c.op, Name: c.name}}
 	default:
 		return []Action{{At: at, Kind: c.act, A: c.a, B: c.b}}
 	}
@@ -553,6 +579,8 @@ func (c *cmd) expand(at sim.Time) []Action {
 //	partition G|G    sever across explicit groups, e.g. 0,1|2,3
 //	load X F         set X's background load to F of its speed
 //	spike N over W   N extra task arrivals within W of the event time
+//	catalog X add O  add object O to X's catalog (deterministic content)
+//	catalog X rm O   remove object O from X's catalog
 //
 // Targets are node indexes, `rm` (the current resource manager,
 // resolved at fire time) or `*` (any, in fault rules).
@@ -689,6 +717,18 @@ func parseCommand(ev EventSpec, fleetSize int) (*cmd, error) {
 		if err != nil || c.frac < 0 {
 			return nil, bad("bad load fraction %q", f[2])
 		}
+	case "catalog":
+		if err = argc(4); err != nil {
+			return nil, err
+		}
+		c.act = ActCatalog
+		if c.a, err = target(f[1], false); err != nil {
+			return nil, err
+		}
+		if f[2] != "add" && f[2] != "rm" {
+			return nil, bad("want 'catalog X add O' or 'catalog X rm O'")
+		}
+		c.op, c.name = f[2], f[3]
 	case "spike":
 		if err = argc(4); err != nil {
 			return nil, err

@@ -66,6 +66,9 @@ func RunLive(p *Plan, opts LiveOptions) (*Report, error) {
 	}
 
 	cfg := core.DefaultConfig()
+	if p.Spec.Discovery != "" {
+		cfg.Discovery = p.Spec.Discovery
+	}
 	if opts.Hooks.Nanotime != nil {
 		cfg.Nanotime = opts.Hooks.Nanotime
 	}
@@ -232,6 +235,20 @@ func (h *liveHost) apply(a *Action) {
 		}
 		if p := h.peers[int(id)]; p != nil {
 			h.rt.Call(id, func() { p.SetBackgroundLoad(p.Info().SpeedWU * a.Frac) })
+		}
+	case ActCatalog:
+		id, ok := h.id(a.A)
+		if !ok || !h.owns(int(id)) {
+			return
+		}
+		if p := h.peers[int(id)]; p != nil {
+			h.rt.Call(id, func() {
+				if a.Op == "add" {
+					p.AddObject(h.plan.CatalogObject(a.Name))
+				} else {
+					p.RemoveObject(a.Name)
+				}
+			})
 		}
 	case ActPartition:
 		for _, pair := range CrossPairs(a.Groups) {

@@ -22,6 +22,9 @@ func RunSim(p *Plan) *Report { return RunSimTraced(p, nil) }
 func RunSimTraced(p *Plan, tr *trace.Tracer) *Report {
 	s := p.Spec
 	cfg := core.DefaultConfig()
+	if s.Discovery != "" {
+		cfg.Discovery = s.Discovery
+	}
 	netCfg := netsim.Config{
 		Latency:    netsim.UniformLatency(s.Net.Latency),
 		JitterFrac: s.Net.Jitter,
@@ -139,6 +142,15 @@ func (h *simHost) apply(a *Action) {
 		if id, ok := h.id(a.A); ok {
 			pr := h.c.Peer(id)
 			pr.SetBackgroundLoad(pr.Info().SpeedWU * a.Frac)
+		}
+	case ActCatalog:
+		if id, ok := h.id(a.A); ok {
+			pr := h.c.Peer(id)
+			if a.Op == "add" {
+				pr.AddObject(h.p.CatalogObject(a.Name))
+			} else {
+				pr.RemoveObject(a.Name)
+			}
 		}
 	case ActPartition:
 		for _, pair := range CrossPairs(a.Groups) {

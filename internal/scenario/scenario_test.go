@@ -231,6 +231,41 @@ func TestRunSimByteIdentical(t *testing.T) {
 	}
 }
 
+// TestRunSimByteIdenticalDHT extends the determinism gate to the DHT
+// discovery backend: iterative lookups, RPC timeouts and republish
+// timers must all draw from the engine's deterministic streams, so
+// equal-seed runs stay byte-identical down to the trace.
+func TestRunSimByteIdenticalDHT(t *testing.T) {
+	run := func() ([]byte, []byte) {
+		src := strings.Replace(basicScenario, "seed: 7", "seed: 7\ndiscovery: dht", 1)
+		s := mustParse(t, src)
+		// The crash-rm + failover assertions stay: RM takeover must
+		// behave identically when discovery rides the structured overlay.
+		p, err := Expand(s, s.Seed)
+		if err != nil {
+			t.Fatalf("Expand: %v", err)
+		}
+		tr := trace.New()
+		rep := RunSimTraced(p, tr)
+		var trb, repb bytes.Buffer
+		if err := tr.WriteJSONL(&trb); err != nil {
+			t.Fatalf("WriteJSONL: %v", err)
+		}
+		if err := rep.WriteJSON(&repb); err != nil {
+			t.Fatalf("WriteJSON: %v", err)
+		}
+		return trb.Bytes(), repb.Bytes()
+	}
+	tr1, rep1 := run()
+	tr2, rep2 := run()
+	if !bytes.Equal(tr1, tr2) {
+		t.Error("equal-seed DHT scenario runs produced different traces")
+	}
+	if !bytes.Equal(rep1, rep2) {
+		t.Errorf("equal-seed DHT scenario runs produced different reports:\n%s\nvs\n%s", rep1, rep2)
+	}
+}
+
 // TestRunLiveSameFile drives the live goroutine runtime from the very
 // same scenario text the sim test uses (pace-compressed), proving one
 // file runs unmodified on both runtimes.

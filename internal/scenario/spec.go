@@ -14,12 +14,15 @@ type Spec struct {
 	Name     string
 	Seed     uint64 // default seed; CLIs may override
 	Duration sim.Time
-	Net      NetSpec
-	Fleet    FleetSpec
-	Workload WorkloadSpec
-	Events   []EventSpec
-	Stress   []StressSpec
-	Asserts  []AssertSpec
+	// Discovery selects the inter-domain discovery backend ("gossip" or
+	// "dht"); empty uses the core default (gossip). CLIs may override.
+	Discovery string
+	Net       NetSpec
+	Fleet     FleetSpec
+	Workload  WorkloadSpec
+	Events    []EventSpec
+	Stress    []StressSpec
+	Asserts   []AssertSpec
 }
 
 // NetSpec models the simulated network (ignored by the live runtime,
@@ -142,6 +145,11 @@ func Parse(src []byte) (*Spec, error) {
 			s.Seed, err = wantUint(val, key)
 		case "duration":
 			s.Duration, err = wantDur(val, key)
+		case "discovery":
+			s.Discovery, err = wantScalar(val, key)
+			if err == nil && s.Discovery != "gossip" && s.Discovery != "dht" {
+				return nil, yerrf(val.line, "discovery must be \"gossip\" or \"dht\", got %q", s.Discovery)
+			}
 		case "net":
 			err = parseNet(val, &s.Net)
 		case "fleet":

@@ -107,6 +107,7 @@ const (
 	SketchFailover     = "failover_seconds"
 	SketchQueueOcc     = "supervisor_queue_occupancy"
 	SketchBatchFrames  = "live_batch_frames"
+	SketchDHTLookup    = "dht_lookup_seconds"
 )
 
 // NewSet creates an empty set; zero arguments select the defaults.

@@ -3,9 +3,11 @@ package p2prm
 import (
 	"bytes"
 	"encoding/gob"
+	"encoding/json"
 	"fmt"
 	"io"
 	"path/filepath"
+	"sort"
 	"sync"
 	"time"
 
@@ -425,6 +427,41 @@ func (l *Live) syncTraceMetrics() {
 // non-nil); the same registry backs the /metrics endpoint.
 func (l *Live) Metrics() *metrics.Registry { return l.reg }
 
+// DiscoveryDiagJSON is one hosted peer's discovery-backend snapshot as
+// served by the /dht endpoint.
+type DiscoveryDiagJSON struct {
+	ID   NodeID             `json:"id"`
+	Diag core.DiscoveryDiag `json:"diag"`
+}
+
+// DiscoveryDiags snapshots every hosted peer's discovery backend in ID
+// order. Each snapshot is taken on the peer's own loop (rt.Call), so the
+// view is internally consistent per peer. The same data backs /dht.
+func (l *Live) DiscoveryDiags() []DiscoveryDiagJSON {
+	ids := make([]NodeID, 0, len(l.peers))
+	for id := range l.peers {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]DiscoveryDiagJSON, 0, len(ids))
+	for _, id := range ids {
+		p := l.peers[id]
+		var d core.DiscoveryDiag
+		l.rt.Call(id, func() { d = p.DiscoveryDiag() })
+		out = append(out, DiscoveryDiagJSON{ID: id, Diag: d})
+	}
+	return out
+}
+
+// writeDiscoveryDiags renders the /dht document.
+func (l *Live) writeDiscoveryDiags(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Nodes []DiscoveryDiagJSON `json:"nodes"`
+	}{l.DiscoveryDiags()})
+}
+
 // ServeDiagnostics starts the HTTP diagnostics endpoint (/metrics,
 // /metrics.json, /healthz, /sketches, /decisions, /trace,
 // /debug/pprof) on addr and returns the bound address. It is shut down
@@ -436,6 +473,7 @@ func (l *Live) ServeDiagnostics(addr string) (string, error) {
 			return l.sk.WriteJSON(w, l.rt.NowMicros())
 		},
 		Decisions: l.dec.WriteJSON,
+		DHT:       l.writeDiscoveryDiags,
 	}
 	if l.tracer != nil {
 		src.Trace = l.tracer.WriteJSONL
